@@ -1,0 +1,61 @@
+// Ablation A (design choice of SS III-A3): how much does the
+// detour-imitating expansion improve the congestion estimate?
+//
+// For several designs placed by a wirelength-driven run, compares the
+// estimator's congestion map (with and without expansion, and without the
+// pin penalty) against the evaluation router's map: Pearson correlation
+// plus estimated-vs-routed overflow totals.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/flow.h"
+#include "io/synthetic.h"
+
+int main() {
+  using namespace puffer;
+  const int scale = bench::scale_divisor();
+  std::printf("=== Ablation: estimation accuracy vs the routed map (scale 1/%d) ===\n\n",
+              scale);
+
+  TextTable table({"Benchmark", "Variant", "corr(est, routed)", "est OF(%)",
+                   "routed OF(%)"});
+  for (const char* name : {"OR1200", "MEDIA_SUBSYS", "CT_TOP"}) {
+    Design d = generate_synthetic(table1_spec(name, scale));
+    initial_place(d);
+    GpConfig gp;
+    EPlaceEngine engine(d, gp);
+    engine.run_to_overflow(0.12);
+
+    const RouteResult routed = evaluate_routability(d);
+    const Map2D<double> routed_cg = routed.maps.cg_map();
+
+    struct Variant {
+      const char* label;
+      bool expansion;
+      double pin_penalty;
+    };
+    const Variant variants[] = {
+        {"full (expansion + pin penalty)", true, 0.04},
+        {"no detour expansion", false, 0.04},
+        {"no pin penalty", true, 0.0},
+        {"neither", false, 0.0},
+    };
+    for (const Variant& v : variants) {
+      CongestionConfig cc;
+      cc.enable_detour_expansion = v.expansion;
+      cc.pin_penalty = v.pin_penalty;
+      const CongestionResult est = CongestionEstimator(d, cc).estimate();
+      const double corr = map_correlation(est.maps.cg_map(), routed_cg);
+      table.add_row({name, v.label, TextTable::fmt(corr, 4),
+                     TextTable::fmt(compute_overflow(est.maps).total_pct(), 2),
+                     TextTable::fmt(routed.overflow.total_pct(), 2)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: the full estimator correlates best with the routed\n"
+      "map; removing the expansion leaves overflow overly concentrated and\n"
+      "lowers the correlation on congested designs.\n");
+  return 0;
+}

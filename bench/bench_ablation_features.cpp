@@ -1,0 +1,54 @@
+// Ablation B (design choice of SS III-B1): contribution of the feature
+// families to the final routability. Runs PUFFER with padding driven by
+// (1) local features only, (2) local + CNN-inspired surrounding features,
+// (3) all features including the GNN-inspired pin congestion, plus the
+// no-padding baseline, on the congested benchmarks.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace puffer;
+  const int scale = bench::scale_divisor();
+  std::printf("=== Ablation: padding feature families (scale 1/%d) ===\n\n",
+              scale);
+
+  struct Variant {
+    const char* label;
+    bool use_local, use_cnn, use_gnn;
+    int xi;
+  };
+  const Variant variants[] = {
+      {"no padding", false, false, false, 0},
+      {"local only", true, false, false, 8},
+      {"local + CNN", true, true, false, 8},
+      {"local + CNN + GNN (PUFFER)", true, true, true, 8},
+  };
+
+  TextTable table({"Benchmark", "Features", "HOF(%)", "VOF(%)", "WL", "RT(s)"});
+  for (const char* name : {"OR1200", "MEDIA_SUBSYS", "A53_ADB_WRAP"}) {
+    for (const Variant& v : variants) {
+      ExperimentConfig cfg;
+      PaddingParams base;  // default weights
+      PaddingParams& p = cfg.puffer.padding;
+      p.xi = v.xi;
+      p.alpha[0] = v.use_local ? base.alpha[0] : 0.0;
+      p.alpha[1] = v.use_local ? base.alpha[1] : 0.0;
+      p.alpha[2] = v.use_cnn ? base.alpha[2] : 0.0;
+      p.alpha[3] = v.use_cnn ? base.alpha[3] : 0.0;
+      p.alpha[4] = v.use_gnn ? base.alpha[4] : 0.0;
+      std::fprintf(stderr, "[features] %s / %s ...\n", name, v.label);
+      const ExperimentResult r =
+          run_benchmark(table1_spec(name, scale), PlacerKind::kPuffer, cfg);
+      table.add_row({name, v.label, TextTable::fmt(r.hof_pct(), 2),
+                     TextTable::fmt(r.vof_pct(), 2),
+                     TextTable::fmt(r.routed_wl(), 0),
+                     TextTable::fmt(r.runtime_s(), 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 4 reproduction: multi-feature extraction for cells.
+//
+// Shows the three feature families (local, CNN-inspired surrounding,
+// GNN-inspired pin congestion) for representative cells of a congested
+// synthetic design: one in a routing hot spot, one at its fringe, one in
+// a quiet region -- demonstrating how the combination separates cells
+// that purely local information cannot distinguish.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "congestion/estimator.h"
+#include "core/flow.h"
+#include "io/synthetic.h"
+#include "padding/features.h"
+
+int main() {
+  using namespace puffer;
+  std::printf("=== Figure 4: CNN/GNN-inspired feature extraction ===\n\n");
+
+  SyntheticSpec spec;
+  spec.name = "fig4";
+  spec.num_cells = 4000;
+  spec.num_nets = 6000;
+  spec.num_macros = 10;
+  spec.target_utilization = 0.84;
+  spec.cluster_net_ratio = 0.8;
+  Design d = generate_synthetic(spec);
+  initial_place(d);
+  GpConfig gp;
+  EPlaceEngine engine(d, gp);
+  engine.run_to_overflow(0.25);
+
+  CongestionConfig cc;
+  CongestionEstimator estimator(d, cc);
+  const CongestionResult congestion = estimator.estimate();
+  const Map2D<double> cg = congestion.maps.cg_map();
+
+  // Pick the hottest Gcell and a cold one; sample cells in both.
+  int hot_gx = 0, hot_gy = 0, cold_gx = 0, cold_gy = 0;
+  double hot = -1e300, cold = 1e300;
+  for (int gy = 0; gy < cg.ny(); ++gy) {
+    for (int gx = 0; gx < cg.nx(); ++gx) {
+      if (cg.at(gx, gy) > hot) {
+        hot = cg.at(gx, gy);
+        hot_gx = gx;
+        hot_gy = gy;
+      }
+      if (cg.at(gx, gy) < cold) {
+        cold = cg.at(gx, gy);
+        cold_gx = gx;
+        cold_gy = gy;
+      }
+    }
+  }
+  std::printf("hottest Gcell (%d,%d): Cg=%.2f; coldest (%d,%d): Cg=%.2f\n\n",
+              hot_gx, hot_gy, hot, cold_gx, cold_gy, cold);
+
+  const auto pick_cells_in = [&](int gx, int gy, int count) {
+    std::vector<CellId> out;
+    const Rect r = congestion.maps.grid.gcell_rect(gx, gy).expanded(16.0);
+    for (CellId c = 0; c < static_cast<CellId>(d.cells.size()); ++c) {
+      const Cell& cell = d.cells[static_cast<std::size_t>(c)];
+      if (cell.movable() && r.contains(cell.center())) {
+        out.push_back(c);
+        if (static_cast<int>(out.size()) >= count) break;
+      }
+    }
+    return out;
+  };
+
+  std::vector<CellId> samples = pick_cells_in(hot_gx, hot_gy, 3);
+  const auto cold_cells = pick_cells_in(cold_gx, cold_gy, 3);
+  samples.insert(samples.end(), cold_cells.begin(), cold_cells.end());
+
+  FeatureExtractor fx(d);
+  const auto features = fx.extract(congestion, samples);
+
+  TextTable table({"cell", "region", "LCg (local)", "LPin (local)",
+                   "SCg (CNN)", "SPin (CNN)", "PCg (GNN)"});
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const FeatureVector& f = features[i];
+    table.add_row({d.cells[static_cast<std::size_t>(samples[i])].name,
+                   i < samples.size() - cold_cells.size() ? "hot" : "cold",
+                   TextTable::fmt(f.local_cg, 3), TextTable::fmt(f.local_pin, 3),
+                   TextTable::fmt(f.sur_cg, 3), TextTable::fmt(f.sur_pin, 3),
+                   TextTable::fmt(f.pin_cg, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Local features are signed (negative = slack kept, per the paper);\n"
+      "surrounding features average a kernel-expanded window; pin\n"
+      "congestion aggregates min-over-candidate-path congestion across the\n"
+      "cell's routing topology (Eqs. 9-13).\n");
+  return 0;
+}

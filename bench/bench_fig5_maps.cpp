@@ -1,0 +1,50 @@
+// Figure 5 reproduction: horizontal and vertical congestion maps of the
+// MEDIA_SUBSYS design for the three placers, as reported by the neutral
+// evaluation router. Maps are written as PPM heatmaps (blue = slack,
+// yellow->red = overflow) plus ASCII previews on stdout.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "grid/routing_maps.h"
+
+int main(int argc, char** argv) {
+  using namespace puffer;
+  const int scale = bench::scale_divisor();
+  const std::string bench_name = argc > 1 ? argv[1] : "MEDIA_SUBSYS";
+  std::printf("=== Figure 5: congestion maps for %s (scale 1/%d) ===\n\n",
+              bench_name.c_str(), scale);
+
+  const SyntheticSpec spec = table1_spec(bench_name, scale);
+  const PlacerKind order[] = {PlacerKind::kCommercialProxy,
+                              PlacerKind::kReplaceRc, PlacerKind::kPuffer};
+  const char* fig_tag[] = {"a_d", "b_e", "c_f"};
+  ExperimentConfig config;
+
+  for (int p = 0; p < 3; ++p) {
+    std::fprintf(stderr, "[fig5] placing with %s ...\n", placer_name(order[p]));
+    const ExperimentResult r = run_benchmark(spec, order[p], config);
+
+    // Per-direction congestion ratio maps (demand/capacity - 1).
+    Map2D<double> h(r.route.maps.grid.nx(), r.route.maps.grid.ny());
+    Map2D<double> v(r.route.maps.grid.nx(), r.route.maps.grid.ny());
+    for (int gy = 0; gy < h.ny(); ++gy) {
+      for (int gx = 0; gx < h.nx(); ++gx) {
+        h.at(gx, gy) = r.route.maps.cg_h(gx, gy);
+        v.at(gx, gy) = r.route.maps.cg_v(gx, gy);
+      }
+    }
+    const std::string base = bench::results_dir() + "/fig5_" + fig_tag[p] + "_" +
+                             placer_name(order[p]);
+    write_map_ppm(h, base + "_H.ppm");
+    write_map_ppm(v, base + "_V.ppm");
+
+    std::printf("--- %s: HOF %.2f%%  VOF %.2f%%  (maps: %s_H.ppm / _V.ppm)\n",
+                placer_name(order[p]), r.hof_pct(), r.vof_pct(), base.c_str());
+    std::printf("horizontal congestion ('.'=slack, 1-9/#=overflow):\n%s\n",
+                map_to_ascii(h).c_str());
+    std::printf("vertical congestion:\n%s\n", map_to_ascii(v).c_str());
+  }
+  return 0;
+}

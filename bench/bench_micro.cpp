@@ -1,0 +1,120 @@
+// Kernel micro-benchmarks (google-benchmark): FFT/DCT transforms, RSMT
+// construction, WA wirelength gradient, density rasterization + field
+// solve, congestion estimation and the evaluation router.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "congestion/estimator.h"
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "gp/electrostatics.h"
+#include "gp/wirelength.h"
+#include "io/synthetic.h"
+#include "router/global_router.h"
+#include "rsmt/rsmt.h"
+
+namespace {
+
+using namespace puffer;
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::complex<double>> a(n);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    auto copy = a;
+    fft(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_Dct2_2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> grid(n * n);
+  for (double& v : grid) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    auto out = dct2_2d(grid, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Dct2_2D)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ElectrostaticSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ElectrostaticSystem es(n, n, 1000.0, 1000.0);
+  Rng rng(3);
+  Map2D<double> rho(n, n);
+  for (double& v : rho.raw()) v = rng.uniform(0, 10);
+  for (auto _ : state) {
+    es.solve(rho);
+    benchmark::DoNotOptimize(es.energy());
+  }
+}
+BENCHMARK(BM_ElectrostaticSolve)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Rsmt(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<Point>> nets(64);
+  for (auto& pins : nets) {
+    for (int i = 0; i < degree; ++i) {
+      pins.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+    }
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const RsmtTree t = build_rsmt(nets[k++ % nets.size()]);
+    benchmark::DoNotOptimize(t.length());
+  }
+}
+BENCHMARK(BM_Rsmt)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+SyntheticSpec micro_spec(int cells) {
+  SyntheticSpec spec;
+  spec.num_cells = cells;
+  spec.num_nets = cells * 3 / 2;
+  spec.num_macros = 8;
+  return spec;
+}
+
+void BM_WaGradient(benchmark::State& state) {
+  const Design d = generate_synthetic(micro_spec(static_cast<int>(state.range(0))));
+  WaWirelength wl(d);
+  const std::size_t n = wl.movable_cells().size();
+  std::vector<double> x(n), y(n), gx, gy;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& c = d.cells[static_cast<std::size_t>(wl.movable_cells()[i])];
+    x[i] = c.x;
+    y[i] = c.y;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl.evaluate(x, y, 10.0, gx, gy));
+  }
+}
+BENCHMARK(BM_WaGradient)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_CongestionEstimate(benchmark::State& state) {
+  const Design d = generate_synthetic(micro_spec(static_cast<int>(state.range(0))));
+  CongestionEstimator est(d, CongestionConfig{});
+  for (auto _ : state) {
+    const CongestionResult r = est.estimate();
+    benchmark::DoNotOptimize(r.expanded_segments);
+  }
+}
+BENCHMARK(BM_CongestionEstimate)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  const Design d = generate_synthetic(micro_spec(static_cast<int>(state.range(0))));
+  GlobalRouter router(d, RouterConfig{});
+  for (auto _ : state) {
+    const RouteResult r = router.route();
+    benchmark::DoNotOptimize(r.wirelength);
+  }
+}
+BENCHMARK(BM_GlobalRoute)->Arg(1000)->Arg(4000);
+
+}  // namespace

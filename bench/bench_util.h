@@ -1,0 +1,31 @@
+// Shared helpers for the benchmark harnesses: benchmark scale selection
+// and a small results directory convention.
+//
+// The paper's industrial designs (Table I) are reproduced as synthetic
+// designs scaled down by PUFFER_SCALE (default 64: ~2k-25k movable cells,
+// a full Table II run in minutes). Set PUFFER_SCALE=40 for the largest
+// reproduction used in EXPERIMENTS.md, or larger values for quick runs.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace puffer::bench {
+
+inline int scale_divisor() {
+  if (const char* env = std::getenv("PUFFER_SCALE")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 64;
+}
+
+// Where benches drop CSVs and map images.
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace puffer::bench

@@ -1,0 +1,57 @@
+// Full-flow comparison example: run all three placers (commercial proxy,
+// RePlAce-style baseline, PUFFER) on the same design, print a Table II
+// style row for each, and save the placements as Bookshelf .pl files plus
+// the whole design as a Bookshelf bundle.
+//
+//   ./full_flow_compare [benchmark_name] [scale_divisor]
+//
+// benchmark_name is one of the Table I suite names (default OR1200).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "io/bookshelf.h"
+#include "viz/svg.h"
+
+int main(int argc, char** argv) {
+  using namespace puffer;
+  const std::string name = argc > 1 ? argv[1] : "OR1200";
+  const int scale = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  const SyntheticSpec spec = table1_spec(name, scale);
+  std::printf("benchmark %s at scale 1/%d (%d cells)\n", name.c_str(), scale,
+              spec.num_cells);
+
+  // Export the netlist once so the runs can be reproduced externally.
+  {
+    Design d = generate_synthetic(spec);
+    write_bookshelf(d, name);
+    std::printf("design exported as %s.aux/.nodes/.nets/.pl/.scl/.route\n",
+                name.c_str());
+  }
+
+  ExperimentConfig config;
+  TextTable table(
+      {"Placer", "HOF(%)", "VOF(%)", "routed WL", "HPWL", "RT(s)", "legal"});
+  for (PlacerKind kind : {PlacerKind::kCommercialProxy, PlacerKind::kReplaceRc,
+                          PlacerKind::kPuffer}) {
+    Design d = generate_synthetic(spec);
+    const ExperimentResult r = run_experiment(d, kind, config);
+    table.add_row({placer_name(kind), TextTable::fmt(r.hof_pct(), 2),
+                   TextTable::fmt(r.vof_pct(), 2),
+                   TextTable::fmt(r.routed_wl(), 0),
+                   TextTable::fmt(r.flow.hpwl_legal, 0),
+                   TextTable::fmt(r.runtime_s(), 1),
+                   r.flow.legality.legal ? "yes" : "NO"});
+    const std::string pl = name + "." + placer_name(kind) + ".pl";
+    write_pl(d, pl);
+    // Rendered placement with the routed congestion overlay.
+    const std::string svg = name + "." + placer_name(kind) + ".svg";
+    write_placement_svg(d, r.route.maps.grid, r.route.maps.cg_map(), svg);
+    std::printf("placement saved: %s (+ %s)\n", pl.c_str(), svg.c_str());
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  return 0;
+}

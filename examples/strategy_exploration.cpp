@@ -1,0 +1,84 @@
+// Strategy-exploration example: tune PUFFER's strategy parameters with
+// the Bayesian (TPE/SMBO) explorer on a small congested design, then
+// apply the found strategy to a larger one (the paper's workflow in
+// SS III-C: explore on a small design with a routability problem, deploy
+// on the big benchmarks).
+//
+//   ./strategy_exploration [evals_per_group]
+//
+// Keep the budget small for a demo; every evaluation is a full placement
+// plus global routing.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/strategy_params.h"
+
+int main(int argc, char** argv) {
+  using namespace puffer;
+  const int budget = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  // Small tuning design with a routability problem.
+  SyntheticSpec tune;
+  tune.name = "tune_small";
+  tune.num_cells = 1500;
+  tune.num_nets = 2300;
+  tune.num_macros = 10;
+  tune.target_utilization = 0.84;
+  tune.cluster_net_ratio = 0.8;
+  tune.v_capacity_factor = 0.75;
+
+  ExperimentConfig base;
+  base.puffer.gp.max_iters = 500;
+
+  std::printf("exploring %zu strategy parameters in %zu groups, ~%d evals/group\n",
+              puffer_param_specs().size(), puffer_param_groups().size(), budget);
+
+  ExploreConfig cfg;
+  cfg.time_limit = budget;
+  cfg.early_stop = std::max(4, budget / 2);
+  cfg.outer_rounds = 1;
+  cfg.seed = 99;
+
+  int evals = 0;
+  StrategyExplorer explorer(
+      puffer_param_specs(), puffer_param_groups(),
+      [&](const Assignment& a) {
+        const double loss = evaluate_strategy(tune, a, base);
+        std::printf("  eval %3d: HOF+VOF = %.3f%%\n", ++evals, loss);
+        return loss;
+      },
+      cfg);
+  const Assignment best_cfg = explorer.run();
+
+  std::printf("\nexploration done after %zu evaluations; best seen %.3f%%\n",
+              explorer.history().size(), explorer.best().loss);
+  const auto specs = puffer_param_specs();
+  std::printf("final strategy (median of explored ranges):\n");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    std::printf("  %-18s = %.4g   (range [%.4g, %.4g])\n", specs[i].name.c_str(),
+                best_cfg[i], explorer.final_ranges()[i].lo,
+                explorer.final_ranges()[i].hi);
+  }
+
+  // Deploy on a larger unseen design, against the hand-tuned default.
+  SyntheticSpec deploy = tune;
+  deploy.name = "deploy_large";
+  deploy.num_cells = 6000;
+  deploy.num_nets = 9000;
+  deploy.seed = 1234;
+
+  std::printf("\ndeploying on %s (%d cells):\n", deploy.name.c_str(),
+              deploy.num_cells);
+  const ExperimentResult with_default =
+      run_benchmark(deploy, PlacerKind::kPuffer, base);
+  ExperimentConfig tuned = base;
+  tuned.puffer = apply_assignment(base.puffer, best_cfg);
+  const ExperimentResult with_tuned =
+      run_benchmark(deploy, PlacerKind::kPuffer, tuned);
+  std::printf("  default strategy: HOF %.2f%%  VOF %.2f%%  WL %.4g\n",
+              with_default.hof_pct(), with_default.vof_pct(),
+              with_default.routed_wl());
+  std::printf("  explored strategy: HOF %.2f%%  VOF %.2f%%  WL %.4g\n",
+              with_tuned.hof_pct(), with_tuned.vof_pct(), with_tuned.routed_wl());
+  return 0;
+}

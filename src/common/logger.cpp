@@ -1,0 +1,43 @@
+#include "common/logger.h"
+
+#include <mutex>
+
+namespace puffer {
+namespace {
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?    ";
+  }
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::FILE* out = sink_ != nullptr ? sink_ : stderr;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(out, "[%s] [%s] ", level_name(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(out, fmt, args);
+  va_end(args);
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+}  // namespace puffer

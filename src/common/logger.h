@@ -1,0 +1,56 @@
+// Lightweight leveled logger for the PUFFER framework.
+//
+// The logger writes to stderr by default; the sink can be redirected for
+// tests. Formatting uses printf-style varargs kept out of headers via a
+// small set of overloads, so the library has no external dependencies.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace puffer {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+// Global logger. Thread-safe for concurrent logging calls; level changes
+// should happen at setup time.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Redirect output (e.g. to a file opened by the caller). The logger does
+  // not own the stream; pass nullptr to restore stderr.
+  void set_sink(std::FILE* sink) { sink_ = sink; }
+
+  void log(LogLevel level, const char* tag, const char* fmt, ...)
+#if defined(__GNUC__)
+      __attribute__((format(printf, 4, 5)))
+#endif
+      ;
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::FILE* sink_ = nullptr;
+};
+
+#define PUFFER_LOG_DEBUG(tag, ...) \
+  ::puffer::Logger::instance().log(::puffer::LogLevel::kDebug, tag, __VA_ARGS__)
+#define PUFFER_LOG_INFO(tag, ...) \
+  ::puffer::Logger::instance().log(::puffer::LogLevel::kInfo, tag, __VA_ARGS__)
+#define PUFFER_LOG_WARN(tag, ...) \
+  ::puffer::Logger::instance().log(::puffer::LogLevel::kWarn, tag, __VA_ARGS__)
+#define PUFFER_LOG_ERROR(tag, ...) \
+  ::puffer::Logger::instance().log(::puffer::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace puffer

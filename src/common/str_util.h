@@ -1,0 +1,22 @@
+// Small string utilities shared by the Bookshelf parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace puffer {
+
+// Splits on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+}  // namespace puffer

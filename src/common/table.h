@@ -1,0 +1,34 @@
+// Fixed-width text table writer used by the benchmark harnesses to print
+// paper-style tables (Table I, Table II) to stdout and CSV files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace puffer {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  // Comma-separated form (no escaping needed for our numeric content).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision);
+  static std::string fmt_int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace puffer

@@ -1,0 +1,16 @@
+#include "common/timer.h"
+
+namespace puffer {
+
+double StageTimes::get(const std::string& stage) const {
+  auto it = times_.find(stage);
+  return it == times_.end() ? 0.0 : it->second;
+}
+
+double StageTimes::total() const {
+  double sum = 0.0;
+  for (const auto& [name, secs] : times_) sum += secs;
+  return sum;
+}
+
+}  // namespace puffer

@@ -1,0 +1,56 @@
+// Wall-clock timers and a named scope-timer registry used to report the
+// per-stage runtime breakdown ("RT(s)" columns in Table II).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace puffer {
+
+// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time per named stage; used by the flow to print a breakdown.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) { times_[stage] += seconds; }
+  double get(const std::string& stage) const;
+  double total() const;
+  const std::map<std::string, double>& all() const { return times_; }
+  void clear() { times_.clear(); }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+// RAII helper: adds the scope's elapsed time to a StageTimes entry.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimes& times, std::string stage)
+      : times_(times), stage_(std::move(stage)) {}
+  ~ScopedStageTimer() { times_.add(stage_, timer_.elapsed_seconds()); }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimes& times_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace puffer

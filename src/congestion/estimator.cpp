@@ -1,0 +1,186 @@
+#include "congestion/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace puffer {
+
+CongestionEstimator::CongestionEstimator(const Design& design,
+                                         CongestionConfig config)
+    : design_(design),
+      config_(config),
+      grid_(GcellGrid::from_row_pitch(design.die, design.tech.row_height,
+                                      config.rows_per_gcell)),
+      capacity_(build_capacity_maps(design, grid_)) {}
+
+namespace {
+
+// Accumulates probabilistic demand for one two-point segment.
+void add_segment_demand(const GcellGrid& grid, const Point& a, const Point& b,
+                        Map2D<double>& dmd_h, Map2D<double>& dmd_v) {
+  const GcellIndex ga = grid.index_of(a.x, a.y);
+  const GcellIndex gb = grid.index_of(b.x, b.y);
+  const int x0 = std::min(ga.gx, gb.gx), x1 = std::max(ga.gx, gb.gx);
+  const int y0 = std::min(ga.gy, gb.gy), y1 = std::max(ga.gy, gb.gy);
+  if (x0 == x1 && y0 == y1) return;  // same Gcell: covered by pin penalty
+  if (y0 == y1) {
+    // Horizontal I-shape: one unit across the covered Gcells.
+    for (int gx = x0; gx <= x1; ++gx) dmd_h.at(gx, y0) += 1.0;
+    return;
+  }
+  if (x0 == x1) {
+    for (int gy = y0; gy <= y1; ++gy) dmd_v.at(x0, gy) += 1.0;
+    return;
+  }
+  // L-shape: spread the average demand of the two candidate L routes over
+  // the bounding box: each row carries the horizontal crossing with
+  // probability 1/#rows, each column the vertical one with 1/#cols.
+  const double ph = 1.0 / static_cast<double>(y1 - y0 + 1);
+  const double pv = 1.0 / static_cast<double>(x1 - x0 + 1);
+  for (int gy = y0; gy <= y1; ++gy) {
+    for (int gx = x0; gx <= x1; ++gx) {
+      dmd_h.at(gx, gy) += ph;
+      dmd_v.at(gx, gy) += pv;
+    }
+  }
+}
+
+}  // namespace
+
+CongestionResult CongestionEstimator::estimate() const {
+  CongestionResult result;
+  result.maps = RoutingMaps(grid_, capacity_);
+  Map2D<double>& dmd_h = result.maps.dmd_h;
+  Map2D<double>& dmd_v = result.maps.dmd_v;
+
+  // --- step 2a: RSMT topologies ----------------------------------------
+  result.trees.resize(design_.nets.size());
+  std::vector<Point> pin_pts;
+  for (std::size_t n = 0; n < design_.nets.size(); ++n) {
+    const Net& net = design_.nets[n];
+    pin_pts.clear();
+    pin_pts.reserve(net.pins.size());
+    for (PinId pid : net.pins) pin_pts.push_back(design_.pin_position(pid));
+    result.trees[n] = build_rsmt(pin_pts);
+  }
+
+  // --- step 2b: probabilistic demand ------------------------------------
+  for (const RsmtTree& tree : result.trees) {
+    for (const RsmtSegment& seg : tree.segments) {
+      add_segment_demand(grid_, tree.points[static_cast<std::size_t>(seg.a)].pos,
+                         tree.points[static_cast<std::size_t>(seg.b)].pos,
+                         dmd_h, dmd_v);
+    }
+  }
+
+  // --- step 2c: pin penalty ----------------------------------------------
+  if (config_.pin_penalty > 0.0) {
+    for (const Pin& pin : design_.pins) {
+      const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
+      const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
+      dmd_h.at(g.gx, g.gy) += config_.pin_penalty;
+      dmd_v.at(g.gx, g.gy) += config_.pin_penalty;
+    }
+  }
+
+  // --- step 3: detour-imitating expansion --------------------------------
+  if (!config_.enable_detour_expansion) return result;
+
+  const auto ratio_h = [&](int gx, int gy) {
+    return dmd_h.at(gx, gy) / std::max(result.maps.cap_h.at(gx, gy), 1.0);
+  };
+  const auto ratio_v = [&](int gx, int gy) {
+    return dmd_v.at(gx, gy) / std::max(result.maps.cap_v.at(gx, gy), 1.0);
+  };
+
+  for (const RsmtTree& tree : result.trees) {
+    for (const RsmtSegment& seg : tree.segments) {
+      const RsmtPoint& pa = tree.points[static_cast<std::size_t>(seg.a)];
+      const RsmtPoint& pb = tree.points[static_cast<std::size_t>(seg.b)];
+      const GcellIndex ga = grid_.index_of(pa.pos.x, pa.pos.y);
+      const GcellIndex gb = grid_.index_of(pb.pos.x, pb.pos.y);
+      const bool horizontal = (ga.gy == gb.gy) && (ga.gx != gb.gx);
+      const bool vertical = (ga.gx == gb.gx) && (ga.gy != gb.gy);
+      if (!horizontal && !vertical) continue;  // only I-shaped segments
+
+      if (horizontal) {
+        const int y = ga.gy;
+        const int x0 = std::min(ga.gx, gb.gx), x1 = std::max(ga.gx, gb.gx);
+        double worst = 0.0;
+        for (int gx = x0; gx <= x1; ++gx) worst = std::max(worst, ratio_h(gx, y));
+        if (worst <= config_.congested_ratio) continue;
+        // Find the nearest parallel row where the whole span has slack for
+        // one more track.
+        int target = -1;
+        for (int k = 1; k <= config_.expand_radius && target < 0; ++k) {
+          for (const int cand : {y + k, y - k}) {
+            if (cand < 0 || cand >= grid_.ny()) continue;
+            bool fits = true;
+            for (int gx = x0; gx <= x1 && fits; ++gx) {
+              fits = dmd_h.at(gx, cand) + 1.0 <=
+                     std::max(result.maps.cap_h.at(gx, cand), 1.0) *
+                         config_.congested_ratio;
+            }
+            if (fits) {
+              target = cand;
+              break;
+            }
+          }
+        }
+        if (target < 0) continue;
+        for (int gx = x0; gx <= x1; ++gx) {
+          dmd_h.at(gx, y) -= 1.0;
+          dmd_h.at(gx, target) += 1.0;
+        }
+        // Steiner endpoints need a perpendicular connector back to the
+        // tree (a real detour); pin endpoints just model cell spreading.
+        const int ylo = std::min(y, target), yhi = std::max(y, target);
+        if (pa.is_steiner()) {
+          for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(ga.gx, gy) += 1.0;
+        }
+        if (pb.is_steiner()) {
+          for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(gb.gx, gy) += 1.0;
+        }
+        ++result.expanded_segments;
+      } else if (vertical) {
+        const int x = ga.gx;
+        const int y0 = std::min(ga.gy, gb.gy), y1 = std::max(ga.gy, gb.gy);
+        double worst = 0.0;
+        for (int gy = y0; gy <= y1; ++gy) worst = std::max(worst, ratio_v(x, gy));
+        if (worst <= config_.congested_ratio) continue;
+        int target = -1;
+        for (int k = 1; k <= config_.expand_radius && target < 0; ++k) {
+          for (const int cand : {x + k, x - k}) {
+            if (cand < 0 || cand >= grid_.nx()) continue;
+            bool fits = true;
+            for (int gy = y0; gy <= y1 && fits; ++gy) {
+              fits = dmd_v.at(cand, gy) + 1.0 <=
+                     std::max(result.maps.cap_v.at(cand, gy), 1.0) *
+                         config_.congested_ratio;
+            }
+            if (fits) {
+              target = cand;
+              break;
+            }
+          }
+        }
+        if (target < 0) continue;
+        for (int gy = y0; gy <= y1; ++gy) {
+          dmd_v.at(x, gy) -= 1.0;
+          dmd_v.at(target, gy) += 1.0;
+        }
+        const int xlo = std::min(x, target), xhi = std::max(x, target);
+        if (pa.is_steiner()) {
+          for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, ga.gy) += 1.0;
+        }
+        if (pb.is_steiner()) {
+          for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, gb.gy) += 1.0;
+        }
+        ++result.expanded_segments;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace puffer

@@ -1,0 +1,51 @@
+#include "core/experiment.h"
+
+#include "common/logger.h"
+
+namespace puffer {
+
+const char* placer_name(PlacerKind kind) {
+  switch (kind) {
+    case PlacerKind::kCommercialProxy:
+      return "Commercial_Proxy";
+    case PlacerKind::kReplaceRc:
+      return "RePlAce_RC";
+    case PlacerKind::kPuffer:
+      return "PUFFER";
+  }
+  return "?";
+}
+
+ExperimentResult run_experiment(Design& design, PlacerKind kind,
+                                const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.benchmark = design.name;
+  result.placer = kind;
+  switch (kind) {
+    case PlacerKind::kPuffer: {
+      PufferFlow flow(design, config.puffer);
+      result.flow = flow.run();
+      break;
+    }
+    case PlacerKind::kReplaceRc:
+      result.flow = run_replace_rc(design, config.replace_rc);
+      break;
+    case PlacerKind::kCommercialProxy:
+      result.flow = run_commercial_proxy(design, config.commercial);
+      break;
+  }
+  result.route = evaluate_routability(design, config.eval_router);
+  PUFFER_LOG_INFO("experiment", "%s / %s: HOF %.2f%% VOF %.2f%% WL %.4g RT %.1fs",
+                  result.benchmark.c_str(), placer_name(kind),
+                  result.hof_pct(), result.vof_pct(), result.routed_wl(),
+                  result.runtime_s());
+  return result;
+}
+
+ExperimentResult run_benchmark(const SyntheticSpec& spec, PlacerKind kind,
+                               const ExperimentConfig& config) {
+  Design design = generate_synthetic(spec);
+  return run_experiment(design, kind, config);
+}
+
+}  // namespace puffer

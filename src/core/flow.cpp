@@ -1,0 +1,84 @@
+#include "core/flow.h"
+
+#include "common/logger.h"
+
+namespace puffer {
+
+namespace {
+constexpr const char* kTag = "flow";
+}
+
+PufferFlow::PufferFlow(Design& design, PufferConfig config)
+    : design_(design), config_(config) {}
+
+FlowMetrics PufferFlow::run() {
+  FlowMetrics metrics;
+  Timer total;
+
+  {
+    ScopedStageTimer t(metrics.stages, "initial_place");
+    initial_place(design_, config_.init);
+  }
+
+  EPlaceEngine engine(design_, config_.gp);
+  PaddingEngine padder(design_, engine.movable_cells(), config_.padding);
+  CongestionEstimator estimator(design_, config_.congestion);
+
+  // Global placement with interleaved routability optimization.
+  {
+    ScopedStageTimer t(metrics.stages, "global_place");
+    while (true) {
+      engine.run_to_overflow(config_.padding.tau);
+      if (!padder.should_trigger(engine.density_overflow())) break;
+      ScopedStageTimer t2(metrics.stages, "routability_opt");
+      const CongestionResult congestion = estimator.estimate();
+      const std::vector<double>& pad = padder.update(congestion);
+      engine.set_padding(pad);
+      PUFFER_LOG_INFO(kTag,
+                      "padding round %d at iter %d (overflow %.3f, est "
+                      "expanded %d segs)",
+                      padder.rounds(), engine.iteration(),
+                      engine.density_overflow(), congestion.expanded_segments);
+      // Let the density system absorb the new areas before re-estimating.
+      for (int k = 0; k < config_.padding.spacing_iters; ++k) {
+        if (!engine.step()) break;
+      }
+      engine.sync_to_design();
+    }
+    engine.run_to_overflow(config_.final_overflow);
+  }
+  metrics.hpwl_gp = design_.total_hpwl();
+  metrics.padding_rounds = padder.rounds();
+
+  // White-space-assisted legalization: inherit the GP padding.
+  {
+    ScopedStageTimer t(metrics.stages, "legalize");
+    std::vector<double> pad_by_cell(design_.cells.size(), 0.0);
+    const auto& movable = engine.movable_cells();
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      pad_by_cell[static_cast<std::size_t>(movable[i])] = padder.padding()[i];
+    }
+    const std::vector<int> levels =
+        discretize_padding(design_, pad_by_cell, config_.discrete);
+    double pad_area = 0.0;
+    const double site_area = design_.tech.site_width * design_.tech.row_height;
+    for (int lv : levels) pad_area += lv * site_area;
+    metrics.padding_area = pad_area;
+    legalize(design_, levels, config_.legal);
+  }
+  metrics.hpwl_legal = design_.total_hpwl();
+  metrics.legality = check_legality(design_);
+  metrics.runtime_s = total.elapsed_seconds();
+  PUFFER_LOG_INFO(kTag, "flow done in %.1fs: hpwl %.4g -> %.4g, %s",
+                  metrics.runtime_s, metrics.hpwl_gp, metrics.hpwl_legal,
+                  metrics.legality.summary().c_str());
+  return metrics;
+}
+
+RouteResult evaluate_routability(const Design& design,
+                                 const RouterConfig& config) {
+  GlobalRouter router(design, config);
+  return router.route();
+}
+
+}  // namespace puffer

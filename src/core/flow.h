@@ -1,0 +1,69 @@
+// The PUFFER routability-driven placement flow (paper Fig. 2):
+//
+//   initial placement
+//   -> global placement (electrostatic engine)
+//        ... whenever the trigger conditions hold (density overflow < tau,
+//            previous padding utilization < eta, round < xi):
+//        -> routability optimizer: congestion estimation -> multi-feature
+//           cell padding (with recycling + utilization control) -> the
+//           padded areas feed back into the density engine
+//   -> final wirelength-driven convergence
+//   -> white-space-assisted legalization (discretized inherited padding
+//      + Abacus)
+//
+// Evaluation (HOF/VOF/WL, Table II) is deliberately *outside* the flow:
+// evaluate_routability() runs the independent global router on the final
+// legal placement, mirroring the paper's use of the commercial router as
+// a neutral evaluator.
+#pragma once
+
+#include "common/timer.h"
+#include "congestion/estimator.h"
+#include "gp/engine.h"
+#include "gp/initial_place.h"
+#include "legal/abacus.h"
+#include "legal/discrete_padding.h"
+#include "legal/legality.h"
+#include "netlist/design.h"
+#include "padding/padding.h"
+#include "router/global_router.h"
+
+namespace puffer {
+
+struct PufferConfig {
+  GpConfig gp;
+  CongestionConfig congestion;
+  PaddingParams padding;
+  LegalizeConfig legal;
+  DiscretePaddingConfig discrete;
+  InitialPlaceConfig init;
+  double final_overflow = 0.10;  // GP convergence target after padding
+};
+
+struct FlowMetrics {
+  double hpwl_gp = 0.0;      // after global placement
+  double hpwl_legal = 0.0;   // after legalization
+  int padding_rounds = 0;
+  double padding_area = 0.0;
+  double runtime_s = 0.0;
+  StageTimes stages;
+  LegalityReport legality;
+};
+
+class PufferFlow {
+ public:
+  PufferFlow(Design& design, PufferConfig config);
+
+  // Runs the full flow; the design's cell positions are the result.
+  FlowMetrics run();
+
+ private:
+  Design& design_;
+  PufferConfig config_;
+};
+
+// Runs the evaluation router on the design's current placement.
+RouteResult evaluate_routability(const Design& design,
+                                 const RouterConfig& config = {});
+
+}  // namespace puffer

@@ -1,0 +1,66 @@
+#include "core/strategy_params.h"
+
+namespace puffer {
+
+std::vector<ParamSpec> puffer_param_specs() {
+  using K = ParamKind;
+  return {
+      {"alpha_local_cg", K::kContinuous, 0.0, 3.0},
+      {"alpha_local_pin", K::kContinuous, 0.0, 2.0},
+      {"alpha_sur_cg", K::kContinuous, 0.0, 3.0},
+      {"alpha_sur_pin", K::kContinuous, 0.0, 2.0},
+      {"alpha_pin_cg", K::kContinuous, 0.0, 1.5},
+      {"beta", K::kContinuous, 0.0, 2.0},
+      {"mu", K::kContinuous, 1.0, 12.0},
+      {"zeta", K::kContinuous, 1.0, 10.0},
+      {"pu_low", K::kContinuous, 0.005, 0.05},
+      {"pu_high", K::kContinuous, 0.05, 0.25},
+      {"xi", K::kInteger, 4.0, 12.0},
+      {"tau", K::kContinuous, 0.15, 0.45},
+      {"pin_penalty", K::kContinuous, 0.0, 0.15},
+      {"expand_radius", K::kInteger, 1.0, 8.0},
+      {"detour_expansion", K::kCategorical, 0.0, 2.0},  // off / on
+      {"kernel_gcells", K::kInteger, 1.0, 4.0},
+      {"theta", K::kContinuous, 4.0, 16.0},
+  };
+}
+
+std::vector<std::vector<int>> puffer_param_groups() {
+  return {
+      {0, 1, 2, 3, 4, 5},  // feature weights + offset
+      {6, 7},              // padding magnitude + recycling
+      {8, 9, 10, 11},      // utilization ramp + triggers
+      {12, 13, 14},        // congestion estimation
+      {15, 16},            // kernel span + legalization discretization
+  };
+}
+
+PufferConfig apply_assignment(const PufferConfig& base, const Assignment& a) {
+  PufferConfig cfg = base;
+  for (int k = 0; k < FeatureVector::kCount; ++k) {
+    cfg.padding.alpha[k] = a[static_cast<std::size_t>(k)];
+  }
+  cfg.padding.beta = a[5];
+  cfg.padding.mu = a[6];
+  cfg.padding.zeta = a[7];
+  cfg.padding.pu_low = a[8];
+  cfg.padding.pu_high = std::max(a[9], a[8] + 0.01);
+  cfg.padding.xi = static_cast<int>(a[10]);
+  cfg.padding.tau = a[11];
+  cfg.congestion.pin_penalty = a[12];
+  cfg.congestion.expand_radius = static_cast<int>(a[13]);
+  cfg.congestion.enable_detour_expansion = a[14] >= 0.5;
+  cfg.padding.feature.kernel_gcells = static_cast<int>(a[15]);
+  cfg.discrete.theta = a[16];
+  return cfg;
+}
+
+double evaluate_strategy(const SyntheticSpec& spec, const Assignment& a,
+                         const ExperimentConfig& base) {
+  ExperimentConfig cfg = base;
+  cfg.puffer = apply_assignment(base.puffer, a);
+  const ExperimentResult r = run_benchmark(spec, PlacerKind::kPuffer, cfg);
+  return r.hof_pct() + r.vof_pct();
+}
+
+}  // namespace puffer

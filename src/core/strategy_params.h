@@ -1,0 +1,35 @@
+// Bridge between the generic strategy-exploration machinery and PUFFER's
+// concrete strategy parameters (paper SS III-C): the explored parameter
+// list with initial ranges, the relevance grouping used by Algorithm 3,
+// and the mapping from an Assignment onto a PufferConfig.
+//
+// Following the paper, exploration is run on a *small* design with a
+// routability problem (OR1200) and the resulting configuration is applied
+// to the large benchmarks.
+#pragma once
+
+#include "core/experiment.h"
+#include "explore/strategy_explorer.h"
+
+namespace puffer {
+
+// The 17 strategy parameters (feature weights, padding formula, ramp,
+// triggers, estimator knobs, legalization discretization).
+std::vector<ParamSpec> puffer_param_specs();
+
+// Relevance groups over puffer_param_specs() indices: feature weights,
+// padding magnitude/recycling, utilization ramp + triggers, estimation,
+// legalization.
+std::vector<std::vector<int>> puffer_param_groups();
+
+// Applies an assignment (aligned with puffer_param_specs()) onto a base
+// configuration.
+PufferConfig apply_assignment(const PufferConfig& base, const Assignment& a);
+
+// Black-box loss for strategy exploration: run PUFFER with the candidate
+// strategy on the benchmark and return the total overflow ratio
+// (HOF + VOF, in %) reported by the evaluation router.
+double evaluate_strategy(const SyntheticSpec& spec, const Assignment& a,
+                         const ExperimentConfig& base);
+
+}  // namespace puffer

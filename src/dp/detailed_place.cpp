@@ -1,0 +1,199 @@
+#include "dp/detailed_place.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logger.h"
+
+namespace puffer {
+namespace {
+
+constexpr const char* kTag = "dp";
+
+// Exact HPWL over the union of nets touching any of the given cells.
+double nets_hpwl(const Design& d, const std::vector<CellId>& cells) {
+  std::set<NetId> nets;
+  for (CellId c : cells) {
+    for (PinId pid : d.cells[static_cast<std::size_t>(c)].pins) {
+      nets.insert(d.pins[static_cast<std::size_t>(pid)].net);
+    }
+  }
+  double sum = 0.0;
+  for (NetId n : nets) sum += d.net_hpwl(n);
+  return sum;
+}
+
+// Weighted median of the other pins on this cell's nets: the classic
+// optimal-region center for a single movable cell.
+Point optimal_position(const Design& d, CellId cid) {
+  std::vector<double> xs, ys;
+  const Cell& cell = d.cells[static_cast<std::size_t>(cid)];
+  for (PinId pid : cell.pins) {
+    const Net& net = d.nets[static_cast<std::size_t>(
+        d.pins[static_cast<std::size_t>(pid)].net)];
+    for (PinId other : net.pins) {
+      if (d.pins[static_cast<std::size_t>(other)].cell == cid) continue;
+      const Point p = d.pin_position(other);
+      xs.push_back(p.x);
+      ys.push_back(p.y);
+    }
+  }
+  if (xs.empty()) return cell.center();
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  std::nth_element(ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(mid), ys.end());
+  return {xs[mid], ys[mid]};
+}
+
+struct RowOrder {
+  double y = 0.0;
+  std::vector<CellId> cells;  // sorted by x
+};
+
+std::vector<RowOrder> build_rows(const Design& d) {
+  std::map<long long, RowOrder> rows;  // key: quantized y
+  for (CellId c = 0; c < static_cast<CellId>(d.cells.size()); ++c) {
+    const Cell& cell = d.cells[static_cast<std::size_t>(c)];
+    if (!cell.movable()) continue;
+    const long long key = std::llround(cell.y * 16.0);
+    RowOrder& row = rows[key];
+    row.y = cell.y;
+    row.cells.push_back(c);
+  }
+  std::vector<RowOrder> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) {
+    std::sort(row.cells.begin(), row.cells.end(), [&](CellId a, CellId b) {
+      return d.cells[static_cast<std::size_t>(a)].x <
+             d.cells[static_cast<std::size_t>(b)].x;
+    });
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// Swap the order of two x-adjacent cells inside their combined span; the
+// air between/around them is preserved in total (left edge and right edge
+// of the pair's envelope stay fixed). Pairs whose envelope crosses a
+// fixed blockage (macro) are skipped: cells of different widths would
+// otherwise slide onto it.
+int reorder_pass(Design& d, std::vector<RowOrder> rows) {
+  std::vector<Rect> macros;
+  for (const Cell& c : d.cells) {
+    if (c.is_macro()) macros.push_back(c.rect());
+  }
+  int accepted = 0;
+  for (RowOrder& row : rows) {
+    for (std::size_t i = 0; i + 1 < row.cells.size(); ++i) {
+      const CellId a = row.cells[i];
+      const CellId b = row.cells[i + 1];
+      Cell& ca = d.cells[static_cast<std::size_t>(a)];
+      Cell& cb = d.cells[static_cast<std::size_t>(b)];
+      const double ax = ca.x, bx = cb.x;
+      const double span_end = cb.x + cb.width;
+      const Rect envelope{ax, ca.y, span_end, ca.y + ca.height};
+      bool blocked = false;
+      for (const Rect& m : macros) {
+        if (envelope.overlap_area(m) > 0.0) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      const double before = nets_hpwl(d, {a, b});
+      // b takes the left edge; a goes flush to the right edge.
+      ca.x = span_end - ca.width;
+      cb.x = ax;
+      // Widths differ, so ensure no overlap inside the pair envelope.
+      if (cb.x + cb.width > ca.x + 1e-9) {
+        ca.x = ax;
+        cb.x = bx;
+        continue;
+      }
+      if (nets_hpwl(d, {a, b}) + 1e-9 < before) {
+        ++accepted;
+        // Keep the order vector sorted by x so the next pair's envelope
+        // is computed against the true left-to-right neighbours.
+        std::swap(row.cells[i], row.cells[i + 1]);
+      } else {
+        ca.x = ax;
+        cb.x = bx;
+      }
+    }
+  }
+  return accepted;
+}
+
+// Swap identically-sized cells when it lowers HPWL: candidates are looked
+// up by (width, height) near each cell's optimal region.
+int swap_pass(Design& d, const DetailedPlaceConfig& config) {
+  // Bucket movable cells by size.
+  std::map<std::pair<double, double>, std::vector<CellId>> by_size;
+  for (CellId c = 0; c < static_cast<CellId>(d.cells.size()); ++c) {
+    const Cell& cell = d.cells[static_cast<std::size_t>(c)];
+    if (cell.movable()) by_size[{cell.width, cell.height}].push_back(c);
+  }
+  const double wx = config.swap_window_rows * d.tech.row_height;
+  int accepted = 0;
+  for (auto& [size, bucket] : by_size) {
+    if (bucket.size() < 2) continue;
+    for (CellId a : bucket) {
+      const Point target = optimal_position(d, a);
+      const Cell& ca = d.cells[static_cast<std::size_t>(a)];
+      if (manhattan(ca.center(), target) < d.tech.row_height) continue;
+      // Nearest same-size cell to the optimal region.
+      CellId best = kInvalidId;
+      double best_d = wx;
+      for (CellId b : bucket) {
+        if (b == a) continue;
+        const double dist =
+            manhattan(d.cells[static_cast<std::size_t>(b)].center(), target);
+        if (dist < best_d) {
+          best_d = dist;
+          best = b;
+        }
+      }
+      if (best == kInvalidId) continue;
+      Cell& cb = d.cells[static_cast<std::size_t>(best)];
+      Cell& cc = d.cells[static_cast<std::size_t>(a)];
+      const double before = nets_hpwl(d, {a, best});
+      std::swap(cc.x, cb.x);
+      std::swap(cc.y, cb.y);
+      if (nets_hpwl(d, {a, best}) + 1e-9 < before) {
+        ++accepted;
+      } else {
+        std::swap(cc.x, cb.x);
+        std::swap(cc.y, cb.y);
+      }
+    }
+  }
+  return accepted;
+}
+
+}  // namespace
+
+DetailedPlaceResult detailed_place(Design& design,
+                                   const DetailedPlaceConfig& config) {
+  DetailedPlaceResult result;
+  result.hpwl_before = design.total_hpwl();
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    int accepted = 0;
+    if (config.adjacent_reorder) {
+      accepted += reorder_pass(design, build_rows(design));
+    }
+    if (config.cross_row_swaps) {
+      accepted += swap_pass(design, config);
+    }
+    result.accepted_moves += accepted;
+    ++result.passes;
+    PUFFER_LOG_DEBUG(kTag, "pass %d accepted %d moves", pass + 1, accepted);
+    if (accepted == 0) break;
+  }
+  result.hpwl_after = design.total_hpwl();
+  return result;
+}
+
+}  // namespace puffer

@@ -1,0 +1,46 @@
+// Detailed placement: legality-preserving wirelength refinement after
+// legalization (an extension beyond the paper's flow, which evaluates
+// directly after legalization; kept off by default in the Table II
+// reproduction and exercised by tests/examples).
+//
+// Two move classes, both exactly legality-preserving:
+//   * adjacent-pair reordering within a row: two neighbouring cells swap
+//     order inside their combined span (white space between them is
+//     preserved in total, so inherited padding gaps survive);
+//   * cross-row swaps of identically-sized cells: positions are exchanged
+//     verbatim.
+// Moves are accepted only when they reduce the exact HPWL of the
+// affected nets; passes repeat until no move helps or the pass limit is
+// reached.
+#pragma once
+
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct DetailedPlaceConfig {
+  int max_passes = 4;
+  bool adjacent_reorder = true;
+  bool cross_row_swaps = true;
+  // Cross-row candidate search window around a cell's optimal position,
+  // in row heights / site widths.
+  double swap_window_rows = 6.0;
+};
+
+struct DetailedPlaceResult {
+  int accepted_moves = 0;
+  int passes = 0;
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+  double improvement_pct() const {
+    return hpwl_before > 0.0
+               ? 100.0 * (hpwl_before - hpwl_after) / hpwl_before
+               : 0.0;
+  }
+};
+
+// Refines the (legal) placement in place. Fixed cells never move.
+DetailedPlaceResult detailed_place(Design& design,
+                                   const DetailedPlaceConfig& config = {});
+
+}  // namespace puffer

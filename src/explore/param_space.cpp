@@ -1,0 +1,69 @@
+#include "explore/param_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace puffer {
+
+double ParamSpec::mid() const {
+  switch (kind) {
+    case ParamKind::kContinuous:
+      return (lo + hi) * 0.5;
+    case ParamKind::kInteger:
+      return std::round((lo + hi) * 0.5);
+    case ParamKind::kCategorical:
+      return std::floor((hi - 1.0) * 0.5);
+  }
+  return lo;
+}
+
+double ParamSpec::legalize(double v) const {
+  switch (kind) {
+    case ParamKind::kContinuous:
+      return std::clamp(v, lo, hi);
+    case ParamKind::kInteger:
+      return std::clamp(std::round(v), std::round(lo), std::round(hi));
+    case ParamKind::kCategorical: {
+      const double max_idx = std::max(0.0, hi - 1.0);
+      return std::clamp(std::round(v), 0.0, max_idx);
+    }
+  }
+  return v;
+}
+
+Assignment mid_assignment(const std::vector<ParamSpec>& specs) {
+  Assignment a;
+  a.reserve(specs.size());
+  for (const ParamSpec& s : specs) a.push_back(s.mid());
+  return a;
+}
+
+std::vector<ParamSpec> update_param_ranges(const std::vector<ParamSpec>& specs,
+                                           const std::vector<Observation>& obs) {
+  if (obs.size() < 4) return specs;
+  std::vector<const Observation*> sorted;
+  sorted.reserve(obs.size());
+  for (const Observation& o : obs) sorted.push_back(&o);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->loss < b->loss;
+            });
+  const std::size_t elite = std::max<std::size_t>(2, sorted.size() / 4);
+
+  std::vector<ParamSpec> out = specs;
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    if (specs[d].kind == ParamKind::kCategorical) continue;
+    double lo = sorted[0]->x[d], hi = sorted[0]->x[d];
+    for (std::size_t i = 0; i < elite; ++i) {
+      lo = std::min(lo, sorted[i]->x[d]);
+      hi = std::max(hi, sorted[i]->x[d]);
+    }
+    const double margin = 0.15 * std::max(hi - lo, 0.05 * (specs[d].hi - specs[d].lo));
+    out[d].lo = std::max(specs[d].lo, lo - margin);
+    out[d].hi = std::min(specs[d].hi, hi + margin);
+    if (out[d].hi < out[d].lo) std::swap(out[d].lo, out[d].hi);
+  }
+  return out;
+}
+
+}  // namespace puffer

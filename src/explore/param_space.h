@@ -1,0 +1,46 @@
+// Strategy-parameter space description for Bayesian strategy exploration
+// (paper SS III-C). Parameters may be continuous values in formulas,
+// integers, or categorical indices selecting among alternative strategies.
+// Internally every parameter is carried as a double; integers are rounded
+// and categoricals are indices into their category count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace puffer {
+
+enum class ParamKind { kContinuous, kInteger, kCategorical };
+
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kContinuous;
+  double lo = 0.0;
+  double hi = 1.0;  // categorical: hi = number of categories (exclusive)
+
+  // Midpoint of the range (categorical: middle category), used when a
+  // parameter group is held fixed during grouped exploration.
+  double mid() const;
+  // Clamp / round a raw value into the legal domain.
+  double legalize(double v) const;
+};
+
+// A full assignment, index-aligned with the spec vector.
+using Assignment = std::vector<double>;
+
+struct Observation {
+  Assignment x;
+  double loss = 0.0;
+};
+
+// Midpoint assignment for a whole space.
+Assignment mid_assignment(const std::vector<ParamSpec>& specs);
+
+// Shrinks each spec's range around the elite observations (the
+// updateParamRange step of Algorithm 2): the new range spans the best
+// quarter of observations per dimension, expanded by 15% and clipped to
+// the old range. Categorical ranges are left unchanged.
+std::vector<ParamSpec> update_param_ranges(const std::vector<ParamSpec>& specs,
+                                           const std::vector<Observation>& obs);
+
+}  // namespace puffer

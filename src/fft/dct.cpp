@@ -1,0 +1,133 @@
+#include "fft/dct.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fft/fft.h"
+
+namespace puffer {
+namespace {
+
+using cd = std::complex<double>;
+
+// DCT-II via a single N-point complex FFT on the even/odd reordering
+// v[n] = x[2n], v[N-1-n] = x[2n+1]:
+//   dct2(x)[k] = Re( exp(-i*pi*k/(2N)) * FFT(v)[k] ).
+std::vector<double> dct2_impl(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("dct2 size must be a power of 2");
+  std::vector<cd> v(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    v[i] = x[2 * i];
+    v[n - 1 - i] = x[2 * i + 1];
+  }
+  if (n == 1) v[0] = x[0];
+  fft(v, false);
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -std::numbers::pi * static_cast<double>(k) /
+                       (2.0 * static_cast<double>(n));
+    out[k] = (v[k] * cd(std::cos(ang), std::sin(ang))).real();
+  }
+  return out;
+}
+
+// Inverse of dct2 (so idct(dct2(x)) == x): reconstruct the spectrum of the
+// reordered sequence and run one inverse FFT.
+std::vector<double> idct_impl(const std::vector<double>& X) {
+  const std::size_t n = X.size();
+  if (!is_pow2(n)) throw std::invalid_argument("idct size must be a power of 2");
+  if (n == 1) return {X[0]};
+  std::vector<cd> v(n);
+  v[0] = cd(X[0], 0.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    const double ang = std::numbers::pi * static_cast<double>(k) /
+                       (2.0 * static_cast<double>(n));
+    v[k] = cd(std::cos(ang), std::sin(ang)) * cd(X[k], -X[n - k]);
+  }
+  fft(v, true);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    out[2 * i] = v[i].real();
+    out[2 * i + 1] = v[n - 1 - i].real();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> dct2(const std::vector<double>& x) { return dct2_impl(x); }
+
+std::vector<double> dct3_raw(const std::vector<double>& X) {
+  // dct3_raw(X) = (N/2) * idct(X'') with X''[0] = 2*X[0]; see header.
+  const std::size_t n = X.size();
+  std::vector<double> scaled = X;
+  if (!scaled.empty()) scaled[0] *= 2.0;
+  std::vector<double> out = idct_impl(scaled);
+  const double s = static_cast<double>(n) / 2.0;
+  for (double& v : out) v *= s;
+  return out;
+}
+
+std::vector<double> idxst_raw(const std::vector<double>& X) {
+  // sin(pi*k*(2m+1)/(2N)) = (-1)^m * cos(pi*(N-k)*(2m+1)/(2N)), so the
+  // shifted sine series is a flipped cosine series with alternating signs.
+  const std::size_t n = X.size();
+  std::vector<double> flipped(n, 0.0);
+  for (std::size_t k = 1; k < n; ++k) flipped[k] = X[n - k];
+  std::vector<double> out = dct3_raw(flipped);
+  for (std::size_t m = 1; m < n; m += 2) out[m] = -out[m];
+  return out;
+}
+
+namespace {
+
+using Transform1D = std::vector<double> (*)(const std::vector<double>&);
+
+std::vector<double> apply_2d(const std::vector<double>& data, std::size_t nx,
+                             std::size_t ny, Transform1D along_x,
+                             Transform1D along_y) {
+  if (data.size() != nx * ny) {
+    throw std::invalid_argument("2d transform: size mismatch");
+  }
+  std::vector<double> tmp(nx * ny);
+  std::vector<double> row(nx);
+  for (std::size_t n = 0; n < ny; ++n) {
+    for (std::size_t m = 0; m < nx; ++m) row[m] = data[n * nx + m];
+    const std::vector<double> tr = along_x(row);
+    for (std::size_t m = 0; m < nx; ++m) tmp[n * nx + m] = tr[m];
+  }
+  std::vector<double> out(nx * ny);
+  std::vector<double> col(ny);
+  for (std::size_t m = 0; m < nx; ++m) {
+    for (std::size_t n = 0; n < ny; ++n) col[n] = tmp[n * nx + m];
+    const std::vector<double> tr = along_y(col);
+    for (std::size_t n = 0; n < ny; ++n) out[n * nx + m] = tr[n];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> dct2_2d(const std::vector<double>& data, std::size_t nx,
+                            std::size_t ny) {
+  return apply_2d(data, nx, ny, &dct2, &dct2);
+}
+
+std::vector<double> dct3_raw_2d(const std::vector<double>& data, std::size_t nx,
+                                std::size_t ny) {
+  return apply_2d(data, nx, ny, &dct3_raw, &dct3_raw);
+}
+
+std::vector<double> idxst_dct3_2d(const std::vector<double>& data,
+                                  std::size_t nx, std::size_t ny) {
+  return apply_2d(data, nx, ny, &idxst_raw, &dct3_raw);
+}
+
+std::vector<double> dct3_idxst_2d(const std::vector<double>& data,
+                                  std::size_t nx, std::size_t ny) {
+  return apply_2d(data, nx, ny, &dct3_raw, &idxst_raw);
+}
+
+}  // namespace puffer

@@ -1,0 +1,46 @@
+// FFT-backed discrete cosine/sine transforms on the half-sample grid.
+//
+// Conventions (N = input size, a power of two):
+//
+//   dct2(x)[k]      = sum_n x[n] * cos(pi*k*(2n+1)/(2N))           (DCT-II)
+//   dct3_raw(X)[m]  = sum_k X[k] * cos(pi*k*(2m+1)/(2N))           (DCT-III,
+//                     no c_k weighting; the caller folds weights into X)
+//   idxst_raw(X)[m] = sum_{k>=1} X[k] * sin(pi*k*(2m+1)/(2N))
+//
+// These are exactly the evaluations needed by the electrostatic solver:
+// the density spectrum is a 2D dct2; the potential and both field
+// components are 2D combinations of dct3_raw / idxst_raw with the spectral
+// weights folded into the coefficient array (see gp/electrostatics.h).
+//
+// Inversion identity: if X = dct2(x) then
+//   x[n] = (2/N) * dct3_raw(X')[n]  with X'[0] = X[0]/2, X'[k] = X[k].
+//
+// The 2D variants apply the 1D transform along x (rows of the row-major
+// array, index m fastest) and then along y.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace puffer {
+
+std::vector<double> dct2(const std::vector<double>& x);
+std::vector<double> dct3_raw(const std::vector<double>& X);
+std::vector<double> idxst_raw(const std::vector<double>& X);
+
+// Row-major 2D grids: value(m, n) = data[n * nx + m]; nx, ny powers of two.
+// `dct2_2d` transforms both axes with DCT-II. For the inverse-style
+// evaluations, the x-axis transform is chosen per function name and the
+// y-axis always uses dct3_raw.
+std::vector<double> dct2_2d(const std::vector<double>& data, std::size_t nx,
+                            std::size_t ny);
+std::vector<double> dct3_raw_2d(const std::vector<double>& data, std::size_t nx,
+                                std::size_t ny);
+// idxst along x, dct3_raw along y (x-field evaluation).
+std::vector<double> idxst_dct3_2d(const std::vector<double>& data,
+                                  std::size_t nx, std::size_t ny);
+// dct3_raw along x, idxst along y (y-field evaluation).
+std::vector<double> dct3_idxst_2d(const std::vector<double>& data,
+                                  std::size_t nx, std::size_t ny);
+
+}  // namespace puffer

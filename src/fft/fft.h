@@ -1,0 +1,25 @@
+// Iterative radix-2 complex FFT.
+//
+// This is the computational backend for the cosine/sine transforms used by
+// the electrostatic placement solver (see dct.h). Sizes must be powers of
+// two; the density grid is chosen accordingly.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace puffer {
+
+// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+// In-place FFT. `invert` computes the inverse transform including the 1/N
+// scaling, so fft(fft(x), invert=true) == x up to rounding.
+// Throws std::invalid_argument when the size is not a power of two.
+void fft(std::vector<std::complex<double>>& a, bool invert);
+
+}  // namespace puffer

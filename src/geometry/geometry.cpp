@@ -1,0 +1,14 @@
+#include "geometry/geometry.h"
+
+namespace puffer {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ", " << r.ylo << " - " << r.xhi << ", " << r.yhi
+            << ']';
+}
+
+}  // namespace puffer

@@ -1,0 +1,114 @@
+// Basic planar geometry types used across the placement stack.
+//
+// Coordinates are in database units (DBU); doubles are used throughout the
+// analytic placer while the legalizer snaps to integer site grids.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace puffer {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+// Manhattan distance between two points.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+// Closed interval [lo, hi]; empty when hi < lo.
+struct Interval {
+  double lo = 0.0;
+  double hi = -1.0;
+
+  Interval() = default;
+  Interval(double l, double h) : lo(l), hi(h) {}
+
+  bool empty() const { return hi < lo; }
+  double length() const { return empty() ? 0.0 : hi - lo; }
+  bool contains(double v) const { return v >= lo && v <= hi; }
+
+  Interval intersect(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+};
+
+// Axis-aligned rectangle with [xlo,xhi] x [ylo,yhi] extents.
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = -1.0;
+  double yhi = -1.0;
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1)
+      : xlo(x0), ylo(y0), xhi(x1), yhi(y1) {}
+
+  static Rect bounding(const Point& a, const Point& b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+            std::max(a.y, b.y)};
+  }
+
+  bool empty() const { return xhi < xlo || yhi < ylo; }
+  double width() const { return empty() ? 0.0 : xhi - xlo; }
+  double height() const { return empty() ? 0.0 : yhi - ylo; }
+  double area() const { return width() * height(); }
+  Point center() const { return {(xlo + xhi) * 0.5, (ylo + yhi) * 0.5}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  Rect intersect(const Rect& o) const {
+    return {std::max(xlo, o.xlo), std::max(ylo, o.ylo), std::min(xhi, o.xhi),
+            std::min(yhi, o.yhi)};
+  }
+
+  // Area of overlap with another rectangle (0 when disjoint).
+  double overlap_area(const Rect& o) const {
+    const Rect r = intersect(o);
+    return r.empty() ? 0.0 : r.area();
+  }
+
+  // Grows the rectangle by `m` on every side (CNN-inspired feature margin).
+  Rect expanded(double m) const { return {xlo - m, ylo - m, xhi + m, yhi + m}; }
+
+  // Clamp to another rectangle's extents.
+  Rect clamped(const Rect& bounds) const { return intersect(bounds); }
+
+  void include(const Point& p) {
+    if (empty()) {
+      xlo = xhi = p.x;
+      ylo = yhi = p.y;
+    } else {
+      xlo = std::min(xlo, p.x);
+      xhi = std::max(xhi, p.x);
+      ylo = std::min(ylo, p.y);
+      yhi = std::max(yhi, p.y);
+    }
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+// Clamps v into [lo, hi].
+inline double clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace puffer

@@ -1,0 +1,68 @@
+#include "gp/electrostatics.h"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "fft/dct.h"
+#include "fft/fft.h"
+
+namespace puffer {
+
+ElectrostaticSystem::ElectrostaticSystem(int nx, int ny, double w, double h)
+    : nx_(nx), ny_(ny),
+      wx_scale_(std::numbers::pi / w),
+      wy_scale_(std::numbers::pi / h),
+      psi_(nx, ny), ex_(nx, ny), ey_(nx, ny) {
+  if (!is_pow2(static_cast<std::size_t>(nx)) ||
+      !is_pow2(static_cast<std::size_t>(ny))) {
+    throw std::invalid_argument("ElectrostaticSystem: bins must be powers of 2");
+  }
+  if (w <= 0.0 || h <= 0.0) {
+    throw std::invalid_argument("ElectrostaticSystem: bad extents");
+  }
+}
+
+void ElectrostaticSystem::solve(const Map2D<double>& density) {
+  if (density.nx() != nx_ || density.ny() != ny_) {
+    throw std::invalid_argument("ElectrostaticSystem: density size mismatch");
+  }
+  const std::size_t snx = static_cast<std::size_t>(nx_);
+  const std::size_t sny = static_cast<std::size_t>(ny_);
+
+  // Forward spectrum of the density.
+  const std::vector<double> a = dct2_2d(density.raw(), snx, sny);
+
+  // Orthogonality scale for the inverse evaluation: (2/M)(2/N) c_u c_v,
+  // with c_0 = 1/2 (folded into the coefficient arrays so the raw
+  // inverse transforms apply no weights).
+  const double base = 4.0 / (static_cast<double>(nx_) * static_cast<double>(ny_));
+  std::vector<double> c_psi(snx * sny, 0.0);
+  std::vector<double> c_ex(snx * sny, 0.0);
+  std::vector<double> c_ey(snx * sny, 0.0);
+  for (std::size_t v = 0; v < sny; ++v) {
+    const double wv = wy_scale_ * static_cast<double>(v);
+    for (std::size_t u = 0; u < snx; ++u) {
+      if (u == 0 && v == 0) continue;  // DC mode carries no force
+      const double wu = wx_scale_ * static_cast<double>(u);
+      const double w2 = wu * wu + wv * wv;
+      double s = base;
+      if (u == 0) s *= 0.5;
+      if (v == 0) s *= 0.5;
+      const double coeff = s * a[v * snx + u] / w2;
+      c_psi[v * snx + u] = coeff;
+      c_ex[v * snx + u] = coeff * wu;
+      c_ey[v * snx + u] = coeff * wv;
+    }
+  }
+
+  psi_.raw() = dct3_raw_2d(c_psi, snx, sny);
+  ex_.raw() = idxst_dct3_2d(c_ex, snx, sny);
+  ey_.raw() = dct3_idxst_2d(c_ey, snx, sny);
+
+  energy_ = 0.0;
+  for (std::size_t i = 0; i < snx * sny; ++i) {
+    energy_ += density.raw()[i] * psi_.raw()[i];
+  }
+}
+
+}  // namespace puffer

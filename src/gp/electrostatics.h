@@ -1,0 +1,50 @@
+// Spectral electrostatic system (paper Eqs. 3-6, after ePlace [14]).
+//
+// The placement region is divided into an M x M bin grid. The charge
+// density rho (cell area per bin) is expanded in a cosine series with a
+// 2D DCT-II; the Poisson equation  -lap(psi) = rho  is solved in the
+// spectral domain by dividing each coefficient by (wu^2 + wv^2), and the
+// potential / field are evaluated with inverse cosine/sine transforms:
+//
+//   psi  = sum  a_uv / (wu^2+wv^2) * cos(wu x) cos(wv y)
+//   xi_x = sum  a_uv * wu / (wu^2+wv^2) * sin(wu x) cos(wv y)
+//   xi_y = sum  a_uv * wv / (wu^2+wv^2) * cos(wu x) sin(wv y)
+//
+// with wu = pi*u/W, wv = pi*v/H (W, H the die extents) and the DC mode
+// dropped. The density penalty is D = sum_i q_i psi(b_i) and its gradient
+// w.r.t. a cell position is -q_i * xi(b_i).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/map2d.h"
+
+namespace puffer {
+
+class ElectrostaticSystem {
+ public:
+  // nx, ny: bin counts (powers of two). w, h: physical die extents.
+  ElectrostaticSystem(int nx, int ny, double w, double h);
+
+  // Solves for the given density map (size nx*ny, row-major, x fastest).
+  void solve(const Map2D<double>& density);
+
+  const Map2D<double>& potential() const { return psi_; }
+  const Map2D<double>& field_x() const { return ex_; }
+  const Map2D<double>& field_y() const { return ey_; }
+
+  // Total potential energy sum_b rho(b) * psi(b) of the last solve.
+  double energy() const { return energy_; }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+ private:
+  int nx_, ny_;
+  double wx_scale_, wy_scale_;  // pi / extent
+  Map2D<double> psi_, ex_, ey_;
+  double energy_ = 0.0;
+};
+
+}  // namespace puffer

@@ -1,0 +1,380 @@
+#include "gp/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logger.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace puffer {
+
+namespace {
+constexpr const char* kTag = "gp";
+}
+
+EPlaceEngine::EPlaceEngine(Design& design, GpConfig config)
+    : design_(design), config_(config), wirelength_(design) {
+  const std::size_t n_mov = wirelength_.movable_cells().size();
+  if (config_.bin_dim <= 0) {
+    // Aim for a couple of cells per bin, within [32, 128] bins per axis.
+    const std::size_t want = next_pow2(static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(std::max<std::size_t>(n_mov, 1)) / 2.0)));
+    bins_ = static_cast<int>(std::clamp<std::size_t>(want, 32, 128));
+  } else {
+    bins_ = static_cast<int>(next_pow2(static_cast<std::size_t>(config_.bin_dim)));
+  }
+  bin_w_ = design.die.width() / bins_;
+  bin_h_ = design.die.height() / bins_;
+  es_ = std::make_unique<ElectrostaticSystem>(bins_, bins_, design.die.width(),
+                                              design.die.height());
+  rho_fixed_ = Map2D<double>(bins_, bins_);
+  bin_free_cap_ = Map2D<double>(bins_, bins_);
+  rho_move_ = Map2D<double>(bins_, bins_);
+  rho_real_ = Map2D<double>(bins_, bins_);
+
+  elems_.reserve(n_mov);
+  xu_.reserve(n_mov);
+  yu_.reserve(n_mov);
+  for (CellId cid : wirelength_.movable_cells()) {
+    const Cell& c = design.cells[static_cast<std::size_t>(cid)];
+    Element e;
+    e.w = c.width;
+    e.h = c.height;
+    elems_.push_back(e);
+    xu_.push_back(c.x + c.width * 0.5);
+    yu_.push_back(c.y + c.height * 0.5);
+    total_real_area_ += c.area();
+  }
+  num_movable_ = elems_.size();
+
+  rasterize_fixed();
+  if (config_.use_fillers) build_fillers();
+  xv_ = xu_;
+  yv_ = yu_;
+  clamp_positions(xu_, yu_);
+  clamp_positions(xv_, yv_);
+}
+
+EPlaceEngine::~EPlaceEngine() = default;
+
+void EPlaceEngine::set_padding(const std::vector<double>& pad_width) {
+  const std::size_t n = std::min(pad_width.size(), num_movable_);
+  for (std::size_t i = 0; i < n; ++i) {
+    elems_[i].pad = std::max(0.0, pad_width[i]);
+  }
+  // New areas change the equilibrium; resume optimizing.
+  converged_ = false;
+  best_overflow_ = 2.0;
+  stall_ = 0;
+}
+
+void EPlaceEngine::build_fillers() {
+  // Whitespace to occupy: target_density * free area - movable area.
+  double free_area = 0.0;
+  for (const double cap : bin_free_cap_.raw()) free_area += cap;
+  // bin_free_cap_ already carries the target_density factor.
+  const double movable_area = total_real_area_;
+  const double filler_total = std::max(0.0, free_area - movable_area);
+  if (filler_total <= 0.0 || num_movable_ == 0) return;
+
+  double avg_area = movable_area / static_cast<double>(num_movable_);
+  const double side_h = design_.tech.row_height;
+  const double side_w = std::max(design_.tech.site_width, avg_area / side_h);
+  const double filler_area = side_w * side_h;
+  std::size_t count = static_cast<std::size_t>(filler_total / filler_area);
+  count = std::min(count, num_movable_ * 2);  // perf guard
+  if (count == 0) return;
+  const double each_area = filler_total / static_cast<double>(count);
+  const double w = each_area / side_h;
+
+  Rng rng(config_.seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    Element e;
+    e.w = w;
+    e.h = side_h;
+    e.filler = true;
+    elems_.push_back(e);
+    xu_.push_back(rng.uniform(design_.die.xlo + w, design_.die.xhi - w));
+    yu_.push_back(rng.uniform(design_.die.ylo + side_h, design_.die.yhi - side_h));
+  }
+  PUFFER_LOG_DEBUG(kTag, "added %zu fillers (%.1f area each)", count, each_area);
+}
+
+void EPlaceEngine::rasterize_fixed() {
+  // Static charge of macros, scaled by target density so that a uniform
+  // target-density sea is an equilibrium; also the free-capacity map used
+  // by the overflow metric.
+  Map2D<double> macro_area(bins_, bins_);
+  for (const Cell& c : design_.cells) {
+    if (!c.is_macro()) continue;
+    const Rect r = c.rect().clamped(design_.die);
+    if (r.empty()) continue;
+    const int x0 = std::clamp(static_cast<int>((r.xlo - design_.die.xlo) / bin_w_), 0, bins_ - 1);
+    const int x1 = std::clamp(static_cast<int>((r.xhi - design_.die.xlo) / bin_w_), 0, bins_ - 1);
+    const int y0 = std::clamp(static_cast<int>((r.ylo - design_.die.ylo) / bin_h_), 0, bins_ - 1);
+    const int y1 = std::clamp(static_cast<int>((r.yhi - design_.die.ylo) / bin_h_), 0, bins_ - 1);
+    for (int by = y0; by <= y1; ++by) {
+      for (int bx = x0; bx <= x1; ++bx) {
+        const Rect bin{design_.die.xlo + bx * bin_w_, design_.die.ylo + by * bin_h_,
+                       design_.die.xlo + (bx + 1) * bin_w_,
+                       design_.die.ylo + (by + 1) * bin_h_};
+        macro_area.at(bx, by) += bin.overlap_area(r);
+      }
+    }
+  }
+  const double bin_area = bin_w_ * bin_h_;
+  for (int by = 0; by < bins_; ++by) {
+    for (int bx = 0; bx < bins_; ++bx) {
+      const double ma = std::min(macro_area.at(bx, by), bin_area);
+      rho_fixed_.at(bx, by) = config_.target_density * ma;
+      bin_free_cap_.at(bx, by) = config_.target_density * (bin_area - ma);
+    }
+  }
+}
+
+void EPlaceEngine::rasterize(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  rho_move_.fill(0.0);
+  rho_real_.fill(0.0);
+  const double die_x = design_.die.xlo;
+  const double die_y = design_.die.ylo;
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    const Element& e = elems_[i];
+    // ePlace local smoothing: a cell narrower than a bin is widened to
+    // one bin with its charge density scaled down to preserve area.
+    double w = e.w + e.pad;
+    double h = e.h;
+    double scale = 1.0;
+    if (w < bin_w_) {
+      scale *= w / bin_w_;
+      w = bin_w_;
+    }
+    if (h < bin_h_) {
+      scale *= h / bin_h_;
+      h = bin_h_;
+    }
+    const double xlo = x[i] - w * 0.5, xhi = x[i] + w * 0.5;
+    const double ylo = y[i] - h * 0.5, yhi = y[i] + h * 0.5;
+    const int bx0 = std::clamp(static_cast<int>((xlo - die_x) / bin_w_), 0, bins_ - 1);
+    const int bx1 = std::clamp(static_cast<int>((xhi - die_x) / bin_w_), 0, bins_ - 1);
+    const int by0 = std::clamp(static_cast<int>((ylo - die_y) / bin_h_), 0, bins_ - 1);
+    const int by1 = std::clamp(static_cast<int>((yhi - die_y) / bin_h_), 0, bins_ - 1);
+    for (int by = by0; by <= by1; ++by) {
+      const double b_ylo = die_y + by * bin_h_;
+      const double oy = std::min(yhi, b_ylo + bin_h_) - std::max(ylo, b_ylo);
+      if (oy <= 0.0) continue;
+      for (int bx = bx0; bx <= bx1; ++bx) {
+        const double b_xlo = die_x + bx * bin_w_;
+        const double ox = std::min(xhi, b_xlo + bin_w_) - std::max(xlo, b_xlo);
+        if (ox <= 0.0) continue;
+        const double a = ox * oy * scale;
+        rho_move_.at(bx, by) += a;
+        if (!e.filler) rho_real_.at(bx, by) += a;
+      }
+    }
+  }
+}
+
+double EPlaceEngine::gamma() const {
+  // WA smoothing annealed with overflow: wide basin early, sharp late.
+  const double t = clamp(overflow_, 0.0, 1.0);
+  return bin_w_ * (0.5 + 7.5 * t);
+}
+
+void EPlaceEngine::gradient(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            std::vector<double>& gx, std::vector<double>& gy) {
+  // Wirelength part (movables only).
+  static thread_local std::vector<double> gwx, gwy;
+  const std::vector<double> xm(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(num_movable_));
+  const std::vector<double> ym(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(num_movable_));
+  wirelength_.evaluate(xm, ym, gamma(), gwx, gwy);
+  hpwl_ = wirelength_.hpwl(xm, ym);
+
+  // Density part.
+  rasterize(x, y);
+  // Overflow metric from real movables vs free capacity.
+  double over = 0.0;
+  for (std::size_t i = 0; i < rho_real_.raw().size(); ++i) {
+    over += std::max(0.0, rho_real_.raw()[i] - bin_free_cap_.raw()[i]);
+  }
+  overflow_ = over / total_real_area_;
+
+  Map2D<double> rho = rho_move_;
+  for (std::size_t i = 0; i < rho.raw().size(); ++i) {
+    rho.raw()[i] += rho_fixed_.raw()[i];
+  }
+  es_->solve(rho);
+
+  if (!initialized_) {
+    // lambda0 = |grad W|_1 / |q xi|_1 so both terms start balanced.
+    double wl_l1 = 0.0, d_l1 = 0.0;
+    for (std::size_t i = 0; i < num_movable_; ++i) {
+      wl_l1 += std::abs(gwx[i]) + std::abs(gwy[i]);
+    }
+    for (std::size_t i = 0; i < elems_.size(); ++i) {
+      const int bx = std::clamp(static_cast<int>((x[i] - design_.die.xlo) / bin_w_), 0, bins_ - 1);
+      const int by = std::clamp(static_cast<int>((y[i] - design_.die.ylo) / bin_h_), 0, bins_ - 1);
+      const double q = elems_[i].area();
+      d_l1 += q * (std::abs(es_->field_x().at(bx, by)) +
+                   std::abs(es_->field_y().at(bx, by)));
+    }
+    lambda_ = d_l1 > 0.0 ? wl_l1 / d_l1 : 1.0;
+    initialized_ = true;
+    PUFFER_LOG_DEBUG(kTag, "lambda0 = %.4g", lambda_);
+  }
+
+  gx.assign(elems_.size(), 0.0);
+  gy.assign(elems_.size(), 0.0);
+  wl_grad_l1_ = 0.0;
+  density_grad_l1_ = 0.0;
+  for (std::size_t i = 0; i < num_movable_; ++i) {
+    wl_grad_l1_ += std::abs(gwx[i]) + std::abs(gwy[i]);
+  }
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    const int bx = std::clamp(static_cast<int>((x[i] - design_.die.xlo) / bin_w_), 0, bins_ - 1);
+    const int by = std::clamp(static_cast<int>((y[i] - design_.die.ylo) / bin_h_), 0, bins_ - 1);
+    const double q = elems_[i].area();
+    // dD/dx = -q * xi_x (field points away from charge accumulations).
+    double dx = -lambda_ * q * es_->field_x().at(bx, by);
+    double dy = -lambda_ * q * es_->field_y().at(bx, by);
+    density_grad_l1_ += std::abs(dx) + std::abs(dy);
+    double pins = 0.0;
+    if (i < num_movable_) {
+      dx += gwx[i];
+      dy += gwy[i];
+      pins = wirelength_.pin_counts()[i];
+    }
+    const double precond = std::max(1.0, pins + lambda_ * q);
+    gx[i] = dx / precond;
+    gy[i] = dy / precond;
+  }
+}
+
+void EPlaceEngine::clamp_positions(std::vector<double>& x,
+                                   std::vector<double>& y) const {
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    const double hw = (elems_[i].w + elems_[i].pad) * 0.5;
+    const double hh = elems_[i].h * 0.5;
+    x[i] = clamp(x[i], design_.die.xlo + hw, design_.die.xhi - hw);
+    y[i] = clamp(y[i], design_.die.ylo + hh, design_.die.yhi - hh);
+  }
+}
+
+bool EPlaceEngine::step() {
+  if (iter_ >= config_.max_iters || converged_) return false;
+  const std::size_t n = elems_.size();
+
+  if (iter_ == 0 && gxv_.empty()) {
+    gradient(xv_, yv_, gxv_, gyv_);
+    // Initial step: largest preconditioned gradient moves one bin.
+    double gmax = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+      gmax = std::max(gmax, std::max(std::abs(gxv_[i]), std::abs(gyv_[i])));
+    }
+    step_ = bin_w_ / gmax;
+  }
+
+  const double hpwl_prev = hpwl_;
+
+  // Backtracking on the Lipschitz estimate.
+  std::vector<double> xu_new(n), yu_new(n), gxu(n), gyu(n);
+  double alpha = step_ * 1.1;  // allow mild growth between iterations
+  for (int bt = 0; bt < 2; ++bt) {
+    for (std::size_t i = 0; i < n; ++i) {
+      xu_new[i] = xv_[i] - alpha * gxv_[i];
+      yu_new[i] = yv_[i] - alpha * gyv_[i];
+    }
+    clamp_positions(xu_new, yu_new);
+    gradient(xu_new, yu_new, gxu, gyu);
+    double dp = 0.0, dg = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double px = xu_new[i] - xv_[i], py = yu_new[i] - yv_[i];
+      const double qx = gxu[i] - gxv_[i], qy = gyu[i] - gyv_[i];
+      dp += px * px + py * py;
+      dg += qx * qx + qy * qy;
+    }
+    const double lip = std::sqrt(dp / std::max(dg, 1e-30));
+    if (alpha <= lip * 0.98 || bt == 1) {
+      if (alpha > lip) alpha = lip;
+      break;
+    }
+    alpha = lip;
+  }
+  step_ = alpha;
+
+  // Nesterov extrapolation.
+  const double a_next = (1.0 + std::sqrt(4.0 * ak_ * ak_ + 1.0)) * 0.5;
+  const double coef = (ak_ - 1.0) / a_next;
+  std::vector<double> xv_new(n), yv_new(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xv_new[i] = xu_new[i] + coef * (xu_new[i] - xu_[i]);
+    yv_new[i] = yu_new[i] + coef * (yu_new[i] - yu_[i]);
+  }
+  clamp_positions(xv_new, yv_new);
+
+  xu_.swap(xu_new);
+  yu_.swap(yu_new);
+  xv_.swap(xv_new);
+  yv_.swap(yv_new);
+  ak_ = a_next;
+  gradient(xv_, yv_, gxv_, gyv_);
+
+  // Lambda schedule, steered by the HPWL delta over this iteration.
+  // Monotone non-decreasing: a large HPWL jump pauses the growth (mu -> 1)
+  // so wirelength can recover, but lambda never shrinks -- this guarantees
+  // the density term eventually dominates and the placement spreads.
+  if (hpwl0_ <= 0.0) hpwl0_ = std::max(hpwl_, 1.0);
+  const double ref = std::max(config_.hpwl_ref_frac * hpwl0_, 1.0);
+  const double delta = hpwl_ - hpwl_prev;
+  double mu = std::pow(config_.mu_max, 1.0 - delta / ref);
+  mu = clamp(mu, 1.0, config_.mu_max);
+  // Two-phase schedule: lambda grows monotonically while the placement
+  // spreads, then latches permanently once the overflow first drops below
+  // the freeze threshold. Past that point the density weight is strong
+  // enough to hold the spread (and to respond to padding), and further
+  // growth would only trade wirelength for nothing.
+  if (overflow_ < config_.lambda_freeze_overflow) lambda_frozen_ = true;
+  if (lambda_frozen_) mu = 1.0;
+  lambda_ *= mu;
+
+  ++iter_;
+  if (overflow_ < best_overflow_ - 1e-3) {
+    best_overflow_ = overflow_;
+    stall_ = 0;
+  } else if (++stall_ >= 100) {
+    converged_ = true;
+    PUFFER_LOG_DEBUG(kTag, "converged: overflow plateau at %.4f (iter %d)",
+                     overflow_, iter_);
+  }
+  if (iter_ % 50 == 0) {
+    PUFFER_LOG_DEBUG(kTag, "iter %d overflow %.4f hpwl %.4g lambda %.3g",
+                     iter_, overflow_, hpwl_, lambda_);
+  }
+  return true;
+}
+
+double EPlaceEngine::run_to_overflow(double overflow_target) {
+  // Always take at least one step so callers make progress even when the
+  // initial (clustered) state momentarily reads as low overflow. The
+  // engine's converged() plateau guard stops the loop when the target is
+  // unreachable at this bin granularity (continuing would only grow
+  // lambda and inflate wirelength).
+  do {
+    if (!step()) break;
+  } while (overflow_ > overflow_target);
+  sync_to_design();
+  return overflow_;
+}
+
+void EPlaceEngine::sync_to_design() {
+  const auto& ids = wirelength_.movable_cells();
+  for (std::size_t i = 0; i < num_movable_; ++i) {
+    Cell& c = design_.cells[static_cast<std::size_t>(ids[i])];
+    c.x = xu_[i] - c.width * 0.5;
+    c.y = yu_[i] - c.height * 0.5;
+  }
+}
+
+}  // namespace puffer

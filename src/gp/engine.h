@@ -1,0 +1,145 @@
+// ePlace-style electrostatic global placement engine (paper SS II-B).
+//
+// Minimizes f = W(x,y) + lambda * D(x,y) with Nesterov's accelerated
+// gradient method: W is the WA wirelength model, D the electrostatic
+// potential energy. Key mechanics reproduced from ePlace [14]:
+//
+//   * filler cells occupy the whitespace so the equilibrium density is
+//     the target density everywhere;
+//   * fixed macros inject (target-scaled) static charge so cells flow
+//     around them;
+//   * per-cell preconditioning by (pin count + lambda * charge);
+//   * Lipschitz backtracking step size; lambda grows each iteration by a
+//     factor steered by the HPWL delta;
+//   * the WA smoothing gamma anneals with the density overflow.
+//
+// Cell *padding* (the PUFFER routability mechanism) enters here: the
+// engine's charge of a movable cell is its padded area, so padded cells
+// claim more room and their neighbourhood spreads in subsequent
+// iterations. Padding is supplied per movable ordinal via set_padding().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gp/electrostatics.h"
+#include "gp/wirelength.h"
+#include "grid/map2d.h"
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct GpConfig {
+  int bin_dim = 0;              // bins per axis (power of 2); 0 = auto
+  double target_density = 0.9;  // equilibrium density in free area
+  double stop_overflow = 0.07;  // final convergence overflow
+  int max_iters = 1200;
+  bool use_fillers = true;
+  std::uint64_t seed = 11;
+
+  // Lambda schedule (ePlace-style multiplicative update).
+  double mu_max = 1.10;
+  double mu_min = 0.80;
+  double hpwl_ref_frac = 0.008;  // reference HPWL delta as fraction of HPWL0
+  // Lambda latches (stops growing) once overflow first drops below this.
+  double lambda_freeze_overflow = 0.15;
+};
+
+class EPlaceEngine {
+ public:
+  EPlaceEngine(Design& design, GpConfig config);
+  ~EPlaceEngine();
+
+  EPlaceEngine(const EPlaceEngine&) = delete;
+  EPlaceEngine& operator=(const EPlaceEngine&) = delete;
+
+  // Extra width per movable ordinal (indexing follows movable_cells()).
+  // Takes effect on the next gradient evaluation.
+  void set_padding(const std::vector<double>& pad_width);
+
+  // Runs Nesterov iterations until density overflow <= `overflow_target`
+  // or the iteration cap; returns the final overflow. Positions are
+  // written back to the design on return.
+  double run_to_overflow(double overflow_target);
+
+  // One Nesterov iteration; returns false once the iteration cap is hit
+  // or the engine has converged (density overflow stopped improving).
+  bool step();
+
+  // True when the overflow has plateaued; cleared by set_padding().
+  bool converged() const { return converged_; }
+
+  // Movable-cell ordinal order shared with WaWirelength.
+  const std::vector<CellId>& movable_cells() const {
+    return wirelength_.movable_cells();
+  }
+
+  double density_overflow() const { return overflow_; }
+  double last_hpwl() const { return hpwl_; }
+  double lambda() const { return lambda_; }
+  double step_size() const { return step_; }
+  double wl_grad_l1() const { return wl_grad_l1_; }
+  double density_grad_l1() const { return density_grad_l1_; }
+  int iteration() const { return iter_; }
+  int bin_dim() const { return bins_; }
+  double bin_w() const { return bin_w_; }
+
+  // Writes current solution centers back into the design (lower-left
+  // coordinates; padding does not shift the stored position).
+  void sync_to_design();
+
+ private:
+  struct Element {  // movable cell or filler, in solver order
+    double w, h;    // physical size (fillers: synthetic square)
+    double pad = 0.0;  // extra width (movables only)
+    bool filler = false;
+    double area() const { return (w + pad) * h; }
+  };
+
+  void build_fillers();
+  void rasterize_fixed();
+  void rasterize(const std::vector<double>& x, const std::vector<double>& y);
+  // Evaluates the preconditioned gradient at (x, y); updates overflow_,
+  // hpwl_ and, on the first call, lambda_.
+  void gradient(const std::vector<double>& x, const std::vector<double>& y,
+                std::vector<double>& gx, std::vector<double>& gy);
+  void clamp_positions(std::vector<double>& x, std::vector<double>& y) const;
+  double gamma() const;
+
+  Design& design_;
+  GpConfig config_;
+  WaWirelength wirelength_;
+  int bins_ = 0;
+  double bin_w_ = 1.0, bin_h_ = 1.0;
+
+  std::vector<Element> elems_;  // movables first, then fillers
+  std::size_t num_movable_ = 0;
+
+  std::unique_ptr<ElectrostaticSystem> es_;
+  Map2D<double> rho_fixed_;    // target-scaled static macro charge
+  Map2D<double> bin_free_cap_;  // target_density * free bin area
+  Map2D<double> rho_move_;     // scratch: movable + filler charge
+  Map2D<double> rho_real_;     // scratch: real movables only (overflow)
+
+  // Nesterov state.
+  std::vector<double> xu_, yu_, xv_, yv_, gxv_, gyv_;
+  double ak_ = 1.0;
+  double step_ = 0.0;
+  int iter_ = 0;
+  bool initialized_ = false;
+  bool converged_ = false;
+  bool lambda_frozen_ = false;
+  double best_overflow_ = 2.0;
+  int stall_ = 0;
+
+  double lambda_ = 0.0;
+  double overflow_ = 1.0;
+  double hpwl_ = 0.0;
+  double hpwl0_ = 0.0;
+  double total_real_area_ = 1.0;
+  double wl_grad_l1_ = 0.0;
+  double density_grad_l1_ = 0.0;
+};
+
+}  // namespace puffer

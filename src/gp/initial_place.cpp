@@ -1,0 +1,49 @@
+#include "gp/initial_place.h"
+
+#include "common/rng.h"
+
+namespace puffer {
+
+void initial_place(Design& design, const InitialPlaceConfig& config) {
+  Rng rng(config.seed);
+  const Point c = design.die.center();
+  const double jx = design.die.width() * config.jitter_frac;
+  const double jy = design.die.height() * config.jitter_frac;
+
+  if (!config.keep_existing) {
+    for (Cell& cell : design.cells) {
+      if (!cell.movable()) continue;
+      cell.x = c.x - cell.width * 0.5 + rng.uniform(-jx, jx);
+      cell.y = c.y - cell.height * 0.5 + rng.uniform(-jy, jy);
+    }
+  }
+
+  // Gauss-Seidel star-model sweeps: move each cell to the mean position
+  // of all pins on its nets (excluding its own pins). Fixed pins anchor
+  // the system; without them this is a no-op around the center.
+  for (int sweep = 0; sweep < config.sweeps; ++sweep) {
+    for (CellId cid = 0; cid < static_cast<CellId>(design.cells.size()); ++cid) {
+      Cell& cell = design.cells[static_cast<std::size_t>(cid)];
+      if (!cell.movable()) continue;
+      double sx = 0.0, sy = 0.0;
+      int count = 0;
+      for (PinId pid : cell.pins) {
+        const Pin& pin = design.pins[static_cast<std::size_t>(pid)];
+        const Net& net = design.nets[static_cast<std::size_t>(pin.net)];
+        for (PinId other : net.pins) {
+          if (other == pid) continue;
+          const Point p = design.pin_position(other);
+          sx += p.x;
+          sy += p.y;
+          ++count;
+        }
+      }
+      if (count == 0) continue;
+      cell.x = sx / count - cell.width * 0.5;
+      cell.y = sy / count - cell.height * 0.5;
+      design.clamp_to_die(cid);
+    }
+  }
+}
+
+}  // namespace puffer

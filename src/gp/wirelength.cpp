@@ -1,0 +1,156 @@
+#include "gp/wirelength.h"
+
+#include <cmath>
+#include <limits>
+
+namespace puffer {
+
+WaWirelength::WaWirelength(const Design& design) {
+  ordinal_.assign(design.cells.size(), -1);
+  for (CellId c = 0; c < static_cast<CellId>(design.cells.size()); ++c) {
+    if (design.cells[static_cast<std::size_t>(c)].movable()) {
+      ordinal_[static_cast<std::size_t>(c)] =
+          static_cast<std::int32_t>(movable_.size());
+      movable_.push_back(c);
+    }
+  }
+  pin_count_.assign(movable_.size(), 0.0);
+
+  nets_.reserve(design.nets.size());
+  for (const Net& net : design.nets) {
+    if (net.pins.size() < 2) continue;
+    CompiledNet cn;
+    cn.weight = net.weight;
+    cn.pins.reserve(net.pins.size());
+    for (PinId pid : net.pins) {
+      const Pin& pin = design.pins[static_cast<std::size_t>(pid)];
+      const Cell& cell = design.cells[static_cast<std::size_t>(pin.cell)];
+      NetPin np;
+      np.ordinal = ordinal_[static_cast<std::size_t>(pin.cell)];
+      if (np.ordinal >= 0) {
+        // Offset from cell center: pins ride with the center coordinate.
+        np.ox = pin.dx - cell.width * 0.5;
+        np.oy = pin.dy - cell.height * 0.5;
+        np.fx = np.fy = 0.0;
+        pin_count_[static_cast<std::size_t>(np.ordinal)] += 1.0;
+      } else {
+        np.ox = np.oy = 0.0;
+        np.fx = cell.x + pin.dx;
+        np.fy = cell.y + pin.dy;
+      }
+      cn.pins.push_back(np);
+    }
+    nets_.push_back(std::move(cn));
+  }
+}
+
+namespace {
+
+// One-dimensional WA term and gradient accumulation for a single net.
+// Returns the net's smoothed extent in this dimension; adds the weighted
+// gradient to `grad` for movable pins.
+//
+// The per-pin derivative of the max-side term
+//   S+ = sum x e^{x/g} / sum e^{x/g}
+// is  dS+/dx_k = e^{x_k/g} * ( sum_e * (1 + x_k/g) - sum_xe/g ) / sum_e^2.
+// The min side is the same with g -> -g.
+double wa_dimension(const std::vector<double>& coords,
+                    const std::vector<std::int32_t>& ordinals,
+                    const std::vector<double>& pos_all, double gamma,
+                    double weight, std::vector<double>& grad) {
+  const std::size_t n = coords.size();
+  double cmax = -std::numeric_limits<double>::max();
+  double cmin = std::numeric_limits<double>::max();
+  for (double c : coords) {
+    cmax = std::max(cmax, c);
+    cmin = std::min(cmin, c);
+  }
+  (void)pos_all;
+  double se_p = 0.0, sxe_p = 0.0;  // max side, exp shifted by cmax
+  double se_m = 0.0, sxe_m = 0.0;  // min side, exp shifted by cmin
+  for (double c : coords) {
+    const double ep = std::exp((c - cmax) / gamma);
+    const double em = std::exp((cmin - c) / gamma);
+    se_p += ep;
+    sxe_p += c * ep;
+    se_m += em;
+    sxe_m += c * em;
+  }
+  const double s_plus = sxe_p / se_p;
+  const double s_minus = sxe_m / se_m;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int32_t ord = ordinals[k];
+    if (ord < 0) continue;
+    const double c = coords[k];
+    const double ep = std::exp((c - cmax) / gamma);
+    const double em = std::exp((cmin - c) / gamma);
+    const double d_plus =
+        ep * (se_p * (1.0 + c / gamma) - sxe_p / gamma) / (se_p * se_p);
+    // Min side: replace gamma by -gamma.
+    const double d_minus =
+        em * (se_m * (1.0 - c / gamma) + sxe_m / gamma) / (se_m * se_m);
+    grad[static_cast<std::size_t>(ord)] += weight * (d_plus - d_minus);
+  }
+  return s_plus - s_minus;
+}
+
+}  // namespace
+
+double WaWirelength::evaluate(const std::vector<double>& xc,
+                              const std::vector<double>& yc, double gamma,
+                              std::vector<double>& grad_x,
+                              std::vector<double>& grad_y) const {
+  grad_x.assign(movable_.size(), 0.0);
+  grad_y.assign(movable_.size(), 0.0);
+  double total = 0.0;
+  std::vector<double> px, py;
+  std::vector<std::int32_t> ords;
+  for (const CompiledNet& net : nets_) {
+    const std::size_t n = net.pins.size();
+    px.resize(n);
+    py.resize(n);
+    ords.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const NetPin& p = net.pins[k];
+      ords[k] = p.ordinal;
+      if (p.ordinal >= 0) {
+        px[k] = xc[static_cast<std::size_t>(p.ordinal)] + p.ox;
+        py[k] = yc[static_cast<std::size_t>(p.ordinal)] + p.oy;
+      } else {
+        px[k] = p.fx;
+        py[k] = p.fy;
+      }
+    }
+    total += net.weight * wa_dimension(px, ords, xc, gamma, net.weight, grad_x);
+    total += net.weight * wa_dimension(py, ords, yc, gamma, net.weight, grad_y);
+  }
+  return total;
+}
+
+double WaWirelength::hpwl(const std::vector<double>& xc,
+                          const std::vector<double>& yc) const {
+  double total = 0.0;
+  for (const CompiledNet& net : nets_) {
+    double xlo = std::numeric_limits<double>::max(), xhi = -xlo;
+    double ylo = xlo, yhi = xhi;
+    for (const NetPin& p : net.pins) {
+      double x, y;
+      if (p.ordinal >= 0) {
+        x = xc[static_cast<std::size_t>(p.ordinal)] + p.ox;
+        y = yc[static_cast<std::size_t>(p.ordinal)] + p.oy;
+      } else {
+        x = p.fx;
+        y = p.fy;
+      }
+      xlo = std::min(xlo, x);
+      xhi = std::max(xhi, x);
+      ylo = std::min(ylo, y);
+      yhi = std::max(yhi, y);
+    }
+    total += net.weight * ((xhi - xlo) + (yhi - ylo));
+  }
+  return total;
+}
+
+}  // namespace puffer

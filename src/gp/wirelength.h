@@ -1,0 +1,59 @@
+// Weighted-average (WA) wirelength model and its analytic gradient
+// (paper Eq. 2, from Hsu et al. [15], [16]).
+//
+// The model smooths max/min over the pins of a net:
+//   W_ex = sum_j x_j e^{x_j/g} / sum_j e^{x_j/g}
+//        - sum_j x_j e^{-x_j/g} / sum_j e^{-x_j/g}
+// and analogously in y. Exponentials are shifted by the per-net max/min
+// for numerical stability. The gradient is accumulated per *cell* (all
+// pins of a cell move rigidly with it during global placement).
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.h"
+
+namespace puffer {
+
+class WaWirelength {
+ public:
+  // Snapshots the netlist structure (net->pin->cell topology and pin
+  // offsets). Cell positions are passed per evaluation, so the engine can
+  // evaluate at Nesterov reference points without mutating the design.
+  explicit WaWirelength(const Design& design);
+
+  // Evaluates total weighted WA wirelength at the given movable-cell
+  // center positions, and writes dW/dx, dW/dy per movable cell.
+  // `xc`, `yc` are indexed by movable-cell ordinal (see movable_cells()).
+  double evaluate(const std::vector<double>& xc, const std::vector<double>& yc,
+                  double gamma, std::vector<double>& grad_x,
+                  std::vector<double>& grad_y) const;
+
+  // True HPWL at the same positions (for reporting and the lambda update).
+  double hpwl(const std::vector<double>& xc, const std::vector<double>& yc) const;
+
+  // Movable cell ids in ordinal order; the engine shares this indexing.
+  const std::vector<CellId>& movable_cells() const { return movable_; }
+  // Ordinal of a cell id, or -1 if the cell is fixed.
+  const std::vector<std::int32_t>& ordinal_of() const { return ordinal_; }
+
+  // Number of pins on each movable cell (Nesterov preconditioner term).
+  const std::vector<double>& pin_counts() const { return pin_count_; }
+
+ private:
+  struct NetPin {
+    std::int32_t ordinal;  // movable ordinal or -1 for fixed
+    double fx, fy;         // absolute position contribution when fixed
+    double ox, oy;         // offset from the movable cell's center
+  };
+  struct CompiledNet {
+    double weight;
+    std::vector<NetPin> pins;
+  };
+  std::vector<CompiledNet> nets_;
+  std::vector<CellId> movable_;
+  std::vector<std::int32_t> ordinal_;
+  std::vector<double> pin_count_;
+};
+
+}  // namespace puffer

@@ -1,0 +1,71 @@
+#include "grid/capacity.h"
+
+#include <algorithm>
+
+namespace puffer {
+
+CapacityMaps build_capacity_maps(const Design& design, const GcellGrid& grid,
+                                 const std::vector<RoutingBlockage>& blockages) {
+  CapacityMaps maps;
+  maps.cap_h = Map2D<double>(grid.nx(), grid.ny());
+  maps.cap_v = Map2D<double>(grid.nx(), grid.ny());
+
+  const Technology& tech = design.tech;
+  // Basic capacity: tracks crossing the Gcell in each direction.
+  // Horizontal tracks stack along y, so their count is Gcell height times
+  // the horizontal track density; vertical symmetric.
+  const double base_h = grid.gcell_h() * tech.track_density(RouteDir::kHorizontal);
+  const double base_v = grid.gcell_w() * tech.track_density(RouteDir::kVertical);
+  for (int gy = 0; gy < grid.ny(); ++gy) {
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      maps.cap_h.at(gx, gy) = base_h;
+      maps.cap_v.at(gx, gy) = base_v;
+    }
+  }
+
+  // Track density removed by a macro (it blocks the lower layers only).
+  const double blocked_h = tech.track_density(RouteDir::kHorizontal) -
+                           tech.track_density_over_macros(RouteDir::kHorizontal);
+  const double blocked_v = tech.track_density(RouteDir::kVertical) -
+                           tech.track_density_over_macros(RouteDir::kVertical);
+
+  auto subtract_rect = [&](const Rect& r, double density_h, double density_v) {
+    const Rect clipped = r.clamped(grid.area());
+    if (clipped.empty()) return;
+    GcellIndex lo, hi;
+    grid.range_of(clipped, lo, hi);
+    for (int gy = lo.gy; gy <= hi.gy; ++gy) {
+      for (int gx = lo.gx; gx <= hi.gx; ++gx) {
+        const Rect cell = grid.gcell_rect(gx, gy);
+        const Rect ov = cell.intersect(clipped);
+        if (ov.empty()) continue;
+        // Blocked horizontal tracks: overlap height times density, scaled
+        // by the covered width fraction (a partial-width obstruction
+        // still lets tracks through the uncovered part).
+        const double frac_w = ov.width() / cell.width();
+        const double frac_h = ov.height() / cell.height();
+        double& ch = maps.cap_h.at(gx, gy);
+        double& cv = maps.cap_v.at(gx, gy);
+        ch = std::max(0.0, ch - ov.height() * density_h * frac_w);
+        cv = std::max(0.0, cv - ov.width() * density_v * frac_h);
+      }
+    }
+  };
+
+  for (const Cell& c : design.cells) {
+    if (c.is_macro()) subtract_rect(c.rect(), blocked_h, blocked_v);
+  }
+  for (const RoutingBlockage& b : blockages) {
+    if (b.layer < 0 || b.layer >= static_cast<int>(tech.layers.size())) continue;
+    const MetalLayer& layer = tech.layers[static_cast<std::size_t>(b.layer)];
+    const double density = 1.0 / layer.pitch();
+    if (layer.dir == RouteDir::kHorizontal) {
+      subtract_rect(b.rect, density, 0.0);
+    } else {
+      subtract_rect(b.rect, 0.0, density);
+    }
+  }
+  return maps;
+}
+
+}  // namespace puffer

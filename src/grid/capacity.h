@@ -1,0 +1,37 @@
+// Blockage-aware routing capacity assessment (paper Eq. 8).
+//
+// Capacity is evaluated per Gcell (not per edge) following the
+// Gcell-based routing resource model of SS II-C / SS III-A1: the basic
+// capacity comes from the metal stack's track pitches, and blockages
+// (macros; optionally arbitrary routing blockage rects such as pre-routed
+// power stripes) subtract the resource they obstruct on their layers.
+#pragma once
+
+#include <vector>
+
+#include "grid/gcell.h"
+#include "grid/map2d.h"
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct CapacityMaps {
+  Map2D<double> cap_h;  // tracks available for horizontal routing
+  Map2D<double> cap_v;  // tracks available for vertical routing
+};
+
+// Extra routing blockages beyond macros (e.g. power/ground stripes).
+// `layer` indexes into Technology::layers.
+struct RoutingBlockage {
+  Rect rect;
+  int layer = 0;
+};
+
+// Computes per-Gcell H/V capacities. Macros block the technology's
+// `macro_blocked_layers` lowest layers; explicit blockages subtract the
+// capacity of their single layer. Capacities are clamped at >= 0.
+CapacityMaps build_capacity_maps(
+    const Design& design, const GcellGrid& grid,
+    const std::vector<RoutingBlockage>& blockages = {});
+
+}  // namespace puffer

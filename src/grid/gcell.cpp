@@ -1,0 +1,54 @@
+#include "grid/gcell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace puffer {
+
+GcellGrid::GcellGrid(const Rect& area, int nx, int ny)
+    : area_(area), nx_(nx), ny_(ny) {
+  if (nx < 1 || ny < 1 || area.empty()) {
+    throw std::invalid_argument("GcellGrid: bad dimensions");
+  }
+  gw_ = area.width() / nx;
+  gh_ = area.height() / ny;
+}
+
+GcellGrid GcellGrid::from_row_pitch(const Rect& area, double row_height,
+                                    double rows_per_gcell) {
+  const double pitch = std::max(1e-9, row_height * rows_per_gcell);
+  const int ny = std::max(1, static_cast<int>(std::round(area.height() / pitch)));
+  const int nx = std::max(1, static_cast<int>(std::round(area.width() / pitch)));
+  return GcellGrid(area, nx, ny);
+}
+
+GcellIndex GcellGrid::index_of(double x, double y) const {
+  GcellIndex idx;
+  idx.gx = static_cast<int>(std::floor((x - area_.xlo) / gw_));
+  idx.gy = static_cast<int>(std::floor((y - area_.ylo) / gh_));
+  idx.gx = std::clamp(idx.gx, 0, nx_ - 1);
+  idx.gy = std::clamp(idx.gy, 0, ny_ - 1);
+  return idx;
+}
+
+Rect GcellGrid::gcell_rect(int gx, int gy) const {
+  const double x0 = area_.xlo + gx * gw_;
+  const double y0 = area_.ylo + gy * gh_;
+  return {x0, y0, x0 + gw_, y0 + gh_};
+}
+
+Point GcellGrid::gcell_center(int gx, int gy) const {
+  return {area_.xlo + (gx + 0.5) * gw_, area_.ylo + (gy + 0.5) * gh_};
+}
+
+void GcellGrid::range_of(const Rect& r, GcellIndex& lo, GcellIndex& hi) const {
+  lo = index_of(r.xlo, r.ylo);
+  // Nudge the upper corner inward so an exact boundary does not spill
+  // into the next Gcell.
+  hi = index_of(r.xhi - 1e-12, r.yhi - 1e-12);
+  if (hi.gx < lo.gx) hi.gx = lo.gx;
+  if (hi.gy < lo.gy) hi.gy = lo.gy;
+}
+
+}  // namespace puffer

@@ -1,0 +1,52 @@
+// Gcell grid: the uniform partition of the routing region used by the
+// routing-resource model (Fig. 1 of the paper). Provides coordinate <->
+// index transforms shared by the congestion estimator and the router.
+#pragma once
+
+#include "geometry/geometry.h"
+
+namespace puffer {
+
+struct GcellIndex {
+  int gx = 0;
+  int gy = 0;
+};
+
+class GcellGrid {
+ public:
+  GcellGrid() = default;
+  // Partitions `area` into nx-by-ny Gcells.
+  GcellGrid(const Rect& area, int nx, int ny);
+
+  // Builds a grid whose Gcell height is ~`rows_per_gcell` standard-cell
+  // rows, the conventional global-routing granularity.
+  static GcellGrid from_row_pitch(const Rect& area, double row_height,
+                                  double rows_per_gcell);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  const Rect& area() const { return area_; }
+  double gcell_w() const { return gw_; }
+  double gcell_h() const { return gh_; }
+
+  // Index of the Gcell containing (x, y); clamped to the grid.
+  GcellIndex index_of(double x, double y) const;
+
+  // Geometric extent of Gcell (gx, gy).
+  Rect gcell_rect(int gx, int gy) const;
+
+  // Center of a Gcell.
+  Point gcell_center(int gx, int gy) const;
+
+  // Inclusive index range of Gcells overlapping `r` (clamped).
+  void range_of(const Rect& r, GcellIndex& lo, GcellIndex& hi) const;
+
+ private:
+  Rect area_;
+  int nx_ = 0;
+  int ny_ = 0;
+  double gw_ = 1.0;
+  double gh_ = 1.0;
+};
+
+}  // namespace puffer

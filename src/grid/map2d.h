@@ -1,0 +1,58 @@
+// Dense row-major 2D value map over a Gcell or bin grid.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace puffer {
+
+template <typename T>
+class Map2D {
+ public:
+  Map2D() = default;
+  Map2D(int nx, int ny, T init = T{})
+      : nx_(nx), ny_(ny),
+        data_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny),
+              init) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int gx, int gy) {
+    assert(gx >= 0 && gx < nx_ && gy >= 0 && gy < ny_);
+    return data_[static_cast<std::size_t>(gy) * static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(gx)];
+  }
+  const T& at(int gx, int gy) const {
+    assert(gx >= 0 && gx < nx_ && gy >= 0 && gy < ny_);
+    return data_[static_cast<std::size_t>(gy) * static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(gx)];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  const std::vector<T>& raw() const { return data_; }
+  std::vector<T>& raw() { return data_; }
+
+  T max_value() const {
+    T m = T{};
+    for (const T& v : data_) m = std::max(m, v);
+    return m;
+  }
+
+  T sum() const {
+    T s = T{};
+    for (const T& v : data_) s += v;
+    return s;
+  }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace puffer

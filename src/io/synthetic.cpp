@@ -1,0 +1,368 @@
+#include "io/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace puffer {
+namespace {
+
+// Standard-cell width in sites: heavy-tailed, mean ~2.8 sites.
+int draw_cell_sites(Rng& rng) {
+  const double u = rng.uniform(0.0, 1.0);
+  if (u < 0.30) return 1;
+  if (u < 0.55) return 2;
+  if (u < 0.70) return 3;
+  if (u < 0.82) return 4;
+  if (u < 0.90) return 5;
+  if (u < 0.95) return 6;
+  if (u < 0.98) return 8;
+  return 10;
+}
+
+// Net degree: >=2, mostly 2-5, occasional fan-out up to 24.
+int draw_net_degree(Rng& rng, double avg) {
+  // Mixture: geometric bulk plus a small high-fanout tail, calibrated so
+  // the expected value tracks `avg`.
+  if (rng.chance(0.04)) {
+    return static_cast<int>(rng.uniform_int(8, 24));
+  }
+  const double bulk_avg = std::max(2.1, avg - 0.55);
+  const double decay = 1.0 - 1.0 / (bulk_avg - 1.0);
+  return static_cast<int>(rng.heavy_tail_int(2, 7, decay));
+}
+
+}  // namespace
+
+Design generate_synthetic(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  Design design;
+  design.name = spec.name;
+
+  const double row_h = 8.0;
+  const double site_w = 1.0;
+  design.tech = Technology::make_default(site_w, row_h, spec.tech_layers);
+  // Directional supply stress: widen the pitch (fewer tracks) by the
+  // inverse of the capacity factor.
+  for (MetalLayer& layer : design.tech.layers) {
+    const double f = layer.dir == RouteDir::kHorizontal
+                         ? spec.h_capacity_factor
+                         : spec.v_capacity_factor;
+    if (f > 0.0 && f != 1.0) {
+      layer.wire_width /= f;
+      layer.wire_spacing /= f;
+    }
+  }
+
+  // --- cell sizes -------------------------------------------------------
+  std::vector<int> cell_sites(static_cast<std::size_t>(spec.num_cells));
+  double movable_area = 0.0;
+  for (int& s : cell_sites) {
+    s = draw_cell_sites(rng);
+    movable_area += s * site_w * row_h;
+  }
+
+  // --- die size ---------------------------------------------------------
+  // die_area * (1 - num_macros * frac^2) = movable_area / utilization
+  double frac = spec.macro_edge_frac;
+  double macro_area_frac = spec.num_macros * frac * frac;
+  if (macro_area_frac > 0.35) {
+    frac = std::sqrt(0.35 / spec.num_macros);
+    macro_area_frac = 0.35;
+  }
+  const double util = clamp(spec.target_utilization, 0.2, 0.95);
+  double edge = std::sqrt(movable_area / (util * (1.0 - macro_area_frac)));
+  const int num_rows = std::max(4, static_cast<int>(std::ceil(edge / row_h)));
+  const int num_sites = std::max(16, static_cast<int>(std::ceil(edge / site_w)));
+  const double die_w = num_sites * site_w;
+  const double die_h = num_rows * row_h;
+  design.die = {0.0, 0.0, die_w, die_h};
+
+  for (int r = 0; r < num_rows; ++r) {
+    Row row;
+    row.y = r * row_h;
+    row.x_lo = 0.0;
+    row.num_sites = num_sites;
+    row.site_width = site_w;
+    row.height = row_h;
+    design.rows.push_back(row);
+  }
+
+  // --- macros -----------------------------------------------------------
+  std::vector<Rect> macro_rects;
+  const double msize_base = frac * std::min(die_w, die_h);
+  for (int m = 0; m < spec.num_macros; ++m) {
+    // Vary the aspect ratio a little; snap to row/site grid.
+    const double mw =
+        std::max(4.0 * site_w, msize_base * rng.uniform(0.75, 1.35));
+    const double mh = std::max(2.0 * row_h, msize_base * rng.uniform(0.75, 1.35));
+    const double w = std::round(mw / site_w) * site_w;
+    const double h = std::round(mh / row_h) * row_h;
+    Rect placed;
+    bool ok = false;
+    for (int attempt = 0; attempt < 400 && !ok; ++attempt) {
+      // Bias macros toward the die boundary ring, as floorplanners do,
+      // which leaves narrow routing channels between neighbouring macros.
+      double px, py;
+      if (rng.chance(0.7)) {
+        const int side = static_cast<int>(rng.uniform_int(0, 3));
+        const double along = rng.uniform(0.02, 0.98);
+        const double depth = rng.uniform(0.02, 0.22);
+        switch (side) {
+          case 0: px = along; py = depth; break;
+          case 1: px = along; py = 1.0 - depth; break;
+          case 2: px = depth; py = along; break;
+          default: px = 1.0 - depth; py = along; break;
+        }
+      } else {
+        px = rng.uniform(0.15, 0.85);
+        py = rng.uniform(0.15, 0.85);
+      }
+      double x = clamp(px * die_w - w * 0.5, 0.0, die_w - w);
+      double y = clamp(py * die_h - h * 0.5, 0.0, die_h - h);
+      x = std::round(x / site_w) * site_w;
+      y = std::round(y / row_h) * row_h;
+      const Rect cand{x, y, x + w, y + h};
+      // Keep a one-row-wide channel between macros.
+      const Rect grown = cand.expanded(row_h);
+      ok = true;
+      for (const Rect& other : macro_rects) {
+        if (grown.overlap_area(other) > 0.0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) placed = cand;
+    }
+    if (!ok) continue;  // die too crowded for this macro; skip it
+    macro_rects.push_back(placed);
+    Cell macro;
+    macro.name = "macro" + std::to_string(macro_rects.size() - 1);
+    macro.kind = CellKind::kMacro;
+    macro.width = placed.width();
+    macro.height = placed.height();
+    macro.x = placed.xlo;
+    macro.y = placed.ylo;
+    design.add_cell(std::move(macro));
+  }
+
+  const auto inside_macro = [&](const Point& p) {
+    for (const Rect& r : macro_rects) {
+      if (r.contains(p)) return true;
+    }
+    return false;
+  };
+
+  // --- clusters ---------------------------------------------------------
+  const int num_clusters =
+      std::max(1, (spec.num_cells + spec.cluster_size - 1) / spec.cluster_size);
+  std::vector<Point> cluster_home(static_cast<std::size_t>(num_clusters));
+  for (Point& home : cluster_home) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      home = {rng.uniform(0.03 * die_w, 0.97 * die_w),
+              rng.uniform(0.03 * die_h, 0.97 * die_h)};
+      if (!inside_macro(home)) break;
+    }
+  }
+
+  // --- movable cells ----------------------------------------------------
+  const double scatter = 0.06 * std::min(die_w, die_h);
+  std::vector<std::vector<CellId>> cluster_cells(
+      static_cast<std::size_t>(num_clusters));
+  for (int i = 0; i < spec.num_cells; ++i) {
+    const int cl = i % num_clusters;
+    Cell cell;
+    cell.name = "c" + std::to_string(i);
+    cell.kind = CellKind::kMovable;
+    cell.width = cell_sites[static_cast<std::size_t>(i)] * site_w;
+    cell.height = row_h;
+    const Point& home = cluster_home[static_cast<std::size_t>(cl)];
+    cell.x = clamp(home.x + rng.normal(0.0, scatter), 0.0, die_w - cell.width);
+    cell.y = clamp(home.y + rng.normal(0.0, scatter), 0.0, die_h - cell.height);
+    const CellId id = design.add_cell(std::move(cell));
+    cluster_cells[static_cast<std::size_t>(cl)].push_back(id);
+  }
+
+  // --- terminals --------------------------------------------------------
+  std::vector<CellId> terminals;
+  for (int t = 0; t < spec.num_terminals; ++t) {
+    Cell term;
+    term.name = "p" + std::to_string(t);
+    term.kind = CellKind::kTerminal;
+    term.width = 0.0;
+    term.height = 0.0;
+    const double along = (t + 0.5) / spec.num_terminals;
+    switch (t % 4) {
+      case 0: term.x = along * die_w; term.y = 0.0; break;
+      case 1: term.x = along * die_w; term.y = die_h; break;
+      case 2: term.x = 0.0; term.y = along * die_h; break;
+      default: term.x = die_w; term.y = along * die_h; break;
+    }
+    terminals.push_back(design.add_cell(std::move(term)));
+  }
+
+  // Rent-style locality for global nets: most cross-cluster nets connect
+  // spatially nearby clusters, a small share reaches anywhere. Without
+  // this, total routing demand grows ~N^1.5 while supply grows ~N and
+  // large instances become unroutable regardless of placer.
+  const int kNeighbours = std::min(12, num_clusters - 1);
+  std::vector<std::vector<int>> near_clusters(
+      static_cast<std::size_t>(num_clusters));
+  if (kNeighbours > 0) {
+    std::vector<std::pair<double, int>> dist;
+    for (int c0 = 0; c0 < num_clusters; ++c0) {
+      dist.clear();
+      for (int c1 = 0; c1 < num_clusters; ++c1) {
+        if (c1 == c0) continue;
+        dist.emplace_back(manhattan(cluster_home[static_cast<std::size_t>(c0)],
+                                    cluster_home[static_cast<std::size_t>(c1)]),
+                          c1);
+      }
+      std::partial_sort(dist.begin(),
+                        dist.begin() + std::min<std::size_t>(
+                                           dist.size(),
+                                           static_cast<std::size_t>(kNeighbours)),
+                        dist.end());
+      auto& out = near_clusters[static_cast<std::size_t>(c0)];
+      for (int k = 0; k < kNeighbours && k < static_cast<int>(dist.size()); ++k) {
+        out.push_back(dist[static_cast<std::size_t>(k)].second);
+      }
+    }
+  }
+  const auto pick_partner = [&](int c0) {
+    const auto& near = near_clusters[static_cast<std::size_t>(c0)];
+    if (!near.empty() && rng.chance(0.93)) {
+      return near[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(near.size()) - 1))];
+    }
+    return static_cast<int>(rng.uniform_int(0, num_clusters - 1));
+  };
+
+  // --- nets ---------------------------------------------------------------
+  const auto pin_offset = [&](const Cell& c, Rng& r) -> Point {
+    if (c.kind == CellKind::kTerminal) return {0.0, 0.0};
+    return {r.uniform(0.1, 0.9) * c.width, r.uniform(0.2, 0.8) * c.height};
+  };
+  const auto add_pin = [&](CellId cid, NetId nid) {
+    const Cell& c = design.cells[static_cast<std::size_t>(cid)];
+    const Point off = pin_offset(c, rng);
+    design.connect(cid, nid, off.x, off.y);
+  };
+
+  const std::size_t macro_count = macro_rects.size();
+  for (int n = 0; n < spec.num_nets; ++n) {
+    const int degree = draw_net_degree(rng, spec.avg_net_degree);
+    const NetId net = design.add_net("n" + std::to_string(n));
+    std::set<CellId> members;
+    if (rng.chance(spec.cluster_net_ratio)) {
+      // Local net: all pins within one cluster.
+      const auto& pool = cluster_cells[static_cast<std::size_t>(
+          rng.uniform_int(0, num_clusters - 1))];
+      while (static_cast<int>(members.size()) < degree &&
+             members.size() < pool.size()) {
+        members.insert(pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+      }
+    } else {
+      // Global net: span 2-4 clusters (the first random, the rest mostly
+      // spatial neighbours); occasionally touch a macro pin or a terminal.
+      const int span = static_cast<int>(rng.uniform_int(2, 4));
+      const int c0 = static_cast<int>(rng.uniform_int(0, num_clusters - 1));
+      for (int s = 0; s < span; ++s) {
+        const int cl = (s == 0) ? c0 : pick_partner(c0);
+        const auto& pool = cluster_cells[static_cast<std::size_t>(cl)];
+        const int take = std::max(1, degree / span);
+        for (int k = 0; k < take && members.size() < pool.size(); ++k) {
+          members.insert(pool[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+        }
+      }
+      if (macro_count > 0 && rng.chance(0.08)) {
+        members.insert(static_cast<CellId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(macro_count) - 1)));
+      }
+      if (!terminals.empty() && rng.chance(0.05)) {
+        members.insert(terminals[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(terminals.size()) - 1))]);
+      }
+    }
+    if (members.size() < 2) {
+      // Degenerate draw; connect two random movable cells instead.
+      while (members.size() < 2) {
+        const auto& pool = cluster_cells[static_cast<std::size_t>(
+            rng.uniform_int(0, num_clusters - 1))];
+        members.insert(pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+      }
+    }
+    for (CellId cid : members) add_pin(cid, net);
+  }
+
+  return design;
+}
+
+std::vector<SyntheticSpec> table1_suite(int scale_divisor) {
+  if (scale_divisor < 1) throw std::out_of_range("scale_divisor must be >= 1");
+  const double s = static_cast<double>(scale_divisor);
+  // Rows: {name, macros, cells(K), nets(K), pins(K), seed, util, cluster}
+  // Cells/nets/pins are the paper's Table I values; utilization and
+  // clustering are set so the *relative* congestion severity matches the
+  // paper's Table II outcomes (MEDIA_SUBSYS / A53 congested, CT_* clean).
+  struct Entry {
+    const char* name;
+    int macros;
+    double cells_k, nets_k, pins_k;
+    std::uint64_t seed;
+    double util;
+    double cluster_ratio;
+    double h_cap, v_cap;  // directional supply stress
+  };
+  // Utilization, clustering and the directional capacity factors set the
+  // congestion severity tiers of the paper's Table II: MEDIA_SUBSYS and
+  // A53_ADB_WRAP are V-starved stress designs, OR1200 is a small design
+  // with a routability problem (used for strategy exploration), OPENC910
+  // is mildly H-starved, and BIT_COIN / CT_* / E31 are clean.
+  const Entry entries[] = {
+      {"OR1200", 22, 122, 193, 660, 101, 0.78, 0.78, 0.97, 0.97},
+      {"ASIC_ENTITY", 45, 149, 155, 630, 102, 0.70, 0.70, 1.00, 1.00},
+      {"BIT_COIN", 43, 760, 760, 3151, 103, 0.62, 0.66, 1.00, 1.00},
+      {"MEDIA_SUBSYS", 70, 1228, 1296, 5235, 104, 0.84, 0.80, 0.92, 0.66},
+      {"MEDIA_PG_MODIFY", 70, 1228, 1296, 5235, 105, 0.72, 0.72, 0.96, 0.88},
+      {"A53_ADB_WRAP", 7, 1232, 1300, 5242, 106, 0.85, 0.82, 0.88, 0.60},
+      {"CT_SCAN", 39, 1249, 1317, 5282, 107, 0.64, 0.66, 1.00, 1.00},
+      {"CT_TOP", 38, 1270, 1272, 4091, 108, 0.63, 0.66, 1.00, 1.00},
+      {"E31_ECOREPLEX", 56, 1533, 1537, 6303, 109, 0.66, 0.68, 1.00, 1.00},
+      {"OPENC910", 332, 1590, 1741, 7276, 110, 0.70, 0.72, 0.93, 1.15},
+  };
+  std::vector<SyntheticSpec> specs;
+  for (const Entry& e : entries) {
+    SyntheticSpec spec;
+    spec.name = e.name;
+    spec.seed = e.seed;
+    spec.num_cells = std::max(256, static_cast<int>(e.cells_k * 1000.0 / s));
+    spec.num_nets = std::max(256, static_cast<int>(e.nets_k * 1000.0 / s));
+    spec.num_macros = e.macros;
+    spec.num_terminals = 64;
+    spec.target_utilization = e.util;
+    spec.cluster_net_ratio = e.cluster_ratio;
+    spec.avg_net_degree = e.pins_k / e.nets_k;
+    spec.h_capacity_factor = e.h_cap;
+    spec.v_capacity_factor = e.v_cap;
+    // Many small macros (OPENC910) must not swallow the die.
+    spec.macro_edge_frac = std::min(0.08, std::sqrt(0.22 / e.macros));
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+SyntheticSpec table1_spec(const std::string& name, int scale_divisor) {
+  for (const SyntheticSpec& spec : table1_suite(scale_divisor)) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+}  // namespace puffer

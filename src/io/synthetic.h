@@ -1,0 +1,60 @@
+// Synthetic industrial-design generator.
+//
+// The PUFFER paper evaluates on ten proprietary industrial designs
+// (Table I). Those netlists cannot be redistributed, so this generator
+// produces deterministic synthetic designs whose *relative* statistics
+// match Table I (macro count, cells:nets ratio, pins per cell) at a
+// configurable scale, and whose connectivity is clustered (Rent-style)
+// so that realistic congestion hot spots emerge: dense logic clusters,
+// routing channels between macros, and a share of long cross-cluster
+// nets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::uint64_t seed = 1;
+
+  int num_cells = 10000;     // movable standard cells
+  int num_nets = 10000;      // approximate; actual count is deterministic
+  int num_macros = 16;
+  int num_terminals = 64;    // boundary I/O pads
+
+  double target_utilization = 0.72;  // movable area / free area
+  double avg_net_degree = 3.4;       // pins per net (heavy-tailed)
+  double cluster_net_ratio = 0.72;   // fraction of nets local to a cluster
+  int cluster_size = 48;             // cells per logical cluster
+
+  // Macro footprint, as a fraction of the die edge per macro side.
+  double macro_edge_frac = 0.07;
+
+  int tech_layers = 8;
+
+  // Directional routing-supply stress: the horizontal / vertical track
+  // densities are multiplied by these factors (< 1 models designs whose
+  // stack is starved in one direction -- the paper's congested designs
+  // show exactly this signature, e.g. MEDIA_SUBSYS' VOF >> HOF).
+  double h_capacity_factor = 1.0;
+  double v_capacity_factor = 1.0;
+};
+
+// Builds a design per the spec. The result validates (Design::validate is
+// empty), has rows covering the die outside macros, and leaves movable
+// cells at deterministic cluster-seeded initial positions.
+Design generate_synthetic(const SyntheticSpec& spec);
+
+// The ten-design suite of Table I at `scale_divisor` (e.g. 40 gives ~3k to
+// ~40k movable cells). Names match the paper.
+std::vector<SyntheticSpec> table1_suite(int scale_divisor);
+
+// Looks up one suite entry by benchmark name; throws std::out_of_range.
+SyntheticSpec table1_spec(const std::string& name, int scale_divisor);
+
+}  // namespace puffer

@@ -1,0 +1,279 @@
+#include "legal/abacus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logger.h"
+
+namespace puffer {
+namespace {
+
+constexpr const char* kTag = "legal";
+
+struct SegCell {
+  CellId id;
+  double width;     // padded width (site multiple)
+  double target_x;  // desired slot left edge
+  double weight;    // Abacus weight (cell area)
+};
+
+struct Cluster {
+  double x = 0.0;  // left edge
+  double e = 0.0;  // total weight
+  double q = 0.0;  // sum of e_i * (target_i - offset_i)
+  double w = 0.0;  // total width
+  int first_cell = 0;  // index into segment cell list
+};
+
+struct Segment {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<SegCell> cells;
+  std::vector<Cluster> clusters;
+  double used = 0.0;
+
+  double free_width() const { return (hi - lo) - used; }
+};
+
+struct RowState {
+  double y = 0.0;
+  double site = 1.0;
+  std::vector<Segment> segments;
+};
+
+// Simulates appending `cell` to the segment, returning the resulting slot
+// left edge; `ok` is false when the segment cannot hold the cell.
+double trial_or_commit(Segment& seg, const SegCell& cell, bool commit,
+                       bool& ok) {
+  ok = true;
+  if (cell.width > seg.free_width() + 1e-9) {
+    ok = false;
+    return 0.0;
+  }
+  // Accumulator cluster holding the new cell; merge backward while it
+  // overlaps its predecessor (the Abacus collapse recurrence).
+  double e = cell.weight;
+  double q = cell.weight * cell.target_x;
+  double w = cell.width;
+  double offset = 0.0;  // cell's offset inside the accumulated cluster
+  int i = static_cast<int>(seg.clusters.size()) - 1;
+  double x = 0.0;
+  while (true) {
+    x = clamp(q / e, seg.lo, seg.hi - w);
+    if (i < 0) break;
+    const Cluster& prev = seg.clusters[static_cast<std::size_t>(i)];
+    if (prev.x + prev.w <= x + 1e-12) break;
+    // Merge prev in front of the accumulator.
+    q = prev.q + (q - e * prev.w);
+    e += prev.e;
+    w += prev.w;
+    offset += prev.w;
+    --i;
+  }
+  const double cell_x = x + offset;
+  if (!commit) return cell_x;
+
+  seg.clusters.resize(static_cast<std::size_t>(i + 1));
+  Cluster merged;
+  merged.x = x;
+  merged.e = e;
+  merged.q = q;
+  merged.w = w;
+  seg.clusters.push_back(merged);
+  seg.cells.push_back(cell);
+  seg.used += cell.width;
+  return cell_x;
+}
+
+}  // namespace
+
+LegalizeResult legalize(Design& design, const std::vector<int>& pad_sites,
+                        const LegalizeConfig& config) {
+  LegalizeResult result;
+  if (design.rows.empty()) {
+    result.success = false;
+    return result;
+  }
+
+  // --- build macro-aware row segments -----------------------------------
+  std::vector<RowState> rows;
+  rows.reserve(design.rows.size());
+  for (const Row& row : design.rows) {
+    RowState rs;
+    rs.y = row.y;
+    rs.site = row.site_width;
+    // Collect macro x-blockages intersecting this row.
+    std::vector<std::pair<double, double>> blocks;
+    for (const Cell& c : design.cells) {
+      if (!c.is_macro()) continue;
+      const Rect r = c.rect();
+      if (r.ylo < row.y + row.height - 1e-9 && r.yhi > row.y + 1e-9) {
+        blocks.emplace_back(r.xlo, r.xhi);
+      }
+    }
+    std::sort(blocks.begin(), blocks.end());
+    double cursor = row.x_lo;
+    const double row_end = row.x_hi();
+    auto push_segment = [&](double lo, double hi) {
+      // Snap inward to the site grid.
+      const double slo = row.x_lo +
+          std::ceil((lo - row.x_lo) / rs.site - 1e-9) * rs.site;
+      const double shi = row.x_lo +
+          std::floor((hi - row.x_lo) / rs.site + 1e-9) * rs.site;
+      if (shi - slo >= rs.site - 1e-9) {
+        Segment seg;
+        seg.lo = slo;
+        seg.hi = shi;
+        rs.segments.push_back(seg);
+      }
+    };
+    for (const auto& [blo, bhi] : blocks) {
+      if (blo > cursor) push_segment(cursor, std::min(blo, row_end));
+      cursor = std::max(cursor, bhi);
+      if (cursor >= row_end) break;
+    }
+    if (cursor < row_end) push_segment(cursor, row_end);
+    rows.push_back(std::move(rs));
+  }
+
+  const double row_h = design.rows.front().height;
+  const double row_y0 = design.rows.front().y;
+
+  // --- order movable cells by x ------------------------------------------
+  std::vector<CellId> order;
+  for (CellId c = 0; c < static_cast<CellId>(design.cells.size()); ++c) {
+    if (design.cells[static_cast<std::size_t>(c)].movable()) order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    return design.cells[static_cast<std::size_t>(a)].x <
+           design.cells[static_cast<std::size_t>(b)].x;
+  });
+
+  // Remember where each cell ended up so positions can be written back
+  // after all clusters settle.
+  struct Placement {
+    int row = -1;
+    int seg = -1;
+    int slot = -1;  // index within segment cell list
+  };
+  std::vector<Placement> placement(design.cells.size());
+
+  for (CellId cid : order) {
+    const Cell& cell = design.cells[static_cast<std::size_t>(cid)];
+    const int pad =
+        static_cast<std::size_t>(cid) < pad_sites.size()
+            ? pad_sites[static_cast<std::size_t>(cid)]
+            : 0;
+
+    // Candidate rows sorted by vertical displacement from the GP result.
+    const int home = static_cast<int>(
+        std::round((cell.y - row_y0) / row_h));
+    double best_cost = std::numeric_limits<double>::max();
+    int best_row = -1, best_seg = -1;
+    SegCell best_sc;
+
+    for (int k = 0; k < config.max_row_search * 2; ++k) {
+      const int r = home + ((k % 2 == 0) ? k / 2 : -(k / 2 + 1));
+      if (r < 0 || r >= static_cast<int>(rows.size())) continue;
+      RowState& rs = rows[static_cast<std::size_t>(r)];
+      const double dy = rs.y - cell.y;
+      if (dy * dy >= best_cost) {
+        // Rows are visited in increasing |dy|; once even the vertical
+        // displacement alone exceeds the best cost on both sides, stop.
+        if (k > 2 * config.max_row_search / 2) break;
+        continue;
+      }
+      // Padded, site-quantized width.
+      const double width =
+          std::ceil(cell.width / rs.site - 1e-9) * rs.site + pad * rs.site;
+      SegCell sc;
+      sc.id = cid;
+      sc.width = width;
+      sc.weight = std::max(cell.area(), 1.0);
+      // Try segments nearest to the target x first.
+      for (std::size_t s = 0; s < rs.segments.size(); ++s) {
+        Segment& seg = rs.segments[s];
+        const double raw_tx = clamp(cell.x - pad * rs.site * 0.5, seg.lo,
+                                    std::max(seg.lo, seg.hi - width));
+        // Site-quantized target so settled clusters sit on the site grid.
+        const double tx =
+            seg.lo + std::round((raw_tx - seg.lo) / rs.site) * rs.site;
+        sc.target_x = tx;
+        bool ok = false;
+        const double x = trial_or_commit(seg, sc, /*commit=*/false, ok);
+        if (!ok) continue;
+        const double dx = (x + pad * rs.site * 0.5) - cell.x;
+        const double cost = dx * dx + dy * dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_seg = static_cast<int>(s);
+          best_sc = sc;
+        }
+      }
+    }
+
+    if (best_row < 0) {
+      ++result.failed_cells;
+      result.success = false;
+      continue;
+    }
+    RowState& rs = rows[static_cast<std::size_t>(best_row)];
+    Segment& seg = rs.segments[static_cast<std::size_t>(best_seg)];
+    bool ok = false;
+    trial_or_commit(seg, best_sc, /*commit=*/true, ok);
+    placement[static_cast<std::size_t>(cid)] = {best_row, best_seg,
+                                                static_cast<int>(seg.cells.size()) - 1};
+  }
+
+  // --- write back final positions ----------------------------------------
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    RowState& rs = rows[r];
+    for (Segment& seg : rs.segments) {
+      // Recover per-cell slot positions: clusters hold merged runs in
+      // order; walk clusters and lay cells sequentially. Cluster positions
+      // are continuous (weighted averages), so snap each onto the site
+      // grid left-to-right, never overlapping the previous cluster.
+      std::size_t cell_idx = 0;
+      double cursor = seg.lo;
+      for (const Cluster& cl : seg.clusters) {
+        double x = seg.lo + std::round((cl.x - seg.lo) / rs.site) * rs.site;
+        x = clamp(x, cursor, std::max(cursor, seg.hi - cl.w));
+        cursor = x + cl.w;
+        // Cells belonging to this cluster occupy cl.w in total; they were
+        // appended in order, so consume cells until the width is filled.
+        double filled = 0.0;
+        while (cell_idx < seg.cells.size() && filled + 1e-9 < cl.w) {
+          const SegCell& sc = seg.cells[cell_idx];
+          Cell& cell = design.cells[static_cast<std::size_t>(sc.id)];
+          const int pad =
+              static_cast<std::size_t>(sc.id) < pad_sites.size()
+                  ? pad_sites[static_cast<std::size_t>(sc.id)]
+                  : 0;
+          // Center the physical cell inside its padded slot, snapped to
+          // the site grid (left-biased for odd padding).
+          const double slot_x = x + filled;
+          const double left_pad = (pad / 2) * rs.site;
+          const double old_x = cell.x, old_y = cell.y;
+          cell.x = slot_x + left_pad;
+          cell.y = rs.y;
+          const double disp =
+              std::abs(cell.x - old_x) + std::abs(cell.y - old_y);
+          result.total_displacement += disp;
+          result.max_displacement = std::max(result.max_displacement, disp);
+          ++result.placed;
+          filled += sc.width;
+          ++cell_idx;
+        }
+      }
+    }
+  }
+
+  if (result.failed_cells > 0) {
+    PUFFER_LOG_WARN(kTag, "%d cells could not be legalized", result.failed_cells);
+  }
+  return result;
+}
+
+}  // namespace puffer

@@ -1,0 +1,43 @@
+// Abacus legalization (Spindler et al. [20]) over macro-aware row
+// segments, extended with white-space-assisted padding (paper SS III-D):
+// each cell's effective width during legalization is its physical width
+// plus its discrete padding, so congested-region cells keep the
+// surrounding white space they earned during global placement.
+//
+// Cells are processed in increasing x; per candidate row the classic
+// Abacus cluster recurrence computes the minimal-displacement positions,
+// and the best row within a displacement-bounded search wins.
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct LegalizeConfig {
+  // Rows examined per cell, around the cell's global-placement row; the
+  // search stops early once the row's y-displacement alone exceeds the
+  // best complete cost.
+  int max_row_search = 64;
+};
+
+struct LegalizeResult {
+  bool success = true;
+  int failed_cells = 0;       // cells that fit in no segment (left overlapped)
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+  double avg_displacement() const {
+    return placed > 0 ? total_displacement / placed : 0.0;
+  }
+  int placed = 0;
+};
+
+// Legalizes all movable cells in place. `pad_sites` is the per-CellId
+// discrete padding in sites (empty = no padding). Cell positions are
+// updated to legal, non-overlapping, row/site-aligned locations centered
+// inside their padded slots.
+LegalizeResult legalize(Design& design, const std::vector<int>& pad_sites = {},
+                        const LegalizeConfig& config = {});
+
+}  // namespace puffer

@@ -1,0 +1,65 @@
+#include "legal/discrete_padding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace puffer {
+
+std::vector<int> discretize_padding(const Design& design,
+                                    const std::vector<double>& pad,
+                                    const DiscretePaddingConfig& config) {
+  std::vector<int> levels(design.cells.size(), 0);
+  double mp = 0.0;
+  for (std::size_t c = 0; c < design.cells.size(); ++c) {
+    if (c < pad.size() && design.cells[c].movable()) {
+      mp = std::max(mp, pad[c]);
+    }
+  }
+  if (mp <= 0.0) return levels;
+
+  for (std::size_t c = 0; c < design.cells.size(); ++c) {
+    if (c >= pad.size() || !design.cells[c].movable() || pad[c] <= 0.0) continue;
+    levels[c] = static_cast<int>(std::floor(config.theta * pad[c] / mp + 0.5));
+  }
+
+  // Utilization control: total discrete padding area vs movable area.
+  const double site_area = design.tech.site_width * design.tech.row_height;
+  const double budget = config.max_pad_area_frac * design.movable_area();
+  auto pad_area = [&]() {
+    double a = 0.0;
+    for (std::size_t c = 0; c < design.cells.size(); ++c) {
+      a += levels[c] * site_area;
+    }
+    return a;
+  };
+
+  if (pad_area() <= budget) return levels;
+
+  // Relegate: within each occupied level, the smallest-Pad cells drop a
+  // level first. Sorting by (level, pad) ascending and demoting in order
+  // visits exactly those cells; repeat passes until the budget holds.
+  std::vector<std::size_t> padded;
+  for (std::size_t c = 0; c < design.cells.size(); ++c) {
+    if (levels[c] > 0) padded.push_back(c);
+  }
+  double area = pad_area();
+  while (area > budget) {
+    std::sort(padded.begin(), padded.end(), [&](std::size_t a, std::size_t b) {
+      if (levels[a] != levels[b]) return levels[a] < levels[b];
+      return pad[a] < pad[b];
+    });
+    bool any = false;
+    for (std::size_t c : padded) {
+      if (area <= budget) break;
+      if (levels[c] == 0) continue;
+      levels[c] -= 1;
+      area -= site_area;
+      any = true;
+    }
+    if (!any) break;
+  }
+  return levels;
+}
+
+}  // namespace puffer

@@ -1,0 +1,33 @@
+// White-space-assisted legalization support: discretization of the
+// global-placement padding onto the site grid (paper SS III-D, Eq. 17).
+//
+//   DisPad(c) = round(theta * Pad(c) / mp)  sites,
+//
+// where mp is the maximum padding over all cells and theta the strategy
+// parameter setting the number of discrete levels. (The published
+// rendering of Eq. 17 places the +1/2 inside the scaling; we read it as
+// the conventional round-to-nearest of the scaled level, which keeps
+// DisPad(0) = 0.) The total discrete padding area is limited to
+// `max_pad_area_frac` of the movable cell area; while over budget, the
+// cells with the smallest padding within each occupied level are
+// relegated one level down.
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct DiscretePaddingConfig {
+  double theta = 8.0;            // number of discrete levels
+  double max_pad_area_frac = 0.05;  // cap vs. total movable cell area
+};
+
+// `pad` is indexed by CellId (0 for cells without padding). Returns the
+// per-cell discrete padding in *sites*, same indexing.
+std::vector<int> discretize_padding(const Design& design,
+                                    const std::vector<double>& pad,
+                                    const DiscretePaddingConfig& config = {});
+
+}  // namespace puffer

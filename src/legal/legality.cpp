@@ -1,0 +1,61 @@
+#include "legal/legality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace puffer {
+
+LegalityReport check_legality(const Design& design) {
+  LegalityReport report;
+  const double eps = 1e-6;
+
+  // Grid alignment and die containment.
+  const double row_h = design.rows.empty() ? 1.0 : design.rows.front().height;
+  const double row_y0 = design.rows.empty() ? 0.0 : design.rows.front().y;
+  for (const Cell& c : design.cells) {
+    if (!c.movable()) continue;
+    if (c.x < design.die.xlo - eps || c.x + c.width > design.die.xhi + eps ||
+        c.y < design.die.ylo - eps || c.y + c.height > design.die.yhi + eps) {
+      ++report.out_of_die;
+    }
+    const double ry = (c.y - row_y0) / row_h;
+    if (std::abs(ry - std::round(ry)) > 1e-6) ++report.off_grid;
+  }
+
+  // Overlaps via a sweep over cells sorted by x (movables vs movables and
+  // movables vs macros).
+  struct Box {
+    Rect r;
+    bool macro;
+  };
+  std::vector<Box> boxes;
+  for (const Cell& c : design.cells) {
+    if (c.movable()) boxes.push_back({c.rect(), false});
+    else if (c.is_macro()) boxes.push_back({c.rect(), true});
+  }
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Box& a, const Box& b) { return a.r.xlo < b.r.xlo; });
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      if (boxes[j].r.xlo >= boxes[i].r.xhi - eps) break;
+      if (boxes[i].macro && boxes[j].macro) continue;
+      const double ov = boxes[i].r.overlap_area(boxes[j].r);
+      if (ov > eps) ++report.overlaps;
+    }
+  }
+
+  report.legal =
+      report.overlaps == 0 && report.off_grid == 0 && report.out_of_die == 0;
+  return report;
+}
+
+std::string LegalityReport::summary() const {
+  std::ostringstream os;
+  os << (legal ? "legal" : "ILLEGAL") << " (overlaps=" << overlaps
+     << ", off_grid=" << off_grid << ", out_of_die=" << out_of_die << ")";
+  return os.str();
+}
+
+}  // namespace puffer

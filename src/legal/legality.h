@@ -1,0 +1,21 @@
+// Legality verification: overlap-free, in-die, row- and site-aligned.
+// Used by tests and asserted by the flow after legalization.
+#pragma once
+
+#include <string>
+
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct LegalityReport {
+  bool legal = true;
+  int overlaps = 0;        // movable-movable or movable-macro overlaps
+  int off_grid = 0;        // not row/site aligned
+  int out_of_die = 0;
+  std::string summary() const;
+};
+
+LegalityReport check_legality(const Design& design);
+
+}  // namespace puffer

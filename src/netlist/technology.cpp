@@ -1,0 +1,44 @@
+#include "netlist/technology.h"
+
+namespace puffer {
+
+Technology Technology::make_default(double site_w, double row_h, int num_layers) {
+  Technology tech;
+  tech.site_width = site_w;
+  tech.row_height = row_h;
+  tech.layers.reserve(static_cast<std::size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    MetalLayer layer;
+    layer.name = "M" + std::to_string(l + 1);
+    // M1 horizontal, M2 vertical, alternating upward. Upper layers are
+    // wider/coarser, as in real stacks. Pitches are calibrated so that a
+    // clustered design at ~80% utilization stresses (but does not swamp)
+    // the supply -- see the capacity tests.
+    layer.dir = (l % 2 == 0) ? RouteDir::kHorizontal : RouteDir::kVertical;
+    const double scale = 1.0 + 0.25 * (l / 2);
+    layer.wire_width = 0.05 * row_h * scale;
+    layer.wire_spacing = 0.05 * row_h * scale;
+    tech.layers.push_back(layer);
+  }
+  tech.macro_blocked_layers = std::max(1, num_layers - 2);
+  return tech;
+}
+
+double Technology::track_density(RouteDir dir) const {
+  double sum = 0.0;
+  for (const auto& layer : layers) {
+    if (layer.dir == dir) sum += 1.0 / layer.pitch();
+  }
+  return sum;
+}
+
+double Technology::track_density_over_macros(RouteDir dir) const {
+  double sum = 0.0;
+  for (std::size_t l = static_cast<std::size_t>(macro_blocked_layers);
+       l < layers.size(); ++l) {
+    if (layers[l].dir == dir) sum += 1.0 / layers[l].pitch();
+  }
+  return sum;
+}
+
+}  // namespace puffer

@@ -1,0 +1,46 @@
+// Technology description: site geometry and the metal layer stack.
+//
+// The congestion model (Eq. 8 of the paper) derives per-Gcell routing
+// capacity from the metal layers' preferred directions, wire widths and
+// spacings; blockages subtract resource on the layers they obstruct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace puffer {
+
+enum class RouteDir { kHorizontal, kVertical };
+
+struct MetalLayer {
+  std::string name;
+  RouteDir dir = RouteDir::kHorizontal;
+  double wire_width = 1.0;   // DBU
+  double wire_spacing = 1.0; // DBU
+
+  // Track pitch: one routing track per (width + spacing).
+  double pitch() const { return wire_width + wire_spacing; }
+};
+
+struct Technology {
+  double site_width = 1.0;   // legalization x-grid
+  double row_height = 10.0;  // standard cell height
+
+  // Layer 0 is the lowest metal. Macros are assumed to block all layers
+  // up to (and including) `macro_blocked_layers`.
+  std::vector<MetalLayer> layers;
+  int macro_blocked_layers = 4;
+
+  // Builds a typical 6-layer alternating H/V stack scaled to the row
+  // height; used by the synthetic generator and the tests.
+  static Technology make_default(double site_w, double row_h, int num_layers = 6);
+
+  // Sum of track densities (tracks per DBU) in one direction.
+  double track_density(RouteDir dir) const;
+
+  // Track density counting only layers above the macro-blocked range;
+  // this is the capacity remaining over a macro.
+  double track_density_over_macros(RouteDir dir) const;
+};
+
+}  // namespace puffer

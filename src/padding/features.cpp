@@ -1,0 +1,207 @@
+#include "padding/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace puffer {
+
+double FeatureVector::operator[](int i) const {
+  switch (i) {
+    case 0: return local_cg;
+    case 1: return local_pin;
+    case 2: return sur_cg;
+    case 3: return sur_pin;
+    case 4: return pin_cg;
+    default: throw std::out_of_range("FeatureVector index");
+  }
+}
+
+FeatureExtractor::FeatureExtractor(const Design& design, FeatureConfig config)
+    : design_(design), config_(config) {}
+
+namespace {
+
+// Max Cg along a horizontal Gcell span (y fixed) or vertical span.
+double max_cg_h_span(const RoutingMaps& maps, int x0, int x1, int y) {
+  double m = -std::numeric_limits<double>::max();
+  for (int gx = std::min(x0, x1); gx <= std::max(x0, x1); ++gx) {
+    m = std::max(m, maps.cg(gx, y));
+  }
+  return m;
+}
+
+double max_cg_v_span(const RoutingMaps& maps, int x, int y0, int y1) {
+  double m = -std::numeric_limits<double>::max();
+  for (int gy = std::min(y0, y1); gy <= std::max(y0, y1); ++gy) {
+    m = std::max(m, maps.cg(x, gy));
+  }
+  return m;
+}
+
+// Minimum over candidate L and Z paths between Gcells a and b of the
+// maximum Cg along the path (Eq. 13 inner terms).
+double best_path_cg(const RoutingMaps& maps, GcellIndex a, GcellIndex b,
+                    int z_candidates) {
+  if (a.gx == b.gx && a.gy == b.gy) return maps.cg(a.gx, a.gy);
+  if (a.gy == b.gy) return max_cg_h_span(maps, a.gx, b.gx, a.gy);
+  if (a.gx == b.gx) return max_cg_v_span(maps, a.gx, a.gy, b.gy);
+
+  double best = std::numeric_limits<double>::max();
+  // Two L-shaped paths.
+  best = std::min(best, std::max(max_cg_h_span(maps, a.gx, b.gx, a.gy),
+                                 max_cg_v_span(maps, b.gx, a.gy, b.gy)));
+  best = std::min(best, std::max(max_cg_v_span(maps, a.gx, a.gy, b.gy),
+                                 max_cg_h_span(maps, a.gx, b.gx, b.gy)));
+
+  // Z-shaped paths: HVH with an intermediate column, VHV with an
+  // intermediate row; sample at most z_candidates interior positions.
+  const int x0 = std::min(a.gx, b.gx), x1 = std::max(a.gx, b.gx);
+  const int y0 = std::min(a.gy, b.gy), y1 = std::max(a.gy, b.gy);
+  const int span_x = x1 - x0, span_y = y1 - y0;
+  const int nx = std::min(z_candidates, std::max(0, span_x - 1));
+  for (int k = 1; k <= nx; ++k) {
+    const int mid = x0 + k * span_x / (nx + 1);
+    if (mid <= x0 || mid >= x1) continue;
+    const double cg = std::max({max_cg_h_span(maps, a.gx, mid, a.gy),
+                                max_cg_v_span(maps, mid, a.gy, b.gy),
+                                max_cg_h_span(maps, mid, b.gx, b.gy)});
+    best = std::min(best, cg);
+  }
+  const int ny = std::min(z_candidates, std::max(0, span_y - 1));
+  for (int k = 1; k <= ny; ++k) {
+    const int mid = y0 + k * span_y / (ny + 1);
+    if (mid <= y0 || mid >= y1) continue;
+    const double cg = std::max({max_cg_v_span(maps, a.gx, a.gy, mid),
+                                max_cg_h_span(maps, a.gx, b.gx, mid),
+                                max_cg_v_span(maps, b.gx, mid, b.gy)});
+    best = std::min(best, cg);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<FeatureVector> FeatureExtractor::extract(
+    const CongestionResult& congestion, const std::vector<CellId>& cells) const {
+  const RoutingMaps& maps = congestion.maps;
+  const GcellGrid& grid = maps.grid;
+
+  // Pin-density map: pins per Gcell over available sites per Gcell.
+  Map2D<double> pin_density(grid.nx(), grid.ny());
+  {
+    Map2D<double> pin_count(grid.nx(), grid.ny());
+    for (const Pin& pin : design_.pins) {
+      const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
+      const GcellIndex g = grid.index_of(c.x + pin.dx, c.y + pin.dy);
+      pin_count.at(g.gx, g.gy) += 1.0;
+    }
+    // Available sites: free Gcell area in site units (macros excluded).
+    Map2D<double> macro_area(grid.nx(), grid.ny());
+    for (const Cell& c : design_.cells) {
+      if (!c.is_macro()) continue;
+      const Rect r = c.rect().clamped(grid.area());
+      if (r.empty()) continue;
+      GcellIndex lo, hi;
+      grid.range_of(r, lo, hi);
+      for (int gy = lo.gy; gy <= hi.gy; ++gy) {
+        for (int gx = lo.gx; gx <= hi.gx; ++gx) {
+          macro_area.at(gx, gy) += grid.gcell_rect(gx, gy).overlap_area(r);
+        }
+      }
+    }
+    const double site_area = design_.tech.site_width * design_.tech.row_height;
+    const double gcell_area = grid.gcell_w() * grid.gcell_h();
+    for (int gy = 0; gy < grid.ny(); ++gy) {
+      for (int gx = 0; gx < grid.nx(); ++gx) {
+        const double sites =
+            std::max(1.0, (gcell_area - macro_area.at(gx, gy)) / site_area);
+        pin_density.at(gx, gy) = pin_count.at(gx, gy) / sites;
+      }
+    }
+    // Normalize to the signed deviation from the design-wide mean so the
+    // feature discriminates (raw pins-per-site is dominated by the
+    // design's average pin density, a constant offset for every cell).
+    double mean = 0.0;
+    for (double v : pin_density.raw()) mean += v;
+    mean /= static_cast<double>(pin_density.size());
+    if (mean > 0.0) {
+      for (double& v : pin_density.raw()) v = v / mean - 1.0;
+    }
+  }
+
+  const Map2D<double> cg = maps.cg_map();
+
+  // Per-pin congestion (GNN feature), accumulated per cell (Eq. 12).
+  std::vector<double> cell_pin_cg(design_.cells.size(), 0.0);
+  for (std::size_t n = 0; n < design_.nets.size(); ++n) {
+    const Net& net = design_.nets[n];
+    const RsmtTree& tree = congestion.trees[n];
+    if (tree.segments.empty()) continue;
+    const auto incidence = tree.build_incidence();
+    for (std::size_t k = 0; k < net.pins.size(); ++k) {
+      const int pt = tree.pin_point[k];
+      if (pt < 0) continue;
+      // Eq. 13: minimum over all candidate paths of all two-point nets
+      // touching this pin.
+      double best = std::numeric_limits<double>::max();
+      for (int seg_idx : incidence[static_cast<std::size_t>(pt)]) {
+        const RsmtSegment& seg = tree.segments[static_cast<std::size_t>(seg_idx)];
+        const Point pa = tree.points[static_cast<std::size_t>(seg.a)].pos;
+        const Point pb = tree.points[static_cast<std::size_t>(seg.b)].pos;
+        const GcellIndex ga = grid.index_of(pa.x, pa.y);
+        const GcellIndex gb = grid.index_of(pb.x, pb.y);
+        best = std::min(best, best_path_cg(maps, ga, gb, config_.z_candidates));
+      }
+      if (best == std::numeric_limits<double>::max()) continue;
+      const Pin& pin = design_.pins[static_cast<std::size_t>(net.pins[k])];
+      cell_pin_cg[static_cast<std::size_t>(pin.cell)] += best;
+    }
+  }
+
+  // Assemble per-cell features.
+  std::vector<FeatureVector> out;
+  out.reserve(cells.size());
+  for (CellId cid : cells) {
+    const Cell& cell = design_.cells[static_cast<std::size_t>(cid)];
+    FeatureVector f;
+    GcellIndex lo, hi;
+    grid.range_of(cell.rect(), lo, hi);
+
+    // Local: max over overlapped Gcells (Eq. 9); signed values preserved.
+    double lcg = -std::numeric_limits<double>::max();
+    double lpin = 0.0;
+    for (int gy = lo.gy; gy <= hi.gy; ++gy) {
+      for (int gx = lo.gx; gx <= hi.gx; ++gx) {
+        lcg = std::max(lcg, cg.at(gx, gy));
+        lpin = std::max(lpin, pin_density.at(gx, gy));
+      }
+    }
+    f.local_cg = lcg;
+    f.local_pin = lpin;
+
+    // CNN-inspired: mean over the kernel-expanded bounding box.
+    const int m = config_.kernel_gcells;
+    const int sx0 = std::max(0, lo.gx - m), sx1 = std::min(grid.nx() - 1, hi.gx + m);
+    const int sy0 = std::max(0, lo.gy - m), sy1 = std::min(grid.ny() - 1, hi.gy + m);
+    double scg = 0.0, spin = 0.0;
+    int count = 0;
+    for (int gy = sy0; gy <= sy1; ++gy) {
+      for (int gx = sx0; gx <= sx1; ++gx) {
+        scg += cg.at(gx, gy);
+        spin += pin_density.at(gx, gy);
+        ++count;
+      }
+    }
+    f.sur_cg = scg / count;
+    f.sur_pin = spin / count;
+
+    // GNN-inspired.
+    f.pin_cg = cell_pin_cg[static_cast<std::size_t>(cid)];
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace puffer

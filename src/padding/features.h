@@ -1,0 +1,59 @@
+// CNN- and GNN-inspired feature extraction for cell padding
+// (paper SS III-B1, Fig. 4).
+//
+// Three feature families per movable cell:
+//
+//  * Local features: the cell's own Gcell neighbourhood -- local
+//    congestion LCg(c) (Eq. 9; signed, the negative part is kept to model
+//    the deviation between estimate and router) and local pin density.
+//  * CNN-inspired: mean congestion / pin density over the cell's bounding
+//    box expanded by a kernel margin (a mean-filter convolution over a
+//    larger spatial region).
+//  * GNN-inspired: pin congestion PCg(c) (Eqs. 12-13) aggregated over the
+//    routing topology -- for each pin, the minimum over all candidate L-
+//    and Z-shaped paths of its two-point nets of the maximum Gcell
+//    congestion along the path.
+#pragma once
+
+#include <vector>
+
+#include "congestion/estimator.h"
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct FeatureVector {
+  double local_cg = 0.0;
+  double local_pin = 0.0;
+  double sur_cg = 0.0;
+  double sur_pin = 0.0;
+  double pin_cg = 0.0;
+
+  static constexpr int kCount = 5;
+  double operator[](int i) const;
+};
+
+struct FeatureConfig {
+  // CNN kernel margin, in Gcells, added around the cell's bounding box.
+  int kernel_gcells = 2;
+  // Cap on sampled intermediate positions for Z-shaped candidate paths
+  // (the full enumeration is quadratic in span; sampling keeps the same
+  // minimum-over-paths structure at bounded cost).
+  int z_candidates = 8;
+};
+
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const Design& design, FeatureConfig config = {});
+
+  // Extracts features for every cell in `cells` (typically the movable
+  // ordinals of the placement engine), using the congestion estimate.
+  std::vector<FeatureVector> extract(const CongestionResult& congestion,
+                                     const std::vector<CellId>& cells) const;
+
+ private:
+  const Design& design_;
+  FeatureConfig config_;
+};
+
+}  // namespace puffer

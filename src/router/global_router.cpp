@@ -1,0 +1,316 @@
+#include "router/global_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logger.h"
+#include "rsmt/rsmt.h"
+
+namespace puffer {
+namespace {
+
+constexpr const char* kTag = "router";
+
+struct Seg {
+  GcellIndex a, b;
+  std::vector<GcellIndex> path;  // inclusive cell sequence a..b
+};
+
+// Demand application: each path cell consumes the direction(s) of its
+// adjacent moves; a turning cell consumes both directions.
+void apply_path(const std::vector<GcellIndex>& path, Map2D<double>& dmd_h,
+                Map2D<double>& dmd_v, double sign) {
+  const std::size_t n = path.size();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool h = false, v = false;
+    if (i > 0) {
+      if (path[i - 1].gy == path[i].gy) h = true;
+      else v = true;
+    }
+    if (i + 1 < n) {
+      if (path[i + 1].gy == path[i].gy) h = true;
+      else v = true;
+    }
+    if (h) dmd_h.at(path[i].gx, path[i].gy) += sign;
+    if (v) dmd_v.at(path[i].gx, path[i].gy) += sign;
+  }
+}
+
+}  // namespace
+
+GlobalRouter::GlobalRouter(const Design& design, RouterConfig config)
+    : design_(design),
+      config_(config),
+      grid_(GcellGrid::from_row_pitch(design.die, design.tech.row_height,
+                                      config.rows_per_gcell)),
+      capacity_(build_capacity_maps(design, grid_)) {}
+
+RouteResult GlobalRouter::route() const {
+  RouteResult result;
+  result.maps = RoutingMaps(grid_, capacity_);
+  Map2D<double>& dmd_h = result.maps.dmd_h;
+  Map2D<double>& dmd_v = result.maps.dmd_v;
+
+  // Local-net pin demand (not ripped up; same model as the estimator).
+  if (config_.pin_penalty > 0.0) {
+    for (const Pin& pin : design_.pins) {
+      const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
+      const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
+      dmd_h.at(g.gx, g.gy) += config_.pin_penalty;
+      dmd_v.at(g.gx, g.gy) += config_.pin_penalty;
+    }
+  }
+
+  // --- decompose nets into segments --------------------------------------
+  std::vector<Seg> segs;
+  {
+    std::vector<Point> pts;
+    for (const Net& net : design_.nets) {
+      if (net.pins.size() < 2) continue;
+      pts.clear();
+      for (PinId pid : net.pins) pts.push_back(design_.pin_position(pid));
+      const RsmtTree tree = build_rsmt(pts);
+      for (const RsmtSegment& s : tree.segments) {
+        Seg seg;
+        seg.a = grid_.index_of(tree.points[static_cast<std::size_t>(s.a)].pos.x,
+                               tree.points[static_cast<std::size_t>(s.a)].pos.y);
+        seg.b = grid_.index_of(tree.points[static_cast<std::size_t>(s.b)].pos.x,
+                               tree.points[static_cast<std::size_t>(s.b)].pos.y);
+        if (seg.a.gx == seg.b.gx && seg.a.gy == seg.b.gy) continue;
+        segs.push_back(std::move(seg));
+      }
+    }
+  }
+  result.segments = static_cast<int>(segs.size());
+
+  Map2D<double> hist_h(grid_.nx(), grid_.ny());
+  Map2D<double> hist_v(grid_.nx(), grid_.ny());
+
+  // Directional entry cost of a Gcell during maze/pattern routing.
+  const auto cost_h = [&](int gx, int gy) {
+    const double cap = std::max(result.maps.cap_h.at(gx, gy), 1.0);
+    const double ratio = (dmd_h.at(gx, gy) + 1.0) / cap;
+    double c = 1.0;
+    if (ratio > 1.0) {
+      c += config_.overflow_slope * (ratio - 1.0) + hist_h.at(gx, gy);
+    }
+    return c;
+  };
+  const auto cost_v = [&](int gx, int gy) {
+    const double cap = std::max(result.maps.cap_v.at(gx, gy), 1.0);
+    const double ratio = (dmd_v.at(gx, gy) + 1.0) / cap;
+    double c = 1.0;
+    if (ratio > 1.0) {
+      c += config_.overflow_slope * (ratio - 1.0) + hist_v.at(gx, gy);
+    }
+    return c;
+  };
+
+  // Builds an L path through the given corner.
+  const auto l_path = [&](GcellIndex a, GcellIndex corner, GcellIndex b) {
+    std::vector<GcellIndex> path;
+    GcellIndex cur = a;
+    path.push_back(cur);
+    auto walk = [&](GcellIndex to) {
+      while (cur.gx != to.gx) {
+        cur.gx += (to.gx > cur.gx) ? 1 : -1;
+        path.push_back(cur);
+      }
+      while (cur.gy != to.gy) {
+        cur.gy += (to.gy > cur.gy) ? 1 : -1;
+        path.push_back(cur);
+      }
+    };
+    walk(corner);
+    walk(b);
+    return path;
+  };
+
+  const auto path_cost = [&](const std::vector<GcellIndex>& path) {
+    double c = 0.0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      bool h = false, v = false;
+      if (i > 0) (path[i - 1].gy == path[i].gy ? h : v) = true;
+      if (i + 1 < path.size()) (path[i + 1].gy == path[i].gy ? h : v) = true;
+      if (h) c += cost_h(path[i].gx, path[i].gy);
+      if (v) c += cost_v(path[i].gx, path[i].gy);
+    }
+    return c;
+  };
+
+  // --- initial pattern routing -------------------------------------------
+  for (Seg& seg : segs) {
+    const GcellIndex c1{seg.b.gx, seg.a.gy};
+    const GcellIndex c2{seg.a.gx, seg.b.gy};
+    auto p1 = l_path(seg.a, c1, seg.b);
+    if (seg.a.gx == seg.b.gx || seg.a.gy == seg.b.gy) {
+      seg.path = std::move(p1);
+    } else {
+      auto p2 = l_path(seg.a, c2, seg.b);
+      seg.path = path_cost(p1) <= path_cost(p2) ? std::move(p1) : std::move(p2);
+    }
+    apply_path(seg.path, dmd_h, dmd_v, +1.0);
+  }
+
+  // --- negotiated rip-up and reroute --------------------------------------
+  const int W = grid_.nx(), H = grid_.ny();
+  std::vector<double> gscore;
+  std::vector<int> visit_mark;
+  std::vector<std::int32_t> parent;
+  int visit_token = 0;
+
+  // Direction-aware A* within a window; dir 0 = arrived horizontally,
+  // 1 = vertically.
+  const auto maze = [&](const Seg& seg) -> std::vector<GcellIndex> {
+    const int x0 = std::max(0, std::min(seg.a.gx, seg.b.gx) - config_.bbox_margin);
+    const int x1 = std::min(W - 1, std::max(seg.a.gx, seg.b.gx) + config_.bbox_margin);
+    const int y0 = std::max(0, std::min(seg.a.gy, seg.b.gy) - config_.bbox_margin);
+    const int y1 = std::min(H - 1, std::max(seg.a.gy, seg.b.gy) + config_.bbox_margin);
+    const int ww = x1 - x0 + 1, wh = y1 - y0 + 1;
+    const std::size_t states = static_cast<std::size_t>(ww) * wh * 2;
+    if (gscore.size() < states) {
+      gscore.resize(states);
+      visit_mark.resize(states, -1);
+      parent.resize(states);
+    }
+    ++visit_token;
+    const auto sid = [&](int gx, int gy, int dir) {
+      return (static_cast<std::size_t>(gy - y0) * ww + (gx - x0)) * 2 +
+             static_cast<std::size_t>(dir);
+    };
+    const auto heur = [&](int gx, int gy) {
+      return static_cast<double>(std::abs(gx - seg.b.gx) +
+                                 std::abs(gy - seg.b.gy));
+    };
+    using QE = std::pair<double, std::uint32_t>;  // (f, state)
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> open;
+    const auto push = [&](int gx, int gy, int dir, double g, std::int32_t par) {
+      const std::size_t s = sid(gx, gy, dir);
+      if (visit_mark[s] == visit_token && gscore[s] <= g) return;
+      visit_mark[s] = visit_token;
+      gscore[s] = g;
+      parent[s] = par;
+      open.emplace(g + heur(gx, gy), static_cast<std::uint32_t>(s));
+    };
+    push(seg.a.gx, seg.a.gy, 0, cost_h(seg.a.gx, seg.a.gy), -1);
+    push(seg.a.gx, seg.a.gy, 1, cost_v(seg.a.gx, seg.a.gy), -1);
+
+    std::int32_t goal_state = -1;
+    while (!open.empty()) {
+      const auto [f, sraw] = open.top();
+      open.pop();
+      const std::size_t s = sraw;
+      const int dir = static_cast<int>(s % 2);
+      const int gx = x0 + static_cast<int>((s / 2) % static_cast<std::size_t>(ww));
+      const int gy = y0 + static_cast<int>((s / 2) / static_cast<std::size_t>(ww));
+      if (f > gscore[s] + heur(gx, gy) + 1e-9) continue;  // stale entry
+      if (gx == seg.b.gx && gy == seg.b.gy) {
+        goal_state = static_cast<std::int32_t>(s);
+        break;
+      }
+      const double g = gscore[s];
+      // Horizontal moves.
+      if (gx > x0) {
+        const double c = cost_h(gx - 1, gy) + (dir == 1 ? config_.turn_cost : 0.0);
+        push(gx - 1, gy, 0, g + c, static_cast<std::int32_t>(s));
+      }
+      if (gx < x1) {
+        const double c = cost_h(gx + 1, gy) + (dir == 1 ? config_.turn_cost : 0.0);
+        push(gx + 1, gy, 0, g + c, static_cast<std::int32_t>(s));
+      }
+      if (gy > y0) {
+        const double c = cost_v(gx, gy - 1) + (dir == 0 ? config_.turn_cost : 0.0);
+        push(gx, gy - 1, 1, g + c, static_cast<std::int32_t>(s));
+      }
+      if (gy < y1) {
+        const double c = cost_v(gx, gy + 1) + (dir == 0 ? config_.turn_cost : 0.0);
+        push(gx, gy + 1, 1, g + c, static_cast<std::int32_t>(s));
+      }
+    }
+    std::vector<GcellIndex> path;
+    if (goal_state < 0) return path;  // unreachable inside the window
+    std::int32_t s = goal_state;
+    while (s >= 0) {
+      const int gx = x0 + static_cast<int>((static_cast<std::size_t>(s) / 2) %
+                                           static_cast<std::size_t>(ww));
+      const int gy = y0 + static_cast<int>((static_cast<std::size_t>(s) / 2) /
+                                           static_cast<std::size_t>(ww));
+      path.push_back({gx, gy});
+      s = parent[static_cast<std::size_t>(s)];
+    }
+    std::reverse(path.begin(), path.end());
+    // Collapse duplicate cells introduced by direction changes in place.
+    std::vector<GcellIndex> dedup;
+    for (const GcellIndex& g : path) {
+      if (dedup.empty() || dedup.back().gx != g.gx || dedup.back().gy != g.gy) {
+        dedup.push_back(g);
+      }
+    }
+    return dedup;
+  };
+
+  for (int round = 0; round < config_.rr_rounds; ++round) {
+    // Grow history on overflowed Gcells.
+    bool any_overflow = false;
+    for (int gy = 0; gy < H; ++gy) {
+      for (int gx = 0; gx < W; ++gx) {
+        if (dmd_h.at(gx, gy) > result.maps.cap_h.at(gx, gy)) {
+          hist_h.at(gx, gy) += config_.history_step;
+          any_overflow = true;
+        }
+        if (dmd_v.at(gx, gy) > result.maps.cap_v.at(gx, gy)) {
+          hist_v.at(gx, gy) += config_.history_step;
+          any_overflow = true;
+        }
+      }
+    }
+    if (!any_overflow) break;
+
+    int rerouted = 0;
+    for (Seg& seg : segs) {
+      // Does this segment touch overflow in a direction it uses?
+      bool touches = false;
+      for (std::size_t i = 0; i < seg.path.size() && !touches; ++i) {
+        const GcellIndex& g = seg.path[i];
+        const bool h_used =
+            (i > 0 && seg.path[i - 1].gy == g.gy) ||
+            (i + 1 < seg.path.size() && seg.path[i + 1].gy == g.gy);
+        const bool v_used =
+            (i > 0 && seg.path[i - 1].gx == g.gx) ||
+            (i + 1 < seg.path.size() && seg.path[i + 1].gx == g.gx);
+        if (h_used && dmd_h.at(g.gx, g.gy) > result.maps.cap_h.at(g.gx, g.gy)) {
+          touches = true;
+        }
+        if (v_used && dmd_v.at(g.gx, g.gy) > result.maps.cap_v.at(g.gx, g.gy)) {
+          touches = true;
+        }
+      }
+      if (!touches) continue;
+      apply_path(seg.path, dmd_h, dmd_v, -1.0);
+      std::vector<GcellIndex> np = maze(seg);
+      if (!np.empty()) seg.path = std::move(np);
+      apply_path(seg.path, dmd_h, dmd_v, +1.0);
+      ++rerouted;
+    }
+    result.rerouted += rerouted;
+    PUFFER_LOG_DEBUG(kTag, "rrr round %d rerouted %d segments", round, rerouted);
+    if (rerouted == 0) break;
+  }
+
+  // --- metrics -------------------------------------------------------------
+  result.overflow = compute_overflow(result.maps);
+  double wl = 0.0;
+  for (const Seg& seg : segs) {
+    for (std::size_t i = 1; i < seg.path.size(); ++i) {
+      wl += (seg.path[i].gy == seg.path[i - 1].gy) ? grid_.gcell_w()
+                                                   : grid_.gcell_h();
+    }
+  }
+  result.wirelength = wl;
+  return result;
+}
+
+}  // namespace puffer

@@ -1,0 +1,65 @@
+// Evaluation global router (substitute for the commercial global router
+// the paper uses as its evaluator).
+//
+// A negotiation-based 2D global router over the Gcell grid:
+//
+//   1. nets are decomposed into two-point segments with the RSMT builder;
+//   2. every segment gets an initial route along the cheaper of its two
+//      L-shapes;
+//   3. rip-up-and-reroute rounds: segments crossing overflowed Gcells are
+//      ripped and rerouted with an A* maze (direction-aware state, so
+//      horizontal/vertical resources are priced separately) inside an
+//      expanded bounding box; per-Gcell history costs grow each round so
+//      persistent overflow is negotiated away (PathFinder-style).
+//
+// Demand accounting matches the Gcell-based resource model used by the
+// congestion estimator: every Gcell a path crosses in a direction
+// consumes one track-equivalent of that direction's capacity, and a
+// turning Gcell consumes both.
+//
+// The router reports the Table II metrics: HOF/VOF (total overflow over
+// total capacity, per direction, in %) and the routed wirelength.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/routing_maps.h"
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct RouterConfig {
+  double rows_per_gcell = 3.0;  // Gcell granularity
+  double pin_penalty = 0.04;    // local-net demand per pin (both dirs)
+  int rr_rounds = 5;            // rip-up-and-reroute rounds
+  int bbox_margin = 8;          // maze search window margin, in Gcells
+  double overflow_slope = 8.0;  // congestion price slope
+  double history_step = 2.0;    // history increment per overflowed round
+  double turn_cost = 0.2;       // via-ish cost for changing direction
+};
+
+struct RouteResult {
+  RoutingMaps maps;        // final capacity + routed demand
+  OverflowStats overflow;  // HOF / VOF
+  double wirelength = 0.0; // total routed length (DBU)
+  int segments = 0;
+  int rerouted = 0;        // reroute operations across all rounds
+};
+
+class GlobalRouter {
+ public:
+  GlobalRouter(const Design& design, RouterConfig config = {});
+
+  // Routes all nets from the design's current cell positions.
+  RouteResult route() const;
+
+  const GcellGrid& grid() const { return grid_; }
+
+ private:
+  const Design& design_;
+  RouterConfig config_;
+  GcellGrid grid_;
+  CapacityMaps capacity_;
+};
+
+}  // namespace puffer

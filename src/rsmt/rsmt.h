@@ -1,0 +1,61 @@
+// Rectilinear Steiner minimal tree construction (FLUTE substitute).
+//
+// The paper uses FLUTE [18] to derive a net's routing topology as a set of
+// two-point nets whose endpoints are pins or Steiner points (SS III-A2).
+// FLUTE's lookup tables are not redistributable, so this module builds the
+// same interface from scratch:
+//
+//   * 1-3 pins: optimal (trivial; 3 pins use the component-wise median
+//     Steiner point).
+//   * >=4 pins: Prim MST under Manhattan distance followed by greedy
+//     iterated 1-Steiner refinement (median of a vertex and two tree
+//     neighbours), which recovers most of the MST-to-RSMT gap.
+//
+// The output is exactly what the congestion estimator consumes: a list of
+// points flagged pin/Steiner plus two-point segments between them.
+#pragma once
+
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace puffer {
+
+struct RsmtPoint {
+  Point pos;
+  // Index of a representative input pin at this location, or -1 for a
+  // Steiner point. Coincident input pins map to one tree point; see
+  // RsmtTree::pin_point for the full mapping.
+  int pin = -1;
+
+  bool is_steiner() const { return pin < 0; }
+};
+
+struct RsmtSegment {
+  int a = -1;  // point indices
+  int b = -1;
+};
+
+struct RsmtTree {
+  std::vector<RsmtPoint> points;
+  std::vector<RsmtSegment> segments;
+  // pin_point[i] = tree point holding input pin i.
+  std::vector<int> pin_point;
+
+  // Total rectilinear length (sum of segment Manhattan lengths).
+  double length() const;
+
+  // Segment indices incident to each point (built on demand by callers
+  // that need pin-adjacency, e.g. the GNN-inspired pin congestion).
+  std::vector<std::vector<int>> build_incidence() const;
+};
+
+// Builds the tree for the given pin locations. An empty input yields an
+// empty tree; a single pin yields one point and no segments.
+RsmtTree build_rsmt(const std::vector<Point>& pins);
+
+// Lower bound sanity helper: HPWL of the pin set (the RSMT length is always
+// >= HPWL for >=2 pins and >= HPWL/... see tests for the exact properties).
+double pins_hpwl(const std::vector<Point>& pins);
+
+}  // namespace puffer

@@ -1,0 +1,100 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace puffer {
+namespace {
+
+class SvgWriter {
+ public:
+  SvgWriter(const std::string& path, const Rect& view, double scale)
+      : out_(path), view_(view), scale_(scale) {
+    if (!out_) throw std::runtime_error("cannot write " + path);
+    out_ << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+    out_ << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+         << view.width() * scale_ << "\" height=\"" << view.height() * scale_
+         << "\" viewBox=\"0 0 " << view.width() * scale_ << ' '
+         << view.height() * scale_ << "\">\n";
+    out_ << "<rect width=\"100%\" height=\"100%\" fill=\"#101418\"/>\n";
+  }
+
+  ~SvgWriter() { out_ << "</svg>\n"; }
+
+  // SVG y grows downward; flip so the die's origin is bottom-left.
+  void rect(const Rect& r, const char* fill, double opacity,
+            const char* stroke = nullptr) {
+    const double x = (r.xlo - view_.xlo) * scale_;
+    const double y = (view_.yhi - r.yhi) * scale_;
+    out_ << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+         << r.width() * scale_ << "\" height=\"" << r.height() * scale_
+         << "\" fill=\"" << fill << "\" fill-opacity=\"" << opacity << '"';
+    if (stroke != nullptr) {
+      out_ << " stroke=\"" << stroke << "\" stroke-width=\"0.5\"";
+    }
+    out_ << "/>\n";
+  }
+
+ private:
+  std::ofstream out_;
+  Rect view_;
+  double scale_;
+};
+
+double auto_scale(const Design& design, const SvgOptions& options) {
+  if (options.pixels_per_dbu > 0.0) return options.pixels_per_dbu;
+  return 1200.0 / std::max(design.die.width(), 1.0);
+}
+
+void draw_design(SvgWriter& svg, const Design& design,
+                 const SvgOptions& options) {
+  svg.rect(design.die, "#1c2430", 1.0, "#5a6b80");
+  if (options.draw_rows) {
+    for (const Row& row : design.rows) {
+      svg.rect({row.x_lo, row.y, row.x_hi(), row.y + row.height}, "#202b38",
+               0.6);
+    }
+  }
+  if (options.draw_cells) {
+    for (std::size_t c = 0; c < design.cells.size(); ++c) {
+      const Cell& cell = design.cells[c];
+      if (!cell.movable()) continue;
+      const bool padded = options.pad_by_cell != nullptr &&
+                          c < options.pad_by_cell->size() &&
+                          (*options.pad_by_cell)[c] > 0.0;
+      svg.rect(cell.rect(), padded ? "#ffb454" : "#5ccfe6", 0.85);
+    }
+  }
+  if (options.draw_macros) {
+    for (const Cell& cell : design.cells) {
+      if (cell.is_macro()) svg.rect(cell.rect(), "#394b61", 1.0, "#8ba2bd");
+    }
+  }
+}
+
+}  // namespace
+
+void write_placement_svg(const Design& design, const std::string& path,
+                         const SvgOptions& options) {
+  SvgWriter svg(path, design.die, auto_scale(design, options));
+  draw_design(svg, design, options);
+}
+
+void write_placement_svg(const Design& design, const GcellGrid& grid,
+                         const Map2D<double>& cg, const std::string& path,
+                         const SvgOptions& options) {
+  SvgWriter svg(path, design.die, auto_scale(design, options));
+  draw_design(svg, design, options);
+  for (int gy = 0; gy < grid.ny(); ++gy) {
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      const double v = cg.at(gx, gy);
+      if (v <= 0.0) continue;
+      const double t = clamp(v, 0.0, 1.0);
+      svg.rect(grid.gcell_rect(gx, gy), t > 0.5 ? "#ff3333" : "#ffcc00",
+               0.25 + 0.45 * t);
+    }
+  }
+}
+
+}  // namespace puffer

@@ -1,0 +1,36 @@
+// SVG export of placements and congestion overlays.
+//
+// Renders the die, rows, macros and standard cells to a standalone SVG
+// file; optionally overlays a congestion map as translucent heat tiles.
+// Used by the examples and handy when debugging placement pathologies.
+#pragma once
+
+#include <string>
+
+#include "grid/map2d.h"
+#include "grid/gcell.h"
+#include "netlist/design.h"
+
+namespace puffer {
+
+struct SvgOptions {
+  double pixels_per_dbu = 0.0;  // 0 = auto (target ~1200 px wide)
+  bool draw_rows = true;
+  bool draw_cells = true;
+  bool draw_macros = true;
+  // Highlight padded cells (ids with pad > 0) in a distinct fill.
+  const std::vector<double>* pad_by_cell = nullptr;  // indexed by CellId
+};
+
+// Writes the placement to `path`. Throws std::runtime_error on I/O error.
+void write_placement_svg(const Design& design, const std::string& path,
+                         const SvgOptions& options = {});
+
+// Same, with a congestion overlay: `cg` holds signed congestion per Gcell
+// of `grid` (positive = overflow, drawn red; negative = slack, not drawn
+// unless `show_slack`).
+void write_placement_svg(const Design& design, const GcellGrid& grid,
+                         const Map2D<double>& cg, const std::string& path,
+                         const SvgOptions& options = {});
+
+}  // namespace puffer

@@ -1,0 +1,180 @@
+// Tests for the detailed-placement extension and the SVG exporter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dp/detailed_place.h"
+#include "io/synthetic.h"
+#include "legal/abacus.h"
+#include "legal/legality.h"
+#include "viz/svg.h"
+
+namespace puffer {
+namespace {
+
+Design base_design(double die_w = 160, double die_h = 32) {
+  Design d;
+  d.die = {0, 0, die_w, die_h};
+  d.tech = Technology::make_default(1.0, 8.0, 8);
+  const int rows = static_cast<int>(die_h / 8.0);
+  for (int r = 0; r < rows; ++r) {
+    d.rows.push_back({r * 8.0, 0, static_cast<int>(die_w), 1.0, 8.0});
+  }
+  return d;
+}
+
+CellId add_cell_at(Design& d, double x, double y, double w = 2.0) {
+  Cell c;
+  c.name = "c" + std::to_string(d.cells.size());
+  c.width = w;
+  c.height = 8;
+  c.x = x;
+  c.y = y;
+  return d.add_cell(std::move(c));
+}
+
+TEST(DetailedPlace, AdjacentReorderFixesCrossedPair) {
+  Design d = base_design();
+  // a at x=10 connects to a terminal at x=100; b at x=20 connects to a
+  // terminal at x=0: swapping their order obviously helps.
+  const CellId a = add_cell_at(d, 10, 0, 4);
+  const CellId b = add_cell_at(d, 20, 0, 4);
+  Cell t0;
+  t0.name = "t0";
+  t0.kind = CellKind::kTerminal;
+  t0.x = 100;
+  t0.y = 0;
+  const CellId right = d.add_cell(t0);
+  Cell t1 = t0;
+  t1.name = "t1";
+  t1.x = 0;
+  const CellId left = d.add_cell(t1);
+  const NetId n0 = d.add_net("n0");
+  d.connect(a, n0, 2, 4);
+  d.connect(right, n0, 0, 0);
+  const NetId n1 = d.add_net("n1");
+  d.connect(b, n1, 2, 4);
+  d.connect(left, n1, 0, 0);
+
+  DetailedPlaceConfig cfg;
+  cfg.cross_row_swaps = false;
+  const double before = d.total_hpwl();
+  const DetailedPlaceResult r = detailed_place(d, cfg);
+  EXPECT_GT(r.accepted_moves, 0);
+  EXPECT_LT(d.total_hpwl(), before);
+  // Order actually flipped; the pair envelope is preserved.
+  EXPECT_LT(d.cells[static_cast<std::size_t>(b)].x,
+            d.cells[static_cast<std::size_t>(a)].x);
+  EXPECT_DOUBLE_EQ(d.cells[static_cast<std::size_t>(b)].x, 10.0);
+  EXPECT_DOUBLE_EQ(d.cells[static_cast<std::size_t>(a)].x, 20.0);
+}
+
+TEST(DetailedPlace, CrossRowSwapMovesCellTowardNet) {
+  Design d = base_design(160, 32);
+  // Same-size cells in different rows, each wanting the other's spot.
+  const CellId a = add_cell_at(d, 8, 0, 2);
+  const CellId b = add_cell_at(d, 120, 24, 2);
+  Cell t0;
+  t0.kind = CellKind::kTerminal;
+  t0.name = "t0";
+  t0.x = 128;
+  t0.y = 24;
+  const CellId ta = d.add_cell(t0);
+  Cell t1 = t0;
+  t1.name = "t1";
+  t1.x = 4;
+  t1.y = 0;
+  const CellId tb = d.add_cell(t1);
+  const NetId n0 = d.add_net("n0");
+  d.connect(a, n0, 1, 4);
+  d.connect(ta, n0, 0, 0);
+  const NetId n1 = d.add_net("n1");
+  d.connect(b, n1, 1, 4);
+  d.connect(tb, n1, 0, 0);
+
+  DetailedPlaceConfig cfg;
+  cfg.adjacent_reorder = false;
+  cfg.swap_window_rows = 100.0;
+  const double before = d.total_hpwl();
+  const DetailedPlaceResult r = detailed_place(d, cfg);
+  EXPECT_GT(r.accepted_moves, 0);
+  EXPECT_LT(d.total_hpwl(), before * 0.5);
+}
+
+TEST(DetailedPlace, PreservesLegalityOnSyntheticDesign) {
+  SyntheticSpec spec;
+  spec.num_cells = 500;
+  spec.num_nets = 750;
+  spec.num_macros = 3;
+  Design d = generate_synthetic(spec);
+  ASSERT_TRUE(legalize(d).success);
+  ASSERT_TRUE(check_legality(d).legal);
+  const double before = d.total_hpwl();
+  const DetailedPlaceResult r = detailed_place(d);
+  EXPECT_LE(d.total_hpwl(), before + 1e-6);
+  EXPECT_TRUE(check_legality(d).legal) << check_legality(d).summary();
+  EXPECT_GE(r.improvement_pct(), 0.0);
+}
+
+TEST(DetailedPlace, NoMovesOnOptimalPlacement) {
+  Design d = base_design();
+  const CellId a = add_cell_at(d, 0, 0, 2);
+  const CellId b = add_cell_at(d, 10, 0, 2);
+  const NetId n = d.add_net("n");
+  d.connect(a, n, 1, 4);
+  d.connect(b, n, 1, 4);
+  // Only one net between them: any reorder keeps or worsens HPWL.
+  const DetailedPlaceResult r = detailed_place(d);
+  EXPECT_LE(r.passes, 2);
+  EXPECT_DOUBLE_EQ(r.hpwl_after, r.hpwl_before);
+}
+
+TEST(Svg, WritesValidFile) {
+  SyntheticSpec spec;
+  spec.num_cells = 150;
+  spec.num_nets = 220;
+  spec.num_macros = 2;
+  const Design d = generate_synthetic(spec);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "puffer_test.svg").string();
+  write_placement_svg(d, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  // One rect per movable cell at least.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = content.find("<rect", pos)) != std::string::npos;
+       ++rects, ++pos) {
+  }
+  EXPECT_GE(rects, d.num_movable());
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, CongestionOverlayAddsHeatTiles) {
+  SyntheticSpec spec;
+  spec.num_cells = 100;
+  spec.num_nets = 150;
+  const Design d = generate_synthetic(spec);
+  const GcellGrid grid(d.die, 4, 4);
+  Map2D<double> cg(4, 4, -0.5);
+  cg.at(1, 1) = 0.8;
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "puffer_base.svg").string();
+  const std::string heat =
+      (std::filesystem::temp_directory_path() / "puffer_heat.svg").string();
+  write_placement_svg(d, base);
+  write_placement_svg(d, grid, cg, heat);
+  const auto size = [](const std::string& p) {
+    return std::filesystem::file_size(p);
+  };
+  EXPECT_GT(size(heat), size(base));
+  std::filesystem::remove(base);
+  std::filesystem::remove(heat);
+}
+
+}  // namespace
+}  // namespace puffer

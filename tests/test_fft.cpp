@@ -1,0 +1,249 @@
+// Tests for the FFT / DCT / DST transforms and the spectral Poisson
+// solver. The transform tests compare the fast implementations against
+// naive O(N^2) reference evaluations across a parameterized size sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/rng.h"
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "gp/electrostatics.h"
+
+namespace puffer {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// --- FFT -------------------------------------------------------------
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(33), 64u);
+  EXPECT_EQ(next_pow2(64), 64u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> v(12);
+  EXPECT_THROW(fft(v, false), std::invalid_argument);
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<std::complex<double>> a(n);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto fast = a;
+  fft(fast, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> ref{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      ref += a[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(fast[k].real(), ref.real(), 1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(fast[k].imag(), ref.imag(), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<std::complex<double>> a(n);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto b = a;
+  fft(b, false);
+  fft(b, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i].real(), a[i].real(), 1e-10);
+    EXPECT_NEAR(b[i].imag(), a[i].imag(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+// --- DCT family --------------------------------------------------------
+
+class DctSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DctSizes, Dct2MatchesNaive) {
+  const std::size_t n = GetParam();
+  const auto x = random_vector(n, 7 + n);
+  const auto fast = dct2(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    double ref = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      ref += x[m] * std::cos(std::numbers::pi * static_cast<double>(k) *
+                             (2.0 * static_cast<double>(m) + 1.0) /
+                             (2.0 * static_cast<double>(n)));
+    }
+    EXPECT_NEAR(fast[k], ref, 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(DctSizes, Dct3RawMatchesNaive) {
+  const std::size_t n = GetParam();
+  const auto x = random_vector(n, 11 + n);
+  const auto fast = dct3_raw(x);
+  for (std::size_t m = 0; m < n; ++m) {
+    double ref = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      ref += x[k] * std::cos(std::numbers::pi * static_cast<double>(k) *
+                             (2.0 * static_cast<double>(m) + 1.0) /
+                             (2.0 * static_cast<double>(n)));
+    }
+    EXPECT_NEAR(fast[m], ref, 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(DctSizes, IdxstMatchesNaive) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const auto x = random_vector(n, 13 + n);
+  const auto fast = idxst_raw(x);
+  for (std::size_t m = 0; m < n; ++m) {
+    double ref = 0.0;
+    for (std::size_t k = 1; k < n; ++k) {
+      ref += x[k] * std::sin(std::numbers::pi * static_cast<double>(k) *
+                             (2.0 * static_cast<double>(m) + 1.0) /
+                             (2.0 * static_cast<double>(n)));
+    }
+    EXPECT_NEAR(fast[m], ref, 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(DctSizes, InversionIdentity) {
+  // x == (2/N) * dct3_raw(X') with X'[0] halved, X = dct2(x).
+  const std::size_t n = GetParam();
+  const auto x = random_vector(n, 17 + n);
+  auto X = dct2(x);
+  X[0] *= 0.5;
+  const auto back = dct3_raw(X);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i] * 2.0 / static_cast<double>(n), x[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DctSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(Dct2d, SeparableAgainstNaive) {
+  const std::size_t nx = 8, ny = 4;
+  const auto data = random_vector(nx * ny, 23);
+  const auto fast = dct2_2d(data, nx, ny);
+  for (std::size_t v = 0; v < ny; ++v) {
+    for (std::size_t u = 0; u < nx; ++u) {
+      double ref = 0.0;
+      for (std::size_t n = 0; n < ny; ++n) {
+        for (std::size_t m = 0; m < nx; ++m) {
+          ref += data[n * nx + m] *
+                 std::cos(std::numbers::pi * static_cast<double>(u) *
+                          (2.0 * static_cast<double>(m) + 1.0) /
+                          (2.0 * static_cast<double>(nx))) *
+                 std::cos(std::numbers::pi * static_cast<double>(v) *
+                          (2.0 * static_cast<double>(n) + 1.0) /
+                          (2.0 * static_cast<double>(ny)));
+        }
+      }
+      EXPECT_NEAR(fast[v * nx + u], ref, 1e-8);
+    }
+  }
+}
+
+TEST(Dct2d, SizeMismatchThrows) {
+  EXPECT_THROW(dct2_2d(std::vector<double>(7), 4, 2), std::invalid_argument);
+}
+
+// --- electrostatic solver ------------------------------------------------
+
+TEST(Electrostatics, UniformDensityHasNoField) {
+  const int n = 16;
+  ElectrostaticSystem es(n, n, 100.0, 100.0);
+  Map2D<double> rho(n, n, 3.0);
+  es.solve(rho);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      EXPECT_NEAR(es.field_x().at(x, y), 0.0, 1e-9);
+      EXPECT_NEAR(es.field_y().at(x, y), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Electrostatics, FieldPointsAwayFromBlob) {
+  const int n = 32;
+  ElectrostaticSystem es(n, n, 100.0, 100.0);
+  Map2D<double> rho(n, n, 0.0);
+  rho.at(16, 16) = 10.0;  // point blob near the center
+  es.solve(rho);
+  // Right of the blob the x-field should push right (positive), left of
+  // it negative; likewise in y.
+  EXPECT_GT(es.field_x().at(20, 16), 0.0);
+  EXPECT_LT(es.field_x().at(12, 16), 0.0);
+  EXPECT_GT(es.field_y().at(16, 20), 0.0);
+  EXPECT_LT(es.field_y().at(16, 12), 0.0);
+}
+
+TEST(Electrostatics, PotentialPeaksAtBlob) {
+  const int n = 32;
+  ElectrostaticSystem es(n, n, 64.0, 64.0);
+  Map2D<double> rho(n, n, 0.0);
+  rho.at(8, 24) = 5.0;
+  es.solve(rho);
+  double max_psi = -1e300;
+  int max_x = -1, max_y = -1;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      if (es.potential().at(x, y) > max_psi) {
+        max_psi = es.potential().at(x, y);
+        max_x = x;
+        max_y = y;
+      }
+    }
+  }
+  EXPECT_EQ(max_x, 8);
+  EXPECT_EQ(max_y, 24);
+}
+
+TEST(Electrostatics, EnergyDecreasesWhenSpread) {
+  const int n = 32;
+  ElectrostaticSystem es(n, n, 100.0, 100.0);
+  Map2D<double> blob(n, n, 0.0);
+  blob.at(16, 16) = 16.0;
+  es.solve(blob);
+  const double concentrated = es.energy();
+  Map2D<double> spread(n, n, 0.0);
+  for (int y = 14; y < 18; ++y) {
+    for (int x = 14; x < 18; ++x) spread.at(x, y) = 1.0;
+  }
+  es.solve(spread);
+  EXPECT_LT(es.energy(), concentrated);
+}
+
+TEST(Electrostatics, RejectsBadConstruction) {
+  EXPECT_THROW(ElectrostaticSystem(12, 16, 10, 10), std::invalid_argument);
+  EXPECT_THROW(ElectrostaticSystem(16, 16, -1, 10), std::invalid_argument);
+}
+
+TEST(Electrostatics, RejectsWrongDensitySize) {
+  ElectrostaticSystem es(16, 16, 10, 10);
+  Map2D<double> rho(8, 8);
+  EXPECT_THROW(es.solve(rho), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace puffer

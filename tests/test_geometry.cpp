@@ -1,0 +1,128 @@
+// Unit and property tests for the planar geometry primitives.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/geometry.h"
+
+namespace puffer {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1, 2}, b{3, 5};
+  EXPECT_EQ((a + b), (Point{4, 7}));
+  EXPECT_EQ((b - a), (Point{2, 3}));
+  EXPECT_EQ((a * 2.0), (Point{2, 4}));
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({3, 4}, {0, 0}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Interval, BasicProperties) {
+  const Interval i{2, 5};
+  EXPECT_FALSE(i.empty());
+  EXPECT_DOUBLE_EQ(i.length(), 3.0);
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_TRUE(i.contains(5.0));
+  EXPECT_FALSE(i.contains(5.1));
+  EXPECT_TRUE(Interval{}.empty());
+  EXPECT_DOUBLE_EQ(Interval{}.length(), 0.0);
+}
+
+TEST(Interval, Intersection) {
+  const Interval a{0, 4}, b{2, 6}, c{5, 7};
+  EXPECT_DOUBLE_EQ(a.intersect(b).length(), 2.0);
+  EXPECT_TRUE(a.intersect(c).empty());
+}
+
+TEST(Rect, AreaWidthHeight) {
+  const Rect r{0, 0, 4, 3};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 3.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (Point{2, 1.5}));
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_DOUBLE_EQ(Rect{}.area(), 0.0);
+}
+
+TEST(Rect, BoundingOfTwoPoints) {
+  const Rect r = Rect::bounding({5, 1}, {2, 4});
+  EXPECT_DOUBLE_EQ(r.xlo, 2.0);
+  EXPECT_DOUBLE_EQ(r.ylo, 1.0);
+  EXPECT_DOUBLE_EQ(r.xhi, 5.0);
+  EXPECT_DOUBLE_EQ(r.yhi, 4.0);
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(a.overlap_area({2, 2, 6, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area({4, 4, 6, 6}), 0.0);  // touching edges
+  EXPECT_DOUBLE_EQ(a.overlap_area({-1, -1, 5, 5}), 16.0);  // containment
+  EXPECT_DOUBLE_EQ(a.overlap_area({10, 10, 12, 12}), 0.0);
+}
+
+TEST(Rect, ExpandAndClamp) {
+  const Rect r{2, 2, 4, 4};
+  const Rect e = r.expanded(1.0);
+  EXPECT_DOUBLE_EQ(e.xlo, 1.0);
+  EXPECT_DOUBLE_EQ(e.yhi, 5.0);
+  const Rect c = e.clamped({0, 0, 4.5, 10});
+  EXPECT_DOUBLE_EQ(c.xhi, 4.5);
+  EXPECT_DOUBLE_EQ(c.xlo, 1.0);
+}
+
+TEST(Rect, IncludeGrowsToCover) {
+  Rect r;
+  r.include({3, 4});
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+  EXPECT_FALSE(r.empty());
+  r.include({1, 7});
+  EXPECT_DOUBLE_EQ(r.xlo, 1.0);
+  EXPECT_DOUBLE_EQ(r.yhi, 7.0);
+  EXPECT_TRUE(r.contains({2, 5}));
+}
+
+TEST(Rect, ContainsBoundaryInclusive) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({2, 2}));
+  EXPECT_FALSE(r.contains({2.001, 1}));
+}
+
+TEST(Clamp, Basics) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 3.0), 2.0);
+}
+
+// Property: overlap is symmetric and bounded by both areas.
+TEST(RectProperty, OverlapSymmetricAndBounded) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = Rect::bounding({rng.uniform(0, 10), rng.uniform(0, 10)},
+                                  {rng.uniform(0, 10), rng.uniform(0, 10)});
+    const Rect b = Rect::bounding({rng.uniform(0, 10), rng.uniform(0, 10)},
+                                  {rng.uniform(0, 10), rng.uniform(0, 10)});
+    const double ab = a.overlap_area(b);
+    EXPECT_DOUBLE_EQ(ab, b.overlap_area(a));
+    EXPECT_LE(ab, a.area() + 1e-12);
+    EXPECT_LE(ab, b.area() + 1e-12);
+    EXPECT_GE(ab, 0.0);
+  }
+}
+
+// Property: manhattan satisfies the triangle inequality.
+TEST(PointProperty, TriangleInequality) {
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    const Point a{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Point b{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Point c{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace puffer

@@ -1,0 +1,275 @@
+// Tests for the Gcell grid, 2D maps, blockage-aware capacity (Eq. 8) and
+// the routing-maps congestion/overflow metrics (Eqs. 7, 10, 11).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "grid/capacity.h"
+#include "grid/gcell.h"
+#include "grid/map2d.h"
+#include "grid/routing_maps.h"
+
+namespace puffer {
+namespace {
+
+TEST(Map2D, BasicAccess) {
+  Map2D<double> m(4, 3, 1.5);
+  EXPECT_EQ(m.nx(), 4);
+  EXPECT_EQ(m.ny(), 3);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m.sum(), 18.0);
+  m.at(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.max_value(), 7.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(GcellGrid, IndexingAndRects) {
+  const GcellGrid g({0, 0, 100, 50}, 10, 5);
+  EXPECT_DOUBLE_EQ(g.gcell_w(), 10.0);
+  EXPECT_DOUBLE_EQ(g.gcell_h(), 10.0);
+  EXPECT_EQ(g.index_of(0, 0).gx, 0);
+  EXPECT_EQ(g.index_of(15, 25).gx, 1);
+  EXPECT_EQ(g.index_of(15, 25).gy, 2);
+  // Clamping outside the area.
+  EXPECT_EQ(g.index_of(-5, 500).gx, 0);
+  EXPECT_EQ(g.index_of(-5, 500).gy, 4);
+  const Rect r = g.gcell_rect(1, 2);
+  EXPECT_DOUBLE_EQ(r.xlo, 10.0);
+  EXPECT_DOUBLE_EQ(r.ylo, 20.0);
+  EXPECT_EQ(g.gcell_center(0, 0), (Point{5, 5}));
+}
+
+TEST(GcellGrid, RangeOfInclusive) {
+  const GcellGrid g({0, 0, 100, 100}, 10, 10);
+  GcellIndex lo, hi;
+  g.range_of({15, 15, 35, 25}, lo, hi);
+  EXPECT_EQ(lo.gx, 1);
+  EXPECT_EQ(hi.gx, 3);
+  EXPECT_EQ(lo.gy, 1);
+  EXPECT_EQ(hi.gy, 2);
+  // A rect ending exactly on a boundary does not spill over.
+  g.range_of({0, 0, 10, 10}, lo, hi);
+  EXPECT_EQ(hi.gx, 0);
+  EXPECT_EQ(hi.gy, 0);
+}
+
+TEST(GcellGrid, FromRowPitch) {
+  const GcellGrid g = GcellGrid::from_row_pitch({0, 0, 240, 240}, 8.0, 3.0);
+  EXPECT_EQ(g.nx(), 10);
+  EXPECT_EQ(g.ny(), 10);
+}
+
+TEST(GcellGrid, RejectsBadConstruction) {
+  EXPECT_THROW(GcellGrid({0, 0, 10, 10}, 0, 5), std::invalid_argument);
+  EXPECT_THROW(GcellGrid(Rect{}, 2, 2), std::invalid_argument);
+}
+
+Design capacity_design() {
+  Design d;
+  d.die = {0, 0, 240, 240};
+  d.tech = Technology::make_default(1.0, 8.0, 8);
+  for (int r = 0; r < 30; ++r) d.rows.push_back({r * 8.0, 0, 240, 1.0, 8.0});
+  return d;
+}
+
+TEST(Capacity, BaseCapacityMatchesTrackDensity) {
+  const Design d = capacity_design();
+  const GcellGrid g(d.die, 10, 10);
+  const CapacityMaps maps = build_capacity_maps(d, g);
+  const double expect_h = 24.0 * d.tech.track_density(RouteDir::kHorizontal);
+  const double expect_v = 24.0 * d.tech.track_density(RouteDir::kVertical);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      EXPECT_NEAR(maps.cap_h.at(x, y), expect_h, 1e-9);
+      EXPECT_NEAR(maps.cap_v.at(x, y), expect_v, 1e-9);
+    }
+  }
+}
+
+TEST(Capacity, MacroReducesCoveredGcells) {
+  Design d = capacity_design();
+  Cell m;
+  m.name = "m";
+  m.kind = CellKind::kMacro;
+  m.x = 24;
+  m.y = 24;
+  m.width = 48;  // covers Gcells (1,1)-(2,2) fully
+  m.height = 48;
+  d.add_cell(m);
+  const GcellGrid g(d.die, 10, 10);
+  const CapacityMaps maps = build_capacity_maps(d, g);
+  const double base_h = 24.0 * d.tech.track_density(RouteDir::kHorizontal);
+  const double over_h = 24.0 * d.tech.track_density_over_macros(RouteDir::kHorizontal);
+  EXPECT_NEAR(maps.cap_h.at(1, 1), over_h, 1e-9);
+  EXPECT_NEAR(maps.cap_h.at(2, 2), over_h, 1e-9);
+  EXPECT_NEAR(maps.cap_h.at(5, 5), base_h, 1e-9);
+  EXPECT_LT(over_h, base_h);
+}
+
+TEST(Capacity, PartialMacroCoverageScales) {
+  Design d = capacity_design();
+  Cell m;
+  m.kind = CellKind::kMacro;
+  m.x = 0;
+  m.y = 0;
+  m.width = 12;  // half of Gcell (0,0) in x
+  m.height = 24;
+  d.add_cell(m);
+  const GcellGrid g(d.die, 10, 10);
+  const CapacityMaps maps = build_capacity_maps(d, g);
+  const double base_h = 24.0 * d.tech.track_density(RouteDir::kHorizontal);
+  EXPECT_LT(maps.cap_h.at(0, 0), base_h);
+  EXPECT_GT(maps.cap_h.at(0, 0),
+            24.0 * d.tech.track_density_over_macros(RouteDir::kHorizontal));
+}
+
+TEST(Capacity, ExplicitBlockageOnOneLayer) {
+  const Design d = capacity_design();
+  const GcellGrid g(d.die, 10, 10);
+  RoutingBlockage blk;
+  blk.rect = {0, 0, 240, 24};  // bottom row of Gcells
+  blk.layer = 0;               // M1, horizontal
+  const CapacityMaps with = build_capacity_maps(d, g, {blk});
+  const CapacityMaps without = build_capacity_maps(d, g);
+  EXPECT_LT(with.cap_h.at(5, 0), without.cap_h.at(5, 0));
+  EXPECT_NEAR(with.cap_v.at(5, 0), without.cap_v.at(5, 0), 1e-9);
+  EXPECT_NEAR(with.cap_h.at(5, 5), without.cap_h.at(5, 5), 1e-9);
+}
+
+TEST(Capacity, NeverNegative) {
+  Design d = capacity_design();
+  // Bury the die in macros twice over.
+  for (int k = 0; k < 2; ++k) {
+    Cell m;
+    m.kind = CellKind::kMacro;
+    m.x = 0;
+    m.y = 0;
+    m.width = 240;
+    m.height = 240;
+    d.add_cell(m);
+  }
+  const GcellGrid g(d.die, 10, 10);
+  const CapacityMaps maps = build_capacity_maps(d, g);
+  for (double c : maps.cap_h.raw()) EXPECT_GE(c, 0.0);
+  for (double c : maps.cap_v.raw()) EXPECT_GE(c, 0.0);
+}
+
+RoutingMaps tiny_maps() {
+  const GcellGrid g({0, 0, 20, 20}, 2, 2);
+  CapacityMaps caps;
+  caps.cap_h = Map2D<double>(2, 2, 10.0);
+  caps.cap_v = Map2D<double>(2, 2, 10.0);
+  return RoutingMaps(g, std::move(caps));
+}
+
+TEST(RoutingMaps, SignedCongestionEq11) {
+  RoutingMaps maps = tiny_maps();
+  maps.dmd_h.at(0, 0) = 15.0;  // cg_h = 0.5
+  maps.dmd_v.at(0, 0) = 5.0;   // cg_v = -0.5
+  EXPECT_DOUBLE_EQ(maps.cg_h(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(maps.cg_v(0, 0), -0.5);
+}
+
+TEST(RoutingMaps, CombinedCongestionEq10) {
+  RoutingMaps maps = tiny_maps();
+  // Opposite signs -> max.
+  maps.dmd_h.at(0, 0) = 15.0;
+  maps.dmd_v.at(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(maps.cg(0, 0), 0.5);
+  // Same sign (both over) -> sum.
+  maps.dmd_h.at(1, 0) = 12.0;
+  maps.dmd_v.at(1, 0) = 14.0;
+  EXPECT_DOUBLE_EQ(maps.cg(1, 0), 0.2 + 0.4);
+  // Both under -> sum (negative).
+  maps.dmd_h.at(0, 1) = 8.0;
+  maps.dmd_v.at(0, 1) = 6.0;
+  EXPECT_DOUBLE_EQ(maps.cg(0, 1), -0.2 + -0.4);
+}
+
+TEST(RoutingMaps, SmallCapacityUsesFloorOfOne) {
+  const GcellGrid g({0, 0, 20, 20}, 2, 2);
+  CapacityMaps caps;
+  caps.cap_h = Map2D<double>(2, 2, 0.25);
+  caps.cap_v = Map2D<double>(2, 2, 0.25);
+  RoutingMaps maps(g, std::move(caps));
+  maps.dmd_h.at(0, 0) = 1.25;
+  // Divisor is max(cap, 1) = 1.
+  EXPECT_DOUBLE_EQ(maps.cg_h(0, 0), 1.0);
+}
+
+TEST(Overflow, StatsComputedPerDirection) {
+  RoutingMaps maps = tiny_maps();
+  maps.dmd_h.at(0, 0) = 14.0;  // +4 over
+  maps.dmd_v.at(1, 1) = 12.0;  // +2 over
+  const OverflowStats stats = compute_overflow(maps);
+  EXPECT_NEAR(stats.hof_pct, 100.0 * 4.0 / 40.0, 1e-9);
+  EXPECT_NEAR(stats.vof_pct, 100.0 * 2.0 / 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.total_overflow, 6.0);
+  EXPECT_EQ(stats.overflowed_gcells, 2);
+  EXPECT_NEAR(stats.total_pct(), stats.hof_pct + stats.vof_pct, 1e-12);
+}
+
+TEST(Overflow, ZeroWhenUnderCapacity) {
+  RoutingMaps maps = tiny_maps();
+  maps.dmd_h.fill(9.9);
+  const OverflowStats stats = compute_overflow(maps);
+  EXPECT_DOUBLE_EQ(stats.hof_pct, 0.0);
+  EXPECT_EQ(stats.overflowed_gcells, 0);
+}
+
+TEST(MapCorrelation, PerfectAndAnti) {
+  Map2D<double> a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 2;
+  a.at(0, 1) = 3;
+  a.at(1, 1) = 4;
+  Map2D<double> b = a;
+  EXPECT_NEAR(map_correlation(a, b), 1.0, 1e-12);
+  for (double& v : b.raw()) v = -v;
+  EXPECT_NEAR(map_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(MapCorrelation, ConstantMapGivesZero) {
+  Map2D<double> a(2, 2, 1.0);
+  Map2D<double> b(2, 2);
+  b.at(0, 0) = 5;
+  EXPECT_DOUBLE_EQ(map_correlation(a, b), 0.0);
+}
+
+TEST(MapCorrelation, SizeMismatchThrows) {
+  Map2D<double> a(2, 2), b(3, 3);
+  EXPECT_THROW(map_correlation(a, b), std::invalid_argument);
+}
+
+TEST(MapExport, AsciiShapeAndMarks) {
+  Map2D<double> m(3, 2, -1.0);
+  m.at(2, 0) = 1.5;  // heavy overflow, bottom-right
+  const std::string art = map_to_ascii(m);
+  // Two lines of three chars; top row printed first.
+  EXPECT_EQ(art, "   \n  #\n");
+}
+
+TEST(MapExport, PpmFileWritten) {
+  Map2D<double> m(4, 4, 0.0);
+  m.at(1, 1) = 2.0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "puffer_map_test.ppm").string();
+  write_map_ppm(m, path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  int w, h, maxv;
+  in >> w >> h >> maxv;
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxv, 255);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -1,0 +1,226 @@
+// Tests for discretized padding (Eq. 17) and Abacus legalization with
+// macro-aware row segments and white-space preservation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "io/synthetic.h"
+#include "legal/abacus.h"
+#include "legal/discrete_padding.h"
+#include "legal/legality.h"
+
+namespace puffer {
+namespace {
+
+Design base_design(double die_w = 240, double die_h = 240) {
+  Design d;
+  d.die = {0, 0, die_w, die_h};
+  d.tech = Technology::make_default(1.0, 8.0, 8);
+  const int rows = static_cast<int>(die_h / 8.0);
+  for (int r = 0; r < rows; ++r) {
+    d.rows.push_back({r * 8.0, 0, static_cast<int>(die_w), 1.0, 8.0});
+  }
+  return d;
+}
+
+CellId add_cell_at(Design& d, double x, double y, double w = 2.0) {
+  Cell c;
+  c.name = "c" + std::to_string(d.cells.size());
+  c.width = w;
+  c.height = 8;
+  c.x = x;
+  c.y = y;
+  return d.add_cell(std::move(c));
+}
+
+TEST(DiscretePadding, RoundsToLevels) {
+  Design d = base_design();
+  const CellId a = add_cell_at(d, 0, 0);
+  const CellId b = add_cell_at(d, 10, 0);
+  const CellId c = add_cell_at(d, 20, 0);
+  std::vector<double> pad(d.cells.size(), 0.0);
+  pad[static_cast<std::size_t>(a)] = 8.0;  // mp
+  pad[static_cast<std::size_t>(b)] = 4.0;
+  pad[static_cast<std::size_t>(c)] = 0.4;
+  DiscretePaddingConfig cfg;
+  cfg.theta = 8.0;
+  cfg.max_pad_area_frac = 10.0;  // no budget pressure in this test
+  const auto levels = discretize_padding(d, pad, cfg);
+  EXPECT_EQ(levels[static_cast<std::size_t>(a)], 8);  // round(8*8/8)
+  EXPECT_EQ(levels[static_cast<std::size_t>(b)], 4);  // round(8*4/8)
+  EXPECT_EQ(levels[static_cast<std::size_t>(c)], 0);  // round(0.4)
+}
+
+TEST(DiscretePadding, ZeroPaddingYieldsZeroLevels) {
+  Design d = base_design();
+  add_cell_at(d, 0, 0);
+  const auto levels = discretize_padding(d, std::vector<double>(1, 0.0));
+  EXPECT_EQ(levels[0], 0);
+}
+
+TEST(DiscretePadding, BudgetRelegatesSmallestFirst) {
+  Design d = base_design(80, 16);
+  std::vector<double> pad;
+  for (int i = 0; i < 10; ++i) {
+    add_cell_at(d, i * 4.0, 0);
+    pad.push_back(2.0 + 0.1 * i);  // increasing padding
+  }
+  DiscretePaddingConfig cfg;
+  cfg.theta = 4.0;
+  cfg.max_pad_area_frac = 0.25;  // movable area = 10*2*8 = 160 -> 40 DBU^2
+  // site area 8 -> budget of 5 site-pads; initial levels are ~4 each.
+  const auto levels = discretize_padding(d, pad, cfg);
+  double area = 0.0;
+  for (int lv : levels) area += lv * 8.0;
+  EXPECT_LE(area, 0.25 * 160.0 + 1e-9);
+  // The largest-padding cell retains at least as much as the smallest.
+  EXPECT_GE(levels[9], levels[0]);
+}
+
+TEST(Legalize, SimpleRowPlacementIsLegal) {
+  Design d = base_design();
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    add_cell_at(d, rng.uniform(0, 230), rng.uniform(0, 230),
+                std::floor(rng.uniform(1, 5)));
+  }
+  const LegalizeResult res = legalize(d);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.failed_cells, 0);
+  EXPECT_EQ(res.placed, 200);
+  const LegalityReport rep = check_legality(d);
+  EXPECT_TRUE(rep.legal) << rep.summary();
+}
+
+TEST(Legalize, AvoidsMacros) {
+  Design d = base_design();
+  Cell m;
+  m.name = "m";
+  m.kind = CellKind::kMacro;
+  m.x = 80;
+  m.y = 80;
+  m.width = 80;
+  m.height = 80;
+  d.add_cell(m);
+  Rng rng(23);
+  // Drop many cells right on top of the macro.
+  for (int i = 0; i < 150; ++i) {
+    add_cell_at(d, rng.uniform(70, 150), rng.uniform(70, 150), 2);
+  }
+  const LegalizeResult res = legalize(d);
+  EXPECT_TRUE(res.success);
+  const LegalityReport rep = check_legality(d);
+  EXPECT_TRUE(rep.legal) << rep.summary();
+  // No movable cell overlaps the macro.
+  const Rect macro_rect{80, 80, 160, 160};
+  for (const Cell& c : d.cells) {
+    if (c.movable()) EXPECT_DOUBLE_EQ(c.rect().overlap_area(macro_rect), 0.0);
+  }
+}
+
+TEST(Legalize, MinimalDisplacementForAlreadyLegalCells) {
+  Design d = base_design();
+  for (int i = 0; i < 10; ++i) add_cell_at(d, 10.0 * i, 16.0, 4.0);
+  const LegalizeResult res = legalize(d);
+  EXPECT_TRUE(res.success);
+  EXPECT_NEAR(res.total_displacement, 0.0, 1e-6);
+}
+
+TEST(Legalize, SnapsToSitesAndRows) {
+  Design d = base_design();
+  add_cell_at(d, 10.37, 13.2, 3);
+  legalize(d);
+  const Cell& c = d.cells[0];
+  EXPECT_NEAR(c.x, std::round(c.x), 1e-9);        // site width 1.0
+  EXPECT_NEAR(c.y / 8.0, std::round(c.y / 8.0), 1e-9);  // row height 8
+}
+
+TEST(Legalize, PaddingReservesWhitespace) {
+  Design d = base_design(80, 8);  // single row, 80 sites
+  // Three 4-wide cells side by side, middle one padded by 6 sites.
+  const CellId a = add_cell_at(d, 10, 0, 4);
+  const CellId b = add_cell_at(d, 14, 0, 4);
+  const CellId c = add_cell_at(d, 18, 0, 4);
+  std::vector<int> pad(d.cells.size(), 0);
+  pad[static_cast<std::size_t>(b)] = 6;
+  const LegalizeResult res = legalize(d, pad);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(check_legality(d).legal);
+  // The padded slot keeps >= 6 sites of air around b in total.
+  const Cell& ca = d.cells[static_cast<std::size_t>(a)];
+  const Cell& cb = d.cells[static_cast<std::size_t>(b)];
+  const Cell& cc = d.cells[static_cast<std::size_t>(c)];
+  const double air_left = cb.x - (ca.x + ca.width);
+  const double air_right = cc.x - (cb.x + cb.width);
+  EXPECT_GE(air_left + air_right, 6.0 - 1e-9);
+}
+
+TEST(Legalize, OverfullRowSpillsToNeighbours) {
+  Design d = base_design(40, 24);  // 3 rows of 40 sites
+  // 30 cells of width 4 = 120 sites > 40 -> must fill 3 rows.
+  for (int i = 0; i < 30; ++i) add_cell_at(d, 2.0 * i, 8.0, 4.0);
+  const LegalizeResult res = legalize(d);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(check_legality(d).legal);
+  std::vector<int> per_row(3, 0);
+  for (const Cell& c : d.cells) {
+    per_row[static_cast<std::size_t>(c.y / 8.0)]++;
+  }
+  EXPECT_EQ(per_row[0] + per_row[1] + per_row[2], 30);
+  EXPECT_EQ(per_row[0], 10);
+  EXPECT_EQ(per_row[1], 10);
+  EXPECT_EQ(per_row[2], 10);
+}
+
+TEST(Legalize, FailsGracefullyWhenImpossible) {
+  Design d = base_design(16, 8);  // one row, 16 sites
+  for (int i = 0; i < 5; ++i) add_cell_at(d, 0, 0, 8);  // 40 sites demanded
+  const LegalizeResult res = legalize(d);
+  EXPECT_FALSE(res.success);
+  EXPECT_GT(res.failed_cells, 0);
+}
+
+TEST(Legalize, EmptyRowsReportFailure) {
+  Design d;
+  d.die = {0, 0, 10, 10};
+  add_cell_at(d, 0, 0);
+  EXPECT_FALSE(legalize(d).success);
+}
+
+TEST(Legalize, SyntheticDesignEndToEnd) {
+  SyntheticSpec spec;
+  spec.num_cells = 600;
+  spec.num_nets = 900;
+  spec.num_macros = 4;
+  spec.target_utilization = 0.7;
+  Design d = generate_synthetic(spec);
+  const double hpwl_before = d.total_hpwl();
+  const LegalizeResult res = legalize(d);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(check_legality(d).legal) << check_legality(d).summary();
+  // Legalization does not explode the wirelength of a spread placement.
+  EXPECT_LT(d.total_hpwl(), hpwl_before * 2.5);
+}
+
+TEST(Legality, DetectsOverlap) {
+  Design d = base_design();
+  add_cell_at(d, 10, 0, 4);
+  add_cell_at(d, 12, 0, 4);
+  const LegalityReport rep = check_legality(d);
+  EXPECT_FALSE(rep.legal);
+  EXPECT_GT(rep.overlaps, 0);
+}
+
+TEST(Legality, DetectsOffGridAndOutOfDie) {
+  Design d = base_design();
+  add_cell_at(d, 10, 3.3, 4);    // off-row
+  add_cell_at(d, 239, 0, 4);     // sticks out of the die
+  const LegalityReport rep = check_legality(d);
+  EXPECT_FALSE(rep.legal);
+  EXPECT_GE(rep.off_grid, 1);
+  EXPECT_GE(rep.out_of_die, 1);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -1,0 +1,177 @@
+// Tests for the design database and technology model.
+#include <gtest/gtest.h>
+
+#include "netlist/design.h"
+
+namespace puffer {
+namespace {
+
+// A small design: two movable cells, one macro, one terminal, one net
+// connecting everything.
+Design make_small() {
+  Design d;
+  d.name = "small";
+  d.die = {0, 0, 100, 80};
+  d.tech = Technology::make_default(1.0, 8.0);
+  for (int r = 0; r < 10; ++r) {
+    d.rows.push_back({r * 8.0, 0.0, 100, 1.0, 8.0});
+  }
+
+  Cell a;
+  a.name = "a";
+  a.width = 4;
+  a.height = 8;
+  a.x = 10;
+  a.y = 8;
+  const CellId ca = d.add_cell(a);
+
+  Cell b;
+  b.name = "b";
+  b.width = 2;
+  b.height = 8;
+  b.x = 50;
+  b.y = 24;
+  const CellId cb = d.add_cell(b);
+
+  Cell m;
+  m.name = "m";
+  m.kind = CellKind::kMacro;
+  m.width = 20;
+  m.height = 24;
+  m.x = 70;
+  m.y = 40;
+  const CellId cm = d.add_cell(m);
+
+  Cell t;
+  t.name = "t";
+  t.kind = CellKind::kTerminal;
+  t.x = 0;
+  t.y = 0;
+  const CellId ct = d.add_cell(t);
+
+  const NetId n = d.add_net("n0");
+  d.connect(ca, n, 2, 4);
+  d.connect(cb, n, 1, 4);
+  d.connect(cm, n, 0, 12);
+  d.connect(ct, n, 0, 0);
+  return d;
+}
+
+TEST(Design, CountsAndKinds) {
+  const Design d = make_small();
+  EXPECT_EQ(d.cells.size(), 4u);
+  EXPECT_EQ(d.num_movable(), 2u);
+  EXPECT_EQ(d.num_macros(), 1u);
+  EXPECT_EQ(d.num_movable_pins(), 2u);
+  EXPECT_EQ(d.pins.size(), 4u);
+}
+
+TEST(Design, PinPositions) {
+  const Design d = make_small();
+  // Cell a at (10, 8) with offset (2, 4).
+  EXPECT_EQ(d.pin_position(0), (Point{12, 12}));
+  // Terminal at origin.
+  EXPECT_EQ(d.pin_position(3), (Point{0, 0}));
+}
+
+TEST(Design, NetHpwl) {
+  const Design d = make_small();
+  // Pins: (12,12), (51,28), (70,52), (0,0) -> bbox 70 x 52.
+  EXPECT_DOUBLE_EQ(d.net_hpwl(0), 70.0 + 52.0);
+  EXPECT_DOUBLE_EQ(d.total_hpwl(), 122.0);
+}
+
+TEST(Design, HpwlRespectsNetWeight) {
+  Design d = make_small();
+  d.nets[0].weight = 2.5;
+  EXPECT_DOUBLE_EQ(d.total_hpwl(), 2.5 * 122.0);
+}
+
+TEST(Design, DegenerateNetsHaveZeroHpwl) {
+  Design d = make_small();
+  const NetId n1 = d.add_net("single");
+  d.connect(0, n1, 0, 0);
+  EXPECT_DOUBLE_EQ(d.net_hpwl(n1), 0.0);
+  const NetId n2 = d.add_net("empty");
+  EXPECT_DOUBLE_EQ(d.net_hpwl(n2), 0.0);
+}
+
+TEST(Design, MovableAreaAndUtilization) {
+  const Design d = make_small();
+  EXPECT_DOUBLE_EQ(d.movable_area(), 4 * 8 + 2 * 8.0);
+  const double free = 100.0 * 80.0 - 20.0 * 24.0;
+  EXPECT_NEAR(d.utilization(), 48.0 / free, 1e-12);
+}
+
+TEST(Design, ValidatePassesOnConsistentDesign) {
+  EXPECT_EQ(make_small().validate(), "");
+}
+
+TEST(Design, ValidateCatchesBrokenBackPointer) {
+  Design d = make_small();
+  d.pins[0].cell = 1;  // now cell 0's pin list points to a pin owned by 1
+  EXPECT_NE(d.validate(), "");
+}
+
+TEST(Design, ValidateCatchesBadNetId) {
+  Design d = make_small();
+  d.pins[1].net = 99;
+  EXPECT_NE(d.validate(), "");
+}
+
+TEST(Design, ClampToDie) {
+  Design d = make_small();
+  d.cells[0].x = -5;
+  d.cells[0].y = 1000;
+  d.clamp_to_die(0);
+  EXPECT_DOUBLE_EQ(d.cells[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(d.cells[0].y, 80.0 - 8.0);
+}
+
+TEST(Cell, RectAndCenter) {
+  Cell c;
+  c.width = 4;
+  c.height = 8;
+  c.x = 10;
+  c.y = 20;
+  EXPECT_DOUBLE_EQ(c.rect().area(), 32.0);
+  EXPECT_EQ(c.center(), (Point{12, 24}));
+}
+
+TEST(Technology, DefaultStackAlternatesDirections) {
+  const Technology t = Technology::make_default(1.0, 8.0, 6);
+  ASSERT_EQ(t.layers.size(), 6u);
+  EXPECT_EQ(t.layers[0].dir, RouteDir::kHorizontal);
+  EXPECT_EQ(t.layers[1].dir, RouteDir::kVertical);
+  EXPECT_EQ(t.layers[5].dir, RouteDir::kVertical);
+}
+
+TEST(Technology, TrackDensityPositiveAndBalanced) {
+  const Technology t = Technology::make_default(1.0, 8.0, 8);
+  const double h = t.track_density(RouteDir::kHorizontal);
+  const double v = t.track_density(RouteDir::kVertical);
+  EXPECT_GT(h, 0.0);
+  EXPECT_NEAR(h, v, 0.3 * h);  // alternating stack is roughly balanced
+}
+
+TEST(Technology, MacroBlockedDensityIsLess) {
+  const Technology t = Technology::make_default(1.0, 8.0, 8);
+  EXPECT_LT(t.track_density_over_macros(RouteDir::kHorizontal),
+            t.track_density(RouteDir::kHorizontal));
+  EXPECT_GT(t.track_density_over_macros(RouteDir::kHorizontal), 0.0);
+}
+
+TEST(Technology, PitchIsWidthPlusSpacing) {
+  MetalLayer l;
+  l.wire_width = 0.4;
+  l.wire_spacing = 0.6;
+  EXPECT_DOUBLE_EQ(l.pitch(), 1.0);
+}
+
+TEST(Row, Extent) {
+  const Row r{5.0, 2.0, 10, 1.5, 8.0};
+  EXPECT_DOUBLE_EQ(r.x_hi(), 2.0 + 15.0);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -1,0 +1,168 @@
+// Numerical edge cases: the WA model at extreme smoothing, coincident
+// pins, huge coordinates; the spectral solver under asymmetric grids and
+// extreme densities; Nesterov stability guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gp/electrostatics.h"
+#include "gp/engine.h"
+#include "gp/initial_place.h"
+#include "gp/wirelength.h"
+#include "io/synthetic.h"
+
+namespace puffer {
+namespace {
+
+Design pair_design(double x0, double x1) {
+  Design d;
+  d.die = {0, 0, 1e7, 1e7};
+  d.tech = Technology::make_default(1.0, 8.0);
+  d.rows.push_back({0, 0, 10000000, 1.0, 8.0});
+  for (double x : {x0, x1}) {
+    Cell c;
+    c.name = "c" + std::to_string(d.cells.size());
+    c.width = 2;
+    c.height = 8;
+    c.x = x;
+    c.y = 0;
+    d.add_cell(std::move(c));
+  }
+  const NetId n = d.add_net("n");
+  d.connect(0, n, 1, 4);
+  d.connect(1, n, 1, 4);
+  return d;
+}
+
+TEST(WaNumerics, HugeCoordinatesStayFinite) {
+  // Without the max-shift trick exp(x/gamma) overflows at these values.
+  const Design d = pair_design(1e6, 9.9e6);
+  WaWirelength wl(d);
+  std::vector<double> x{1e6 + 1, 9.9e6 + 1}, y{4, 4}, gx, gy;
+  const double w = wl.evaluate(x, y, 1.0, gx, gy);
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_NEAR(w, 8.9e6, 1e4);
+  EXPECT_TRUE(std::isfinite(gx[0]));
+  EXPECT_TRUE(std::isfinite(gx[1]));
+}
+
+TEST(WaNumerics, CoincidentPinsGiveZeroLengthAndBalancedGradient) {
+  const Design d = pair_design(100, 100);
+  WaWirelength wl(d);
+  std::vector<double> x{101, 101}, y{4, 4}, gx, gy;
+  const double w = wl.evaluate(x, y, 5.0, gx, gy);
+  EXPECT_NEAR(w, 0.0, 1e-9);
+  // Symmetric configuration: gradients cancel.
+  EXPECT_NEAR(gx[0] + gx[1], 0.0, 1e-9);
+}
+
+TEST(WaNumerics, TinyGammaIsStable) {
+  const Design d = pair_design(10, 500);
+  WaWirelength wl(d);
+  std::vector<double> x{11, 501}, y{4, 4}, gx, gy;
+  const double w = wl.evaluate(x, y, 1e-6, gx, gy);
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_NEAR(w, 490.0, 0.01);
+}
+
+TEST(WaNumerics, GradientSumIsZeroWithoutFixedPins) {
+  // Translation invariance: for nets with only movable pins, the total
+  // gradient over all cells must vanish in each dimension.
+  SyntheticSpec spec;
+  spec.num_cells = 150;
+  spec.num_nets = 220;
+  spec.num_macros = 0;
+  spec.num_terminals = 0;
+  const Design d = generate_synthetic(spec);
+  WaWirelength wl(d);
+  const std::size_t n = wl.movable_cells().size();
+  Rng rng(5);
+  std::vector<double> x(n), y(n), gx, gy;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0, 300);
+    y[i] = rng.uniform(0, 300);
+  }
+  wl.evaluate(x, y, 8.0, gx, gy);
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += gx[i];
+    sy += gy[i];
+  }
+  EXPECT_NEAR(sx, 0.0, 1e-6);
+  EXPECT_NEAR(sy, 0.0, 1e-6);
+}
+
+TEST(ElectrostaticsNumerics, AsymmetricGridAndExtents) {
+  ElectrostaticSystem es(32, 8, 400.0, 100.0);
+  Map2D<double> rho(32, 8, 0.0);
+  rho.at(16, 4) = 100.0;
+  es.solve(rho);
+  EXPECT_TRUE(std::isfinite(es.energy()));
+  EXPECT_GT(es.field_x().at(20, 4), 0.0);
+  EXPECT_GT(es.field_y().at(16, 6), 0.0);
+}
+
+TEST(ElectrostaticsNumerics, ScalesLinearlyWithCharge) {
+  ElectrostaticSystem es(16, 16, 100.0, 100.0);
+  Map2D<double> rho(16, 16, 0.0);
+  rho.at(5, 9) = 2.0;
+  es.solve(rho);
+  const double f1 = es.field_x().at(8, 9);
+  for (double& v : rho.raw()) v *= 3.0;
+  es.solve(rho);
+  EXPECT_NEAR(es.field_x().at(8, 9), 3.0 * f1, 1e-9);
+}
+
+TEST(EngineNumerics, PositionsAlwaysInsideDie) {
+  SyntheticSpec spec;
+  spec.num_cells = 300;
+  spec.num_nets = 450;
+  spec.num_macros = 2;
+  spec.target_utilization = 0.9;  // tight: clamping must hold
+  Design d = generate_synthetic(spec);
+  initial_place(d);
+  GpConfig cfg;
+  cfg.max_iters = 150;
+  EPlaceEngine engine(d, cfg);
+  for (int i = 0; i < 150; ++i) {
+    if (!engine.step()) break;
+    EXPECT_TRUE(std::isfinite(engine.last_hpwl()));
+    EXPECT_TRUE(std::isfinite(engine.density_overflow()));
+  }
+  engine.sync_to_design();
+  for (const Cell& c : d.cells) {
+    if (!c.movable()) continue;
+    EXPECT_GE(c.x, d.die.xlo - 1e-6);
+    EXPECT_LE(c.x + c.width, d.die.xhi + 1e-6);
+  }
+}
+
+TEST(EngineNumerics, LambdaMonotoneUntilFreeze) {
+  SyntheticSpec spec;
+  spec.num_cells = 400;
+  spec.num_nets = 600;
+  Design d = generate_synthetic(spec);
+  initial_place(d);
+  GpConfig cfg;
+  cfg.max_iters = 500;
+  EPlaceEngine engine(d, cfg);
+  engine.step();
+  double prev = engine.lambda();
+  bool frozen_seen = false;
+  for (int i = 0; i < 400; ++i) {
+    if (!engine.step()) break;
+    if (engine.density_overflow() < cfg.lambda_freeze_overflow) {
+      frozen_seen = true;
+    }
+    if (frozen_seen) {
+      EXPECT_DOUBLE_EQ(engine.lambda(), prev);
+    } else {
+      EXPECT_GE(engine.lambda(), prev - 1e-12);
+    }
+    prev = engine.lambda();
+  }
+}
+
+}  // namespace
+}  // namespace puffer

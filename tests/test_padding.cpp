@@ -1,0 +1,249 @@
+// Tests for multi-feature extraction (Eqs. 9-13) and the padding engine
+// (Eq. 14 formula, Eq. 15 recycling, Eq. 16 utilization ramp, Algorithm 1
+// scaling, and the three trigger conditions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congestion/estimator.h"
+#include "padding/features.h"
+#include "padding/padding.h"
+
+namespace puffer {
+namespace {
+
+Design base_design() {
+  Design d;
+  d.die = {0, 0, 240, 240};
+  d.tech = Technology::make_default(1.0, 8.0, 8);
+  for (int r = 0; r < 30; ++r) d.rows.push_back({r * 8.0, 0, 240, 1.0, 8.0});
+  return d;
+}
+
+CellId add_cell_at(Design& d, double x, double y, double w = 2.0) {
+  Cell c;
+  c.name = "c" + std::to_string(d.cells.size());
+  c.width = w;
+  c.height = 8;
+  c.x = x;
+  c.y = y;
+  return d.add_cell(std::move(c));
+}
+
+// Two cells connected by a long horizontal net crossing a hot column,
+// plus a bundle of vertical nets that overload one column of Gcells.
+struct HotDesign {
+  Design d;
+  CellId in_hot;   // cell inside the congested column
+  CellId in_cold;  // far from congestion
+};
+
+HotDesign make_hot_design() {
+  HotDesign h;
+  h.d = base_design();
+  // Vertical bundle at x ~ 108-132 (Gcell column 5, rows 0..9).
+  for (int i = 0; i < 220; ++i) {
+    const CellId a = add_cell_at(h.d, 120, 12);
+    const CellId b = add_cell_at(h.d, 120, 204);
+    const NetId n = h.d.add_net("v" + std::to_string(i));
+    h.d.connect(a, n, 0, 0);
+    h.d.connect(b, n, 0, 0);
+  }
+  h.in_hot = add_cell_at(h.d, 121, 112);
+  h.in_cold = add_cell_at(h.d, 12, 12);
+  // Give both probes one short net so they have valid pin features.
+  const CellId hot_mate = add_cell_at(h.d, 130, 112);
+  const NetId n1 = h.d.add_net("hot_probe");
+  h.d.connect(h.in_hot, n1, 0, 0);
+  h.d.connect(hot_mate, n1, 0, 0);
+  const CellId cold_mate = add_cell_at(h.d, 20, 12);
+  const NetId n2 = h.d.add_net("cold_probe");
+  h.d.connect(h.in_cold, n2, 0, 0);
+  h.d.connect(cold_mate, n2, 0, 0);
+  return h;
+}
+
+TEST(Features, HotCellScoresHigherThanColdCell) {
+  HotDesign h = make_hot_design();
+  CongestionConfig cc;
+  cc.enable_detour_expansion = false;
+  CongestionEstimator est(h.d, cc);
+  const CongestionResult cr = est.estimate();
+  FeatureExtractor fx(h.d);
+  const auto f = fx.extract(cr, {h.in_hot, h.in_cold});
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_GT(f[0].local_cg, f[1].local_cg);
+  EXPECT_GT(f[0].sur_cg, f[1].sur_cg);
+  EXPECT_GT(f[0].pin_cg, f[1].pin_cg);
+  // The hot column genuinely overflows.
+  EXPECT_GT(f[0].local_cg, 0.0);
+  EXPECT_LT(f[1].local_cg, 0.0);  // signed feature keeps the slack info
+}
+
+TEST(Features, SurroundingIsSmootherThanLocal) {
+  HotDesign h = make_hot_design();
+  CongestionConfig cc;
+  cc.enable_detour_expansion = false;
+  const CongestionResult cr = CongestionEstimator(h.d, cc).estimate();
+  FeatureExtractor fx(h.d);
+  const auto f = fx.extract(cr, {h.in_hot});
+  // The kernel mean over a larger region dilutes the peak.
+  EXPECT_LT(f[0].sur_cg, f[0].local_cg);
+}
+
+TEST(Features, IndexOperatorCoversAllFeatures) {
+  FeatureVector f;
+  f.local_cg = 1;
+  f.local_pin = 2;
+  f.sur_cg = 3;
+  f.sur_pin = 4;
+  f.pin_cg = 5;
+  for (int i = 0; i < FeatureVector::kCount; ++i) {
+    EXPECT_DOUBLE_EQ(f[i], i + 1.0);
+  }
+  EXPECT_THROW(f[FeatureVector::kCount], std::out_of_range);
+}
+
+TEST(PaddingEngine, Formula14LogClampsNegative) {
+  // With all-zero alphas and beta <= 1 the linear term never exceeds 1,
+  // so log(max(.,1)) = 0 and no cell is padded.
+  HotDesign h = make_hot_design();
+  CongestionEstimator est(h.d, CongestionConfig{});
+  const CongestionResult cr = est.estimate();
+  std::vector<CellId> movable;
+  for (CellId c = 0; c < static_cast<CellId>(h.d.cells.size()); ++c) {
+    if (h.d.cells[static_cast<std::size_t>(c)].movable()) movable.push_back(c);
+  }
+  PaddingParams params;
+  for (double& a : params.alpha) a = 0.0;
+  params.beta = 0.9;
+  PaddingEngine engine(h.d, movable, params);
+  const auto& pad = engine.update(cr);
+  for (double p : pad) EXPECT_DOUBLE_EQ(p, 0.0);
+  EXPECT_DOUBLE_EQ(engine.last_utilization(), 0.0);
+}
+
+TEST(PaddingEngine, HotCellsGetPaddedColdCellsDoNot) {
+  HotDesign h = make_hot_design();
+  CongestionConfig cc;
+  cc.enable_detour_expansion = false;
+  const CongestionResult cr = CongestionEstimator(h.d, cc).estimate();
+  std::vector<CellId> movable{h.in_hot, h.in_cold};
+  PaddingParams params;
+  PaddingEngine engine(h.d, movable, params);
+  const auto& pad = engine.update(cr);
+  EXPECT_GT(pad[0], 0.0);
+  EXPECT_DOUBLE_EQ(pad[1], 0.0);
+}
+
+TEST(PaddingEngine, UtilizationRampEq16) {
+  Design d = base_design();
+  PaddingParams params;
+  params.pu_low = 0.02;
+  params.pu_high = 0.10;
+  params.xi = 5;
+  PaddingEngine engine(d, {}, params);
+  EXPECT_DOUBLE_EQ(engine.target_utilization(1), 0.02);
+  EXPECT_DOUBLE_EQ(engine.target_utilization(5), 0.10);
+  EXPECT_NEAR(engine.target_utilization(3), 0.06, 1e-12);
+  // Clamped beyond xi.
+  EXPECT_DOUBLE_EQ(engine.target_utilization(9), 0.10);
+}
+
+TEST(PaddingEngine, ScalingCapsTotalPaddingArea) {
+  HotDesign h = make_hot_design();
+  CongestionConfig cc;
+  cc.enable_detour_expansion = false;
+  const CongestionResult cr = CongestionEstimator(h.d, cc).estimate();
+  std::vector<CellId> movable;
+  for (CellId c = 0; c < static_cast<CellId>(h.d.cells.size()); ++c) {
+    if (h.d.cells[static_cast<std::size_t>(c)].movable()) movable.push_back(c);
+  }
+  PaddingParams params;
+  params.mu = 500.0;  // absurd magnitude; the cap must bite
+  params.pu_low = 0.01;
+  params.pu_high = 0.01;
+  PaddingEngine engine(h.d, movable, params);
+  const auto& pad = engine.update(cr);
+  double area = 0.0;
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    area += pad[i] * h.d.cells[static_cast<std::size_t>(movable[i])].height;
+  }
+  double macro_area = 0.0;
+  const double avail = h.d.die.area() - macro_area;
+  EXPECT_LE(area, 0.01 * avail * 1.0001);
+  EXPECT_NEAR(engine.last_utilization(), 0.01, 1e-6);
+}
+
+TEST(PaddingEngine, RecyclingEq15WithdrawsPadding) {
+  // Round 1: congested -> padded. Round 2: feed an all-clear congestion
+  // result -> recycling must reduce the stored padding.
+  HotDesign h = make_hot_design();
+  CongestionConfig cc;
+  cc.enable_detour_expansion = false;
+  const CongestionResult hot = CongestionEstimator(h.d, cc).estimate();
+  std::vector<CellId> movable{h.in_hot};
+  PaddingParams params;
+  params.zeta = 4.0;
+  PaddingEngine engine(h.d, movable, params);
+  const double p1 = engine.update(hot)[0];
+  ASSERT_GT(p1, 0.0);
+
+  // All-clear: same grid, zero demand.
+  CongestionResult clear = hot;
+  clear.maps.dmd_h.fill(0.0);
+  clear.maps.dmd_v.fill(0.0);
+  const double p2 = engine.update(clear)[0];
+  // r_2 = (2 - 1) / (2 + 4) = 1/6 -> one sixth withdrawn.
+  EXPECT_NEAR(p2, p1 * (1.0 - 1.0 / 6.0), p1 * 0.02);
+  const double p3 = engine.update(clear)[0];
+  EXPECT_LT(p3, p2);
+}
+
+TEST(PaddingEngine, TriggerRequiresAllThreeConditions) {
+  Design d = base_design();
+  PaddingParams params;
+  params.tau = 0.3;
+  params.xi = 2;
+  PaddingEngine engine(d, {}, params);
+  // Condition 1: density overflow below tau.
+  EXPECT_TRUE(engine.should_trigger(0.2));
+  EXPECT_FALSE(engine.should_trigger(0.3));
+  EXPECT_FALSE(engine.should_trigger(0.9));
+}
+
+TEST(PaddingEngine, TriggerStopsAfterXiRounds) {
+  HotDesign h = make_hot_design();
+  const CongestionResult cr = CongestionEstimator(h.d, CongestionConfig{}).estimate();
+  PaddingParams params;
+  params.xi = 2;
+  PaddingEngine engine(h.d, {h.in_hot}, params);
+  EXPECT_TRUE(engine.should_trigger(0.1));
+  engine.update(cr);
+  EXPECT_TRUE(engine.should_trigger(0.1));
+  engine.update(cr);
+  EXPECT_FALSE(engine.should_trigger(0.1));  // xi exhausted
+  EXPECT_EQ(engine.rounds(), 2);
+}
+
+TEST(PaddingEngine, TriggerStopsOnExplosiveUtilization) {
+  HotDesign h = make_hot_design();
+  CongestionConfig cc;
+  cc.enable_detour_expansion = false;
+  const CongestionResult cr = CongestionEstimator(h.d, cc).estimate();
+  std::vector<CellId> movable;
+  for (CellId c = 0; c < static_cast<CellId>(h.d.cells.size()); ++c) {
+    if (h.d.cells[static_cast<std::size_t>(c)].movable()) movable.push_back(c);
+  }
+  PaddingParams params;
+  params.mu = 500.0;
+  params.pu_low = params.pu_high = 0.2;  // allow a 20% grab...
+  params.eta = 0.1;                      // ...but stop when >10% is used
+  PaddingEngine engine(h.d, movable, params);
+  engine.update(cr);
+  EXPECT_GT(engine.last_utilization(), 0.1);
+  EXPECT_FALSE(engine.should_trigger(0.05));
+}
+
+}  // namespace
+}  // namespace puffer

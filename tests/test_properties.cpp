@@ -1,0 +1,210 @@
+// Cross-module property tests over randomized inputs (parameterized
+// sweeps): conservation laws, invariances and determinism guarantees that
+// must hold for any input, not just the hand-built cases of the unit
+// suites.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "congestion/estimator.h"
+#include "explore/tpe.h"
+#include "fft/dct.h"
+#include "io/synthetic.h"
+#include "legal/abacus.h"
+#include "legal/legality.h"
+#include "rsmt/rsmt.h"
+
+namespace puffer {
+namespace {
+
+// --- transforms are linear ------------------------------------------------
+
+class TransformLinearity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransformLinearity, Dct2IsLinear) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31);
+  std::vector<double> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-2, 2);
+    b[i] = rng.uniform(-2, 2);
+    sum[i] = 3.0 * a[i] - 0.5 * b[i];
+  }
+  const auto ta = dct2(a), tb = dct2(b), tsum = dct2(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(tsum[k], 3.0 * ta[k] - 0.5 * tb[k], 1e-9);
+  }
+}
+
+TEST_P(TransformLinearity, IdxstOfZeroIsZero) {
+  const auto out = idxst_raw(std::vector<double>(GetParam(), 0.0));
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransformLinearity,
+                         ::testing::Values(2, 8, 32, 128));
+
+// --- RSMT invariances -------------------------------------------------------
+
+class RsmtInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsmtInvariance, TranslationInvariantLength) {
+  Rng rng(GetParam());
+  std::vector<Point> pins, shifted;
+  const double dx = rng.uniform(-100, 100), dy = rng.uniform(-100, 100);
+  for (int i = 0; i < 9; ++i) {
+    const Point p{std::floor(rng.uniform(0, 40)), std::floor(rng.uniform(0, 40))};
+    pins.push_back(p);
+    shifted.push_back({p.x + dx, p.y + dy});
+  }
+  EXPECT_NEAR(build_rsmt(pins).length(), build_rsmt(shifted).length(), 1e-9);
+}
+
+TEST_P(RsmtInvariance, NearPermutationInvariantLength) {
+  // The greedy MST + 1-Steiner refinement breaks ties by input order, so
+  // permuting the pins may change the topology slightly; the length must
+  // stay within a few percent.
+  Rng rng(GetParam() + 1000);
+  std::vector<Point> pins;
+  for (int i = 0; i < 8; ++i) {
+    pins.push_back({std::floor(rng.uniform(0, 40)), std::floor(rng.uniform(0, 40))});
+  }
+  std::vector<Point> reversed(pins.rbegin(), pins.rend());
+  const double l1 = build_rsmt(pins).length();
+  const double l2 = build_rsmt(reversed).length();
+  EXPECT_NEAR(l1, l2, 0.06 * std::max(l1, l2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsmtInvariance,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- demand conservation ------------------------------------------------
+
+class DemandConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Without pin penalty or expansion, the accumulated demand must exactly
+// equal the sum over two-point segments of their Gcell crossing counts.
+TEST_P(DemandConservation, TotalsMatchTopology) {
+  SyntheticSpec spec;
+  spec.seed = GetParam();
+  spec.num_cells = 250;
+  spec.num_nets = 380;
+  spec.num_macros = 2;
+  const Design d = generate_synthetic(spec);
+  CongestionConfig cfg;
+  cfg.pin_penalty = 0.0;
+  cfg.enable_detour_expansion = false;
+  CongestionEstimator est(d, cfg);
+  const CongestionResult r = est.estimate();
+
+  double expect_h = 0.0, expect_v = 0.0;
+  const GcellGrid& grid = r.maps.grid;
+  for (const RsmtTree& tree : r.trees) {
+    for (const RsmtSegment& s : tree.segments) {
+      const Point a = tree.points[static_cast<std::size_t>(s.a)].pos;
+      const Point b = tree.points[static_cast<std::size_t>(s.b)].pos;
+      const GcellIndex ga = grid.index_of(a.x, a.y);
+      const GcellIndex gb = grid.index_of(b.x, b.y);
+      const int dx = std::abs(ga.gx - gb.gx), dy = std::abs(ga.gy - gb.gy);
+      if (dx == 0 && dy == 0) continue;
+      if (dy == 0) expect_h += dx + 1;
+      else if (dx == 0) expect_v += dy + 1;
+      else {
+        // L-shape: average demand integrates to one full crossing of the
+        // box per direction.
+        expect_h += dx + 1;
+        expect_v += dy + 1;
+      }
+    }
+  }
+  EXPECT_NEAR(r.maps.dmd_h.sum(), expect_h, 1e-6);
+  EXPECT_NEAR(r.maps.dmd_v.sum(), expect_v, 1e-6);
+}
+
+// Detour expansion conserves the total horizontal demand of pin-ended
+// segments (it only relocates rows) and never decreases the vertical
+// total (Steiner connectors only add).
+TEST_P(DemandConservation, ExpansionRelocatesButConservesH) {
+  SyntheticSpec spec;
+  spec.seed = GetParam() + 50;
+  spec.num_cells = 300;
+  spec.num_nets = 450;
+  spec.num_macros = 2;
+  spec.target_utilization = 0.9;
+  const Design d = generate_synthetic(spec);
+  CongestionConfig base;
+  base.pin_penalty = 0.0;
+  base.enable_detour_expansion = false;
+  CongestionConfig exp = base;
+  exp.enable_detour_expansion = true;
+  const CongestionResult r0 = CongestionEstimator(d, base).estimate();
+  const CongestionResult r1 = CongestionEstimator(d, exp).estimate();
+  // H total only grows by horizontal Steiner connectors; both totals are
+  // at least the unexpanded ones.
+  EXPECT_GE(r1.maps.dmd_h.sum() + 1e-9, r0.maps.dmd_h.sum());
+  EXPECT_GE(r1.maps.dmd_v.sum() + 1e-9, r0.maps.dmd_v.sum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandConservation,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+// --- legalization across random designs -------------------------------------
+
+class LegalizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LegalizeSweep, AlwaysLegalAndAreaPreserving) {
+  SyntheticSpec spec;
+  spec.seed = GetParam();
+  spec.num_cells = 400;
+  spec.num_nets = 600;
+  spec.num_macros = 3;
+  spec.target_utilization = 0.6 + 0.05 * (GetParam() % 5);
+  Design d = generate_synthetic(spec);
+  const double area_before = d.movable_area();
+  const LegalizeResult res = legalize(d);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(check_legality(d).legal) << check_legality(d).summary();
+  EXPECT_DOUBLE_EQ(d.movable_area(), area_before);  // sizes untouched
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegalizeSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+// --- TPE determinism -----------------------------------------------------
+
+TEST(TpeDeterminism, SameSeedSameSuggestions) {
+  const std::vector<ParamSpec> specs{{"x", ParamKind::kContinuous, 0, 1},
+                                     {"y", ParamKind::kInteger, 0, 9}};
+  TpeSampler a(specs, TpeConfig{}, 77);
+  TpeSampler b(specs, TpeConfig{}, 77);
+  std::vector<Observation> obs;
+  for (int i = 0; i < 30; ++i) {
+    const Assignment sa = a.suggest(obs);
+    const Assignment sb = b.suggest(obs);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      EXPECT_DOUBLE_EQ(sa[k], sb[k]);
+    }
+    obs.push_back({sa, static_cast<double>(i % 7)});
+  }
+}
+
+// --- generator statistics ----------------------------------------------
+
+class GeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSweep, NetDegreeTracksTarget) {
+  SyntheticSpec spec;
+  spec.num_cells = 2000;
+  spec.num_nets = 3000;
+  spec.avg_net_degree = 2.8 + 0.4 * GetParam();
+  const Design d = generate_synthetic(spec);
+  double pins = 0.0;
+  for (const Net& n : d.nets) pins += static_cast<double>(n.pins.size());
+  const double avg = pins / static_cast<double>(d.nets.size());
+  EXPECT_NEAR(avg, spec.avg_net_degree, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GeneratorSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace puffer

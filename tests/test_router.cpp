@@ -1,0 +1,181 @@
+// Tests for the evaluation global router: demand accounting, pattern
+// routing, negotiated rip-up-and-reroute, and metric reporting.
+#include <gtest/gtest.h>
+
+#include "io/synthetic.h"
+#include "router/global_router.h"
+
+namespace puffer {
+namespace {
+
+Design base_design() {
+  Design d;
+  d.die = {0, 0, 240, 240};
+  d.tech = Technology::make_default(1.0, 8.0, 8);
+  for (int r = 0; r < 30; ++r) d.rows.push_back({r * 8.0, 0, 240, 1.0, 8.0});
+  return d;
+}
+
+CellId add_cell_at(Design& d, double x, double y) {
+  Cell c;
+  c.name = "c" + std::to_string(d.cells.size());
+  c.width = 1;
+  c.height = 8;
+  c.x = x;
+  c.y = y;
+  return d.add_cell(std::move(c));
+}
+
+void add_two_pin_net(Design& d, Point a, Point b) {
+  const CellId ca = add_cell_at(d, a.x, a.y);
+  const CellId cb = add_cell_at(d, b.x, b.y);
+  const NetId n = d.add_net("n" + std::to_string(d.nets.size()));
+  d.connect(ca, n, 0, 0);
+  d.connect(cb, n, 0, 0);
+}
+
+RouterConfig quiet_config() {
+  RouterConfig cfg;
+  cfg.pin_penalty = 0.0;
+  return cfg;
+}
+
+TEST(Router, StraightNetUsesStraightDemand) {
+  Design d = base_design();
+  add_two_pin_net(d, {12, 112}, {108, 112});
+  GlobalRouter router(d, quiet_config());
+  const RouteResult r = router.route();
+  EXPECT_EQ(r.segments, 1);
+  for (int gx = 0; gx <= 4; ++gx) {
+    EXPECT_DOUBLE_EQ(r.maps.dmd_h.at(gx, 4), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(r.maps.dmd_v.sum(), 0.0);
+  // 4 horizontal steps of 24 DBU.
+  EXPECT_NEAR(r.wirelength, 4 * 24.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.overflow.hof_pct, 0.0);
+}
+
+TEST(Router, DiagonalNetRoutesAsL) {
+  Design d = base_design();
+  add_two_pin_net(d, {12, 12}, {108, 108});
+  GlobalRouter router(d, quiet_config());
+  const RouteResult r = router.route();
+  // L route: 4 horizontal + 4 vertical steps.
+  EXPECT_NEAR(r.wirelength, 8 * 24.0, 1e-9);
+  // The turning Gcell consumes both directions.
+  double h = 0, v = 0;
+  for (double x : r.maps.dmd_h.raw()) h += x;
+  for (double x : r.maps.dmd_v.raw()) v += x;
+  EXPECT_NEAR(h, 5.0, 1e-9);
+  EXPECT_NEAR(v, 5.0, 1e-9);
+}
+
+TEST(Router, SameGcellNetNeedsNoRouting) {
+  Design d = base_design();
+  add_two_pin_net(d, {10, 10}, {14, 12});
+  GlobalRouter router(d, quiet_config());
+  const RouteResult r = router.route();
+  EXPECT_EQ(r.segments, 0);
+  EXPECT_DOUBLE_EQ(r.wirelength, 0.0);
+}
+
+TEST(Router, PinPenaltyAddsStaticDemand) {
+  Design d = base_design();
+  add_two_pin_net(d, {10, 10}, {14, 12});
+  RouterConfig cfg;
+  cfg.pin_penalty = 0.25;
+  GlobalRouter router(d, cfg);
+  const RouteResult r = router.route();
+  EXPECT_DOUBLE_EQ(r.maps.dmd_h.at(0, 0), 0.5);
+}
+
+TEST(Router, RipUpRerouteReducesOverflow) {
+  Design d = base_design();
+  // Overload one row massively; there is vertical slack for detours.
+  for (int i = 0; i < 150; ++i) {
+    add_two_pin_net(d, {12, 112}, {228, 112});
+  }
+  RouterConfig no_rr = quiet_config();
+  no_rr.rr_rounds = 0;
+  RouterConfig rr = quiet_config();
+  rr.rr_rounds = 6;
+  const RouteResult before = GlobalRouter(d, no_rr).route();
+  const RouteResult after = GlobalRouter(d, rr).route();
+  EXPECT_GT(before.overflow.hof_pct, 0.0);
+  EXPECT_GT(after.rerouted, 0);
+  EXPECT_LT(after.overflow.hof_pct, before.overflow.hof_pct);
+  // Detours trade wirelength for overflow.
+  EXPECT_GE(after.wirelength, before.wirelength);
+}
+
+TEST(Router, MazeAvoidsZeroCapacityChannel) {
+  Design d = base_design();
+  // A macro wall across the middle leaves low capacity; the router should
+  // still find a path and prefer going around where resources remain.
+  Cell m;
+  m.name = "wall";
+  m.kind = CellKind::kMacro;
+  m.x = 48;
+  m.y = 0;
+  m.width = 24;
+  m.height = 216;  // leaves the top row of Gcells open
+  d.add_cell(m);
+  for (int i = 0; i < 60; ++i) {
+    add_two_pin_net(d, {12, 12}, {228, 12});
+  }
+  RouterConfig cfg = quiet_config();
+  cfg.rr_rounds = 6;
+  cfg.bbox_margin = 12;
+  const RouteResult r = GlobalRouter(d, cfg).route();
+  // Demand crosses the wall column (2) mostly via rows with capacity;
+  // total overflow should be moderate rather than the whole bundle deep.
+  const RouteResult naive = [&] {
+    RouterConfig c0 = quiet_config();
+    c0.rr_rounds = 0;
+    return GlobalRouter(d, c0).route();
+  }();
+  EXPECT_LE(r.overflow.total_overflow, naive.overflow.total_overflow);
+}
+
+TEST(Router, MultiPinNetsDecomposeViaRsmt) {
+  Design d = base_design();
+  const CellId a = add_cell_at(d, 12, 12);
+  const CellId b = add_cell_at(d, 228, 12);
+  const CellId c = add_cell_at(d, 120, 228);
+  const NetId n = d.add_net("tri");
+  d.connect(a, n, 0, 0);
+  d.connect(b, n, 0, 0);
+  d.connect(c, n, 0, 0);
+  GlobalRouter router(d, quiet_config());
+  const RouteResult r = router.route();
+  EXPECT_GE(r.segments, 2);
+  EXPECT_GT(r.wirelength, 0.0);
+}
+
+TEST(Router, DeterministicAcrossRuns) {
+  SyntheticSpec spec;
+  spec.num_cells = 300;
+  spec.num_nets = 450;
+  const Design d = generate_synthetic(spec);
+  const RouteResult a = GlobalRouter(d, RouterConfig{}).route();
+  const RouteResult b = GlobalRouter(d, RouterConfig{}).route();
+  EXPECT_DOUBLE_EQ(a.wirelength, b.wirelength);
+  EXPECT_DOUBLE_EQ(a.overflow.hof_pct, b.overflow.hof_pct);
+  EXPECT_EQ(a.rerouted, b.rerouted);
+}
+
+TEST(Router, WirelengthLowerBoundedByHpwl) {
+  SyntheticSpec spec;
+  spec.num_cells = 200;
+  spec.num_nets = 300;
+  const Design d = generate_synthetic(spec);
+  const RouteResult r = GlobalRouter(d, RouterConfig{}).route();
+  // Each segment is at least as long as its Gcell-grid Manhattan span, so
+  // the routed WL in Gcell units is bounded below by roughly the HPWL on
+  // the Gcell grid; sanity-check that the routed WL is positive and not
+  // absurdly below HPWL.
+  EXPECT_GT(r.wirelength, 0.2 * d.total_hpwl());
+}
+
+}  // namespace
+}  // namespace puffer

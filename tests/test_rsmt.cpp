@@ -1,0 +1,167 @@
+// Tests for the RSMT builder (FLUTE substitute): optimality on small
+// instances and structural/quality properties on random sweeps.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+
+#include "common/rng.h"
+#include "rsmt/rsmt.h"
+
+namespace puffer {
+namespace {
+
+// Union-find connectivity check: every pin-bearing point reachable.
+bool tree_connects_all_pins(const RsmtTree& tree) {
+  std::vector<int> parent(tree.points.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const RsmtSegment& s : tree.segments) {
+    parent[static_cast<std::size_t>(find(s.a))] = find(s.b);
+  }
+  int root = -1;
+  for (std::size_t p = 0; p < tree.points.size(); ++p) {
+    if (tree.points[p].is_steiner()) continue;
+    const int r = find(static_cast<int>(p));
+    if (root < 0) root = r;
+    if (r != root) return false;
+  }
+  return true;
+}
+
+// Prim MST length over the pin locations (upper bound for RSMT length).
+double mst_length(const std::vector<Point>& pts) {
+  const std::size_t n = pts.size();
+  if (n < 2) return 0.0;
+  std::vector<bool> used(n, false);
+  std::vector<double> best(n, 1e300);
+  used[0] = true;
+  for (std::size_t i = 1; i < n; ++i) best[i] = manhattan(pts[0], pts[i]);
+  double total = 0.0;
+  for (std::size_t iter = 1; iter < n; ++iter) {
+    std::size_t u = 0;
+    double bu = 1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i] && best[i] < bu) {
+        bu = best[i];
+        u = i;
+      }
+    }
+    used[u] = true;
+    total += bu;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i]) best[i] = std::min(best[i], manhattan(pts[u], pts[i]));
+    }
+  }
+  return total;
+}
+
+TEST(Rsmt, EmptyAndSinglePin) {
+  EXPECT_TRUE(build_rsmt({}).points.empty());
+  const RsmtTree t = build_rsmt({{3, 4}});
+  EXPECT_EQ(t.points.size(), 1u);
+  EXPECT_TRUE(t.segments.empty());
+  EXPECT_DOUBLE_EQ(t.length(), 0.0);
+}
+
+TEST(Rsmt, TwoPinsIsManhattan) {
+  const RsmtTree t = build_rsmt({{0, 0}, {3, 4}});
+  EXPECT_EQ(t.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.length(), 7.0);
+}
+
+TEST(Rsmt, ThreePinsUsesMedianSteiner) {
+  // Pins at the corners of an L; the median point (5, 5) saves length.
+  const RsmtTree t = build_rsmt({{0, 5}, {5, 0}, {10, 10}});
+  // Optimal: |median-p| sums: (5,5): 5 + 10 + 10 = 25? distances:
+  // (0,5)->(5,5)=5, (5,0)->(5,5)=5, (10,10)->(5,5)=10 -> total 20.
+  EXPECT_DOUBLE_EQ(t.length(), 20.0);
+  // One Steiner point added.
+  int steiner = 0;
+  for (const RsmtPoint& p : t.points) steiner += p.is_steiner() ? 1 : 0;
+  EXPECT_EQ(steiner, 1);
+}
+
+TEST(Rsmt, ThreeCollinearPinsNeedNoSteiner) {
+  const RsmtTree t = build_rsmt({{0, 0}, {5, 0}, {9, 0}});
+  EXPECT_DOUBLE_EQ(t.length(), 9.0);
+  for (const RsmtPoint& p : t.points) EXPECT_FALSE(p.is_steiner());
+}
+
+TEST(Rsmt, DuplicatePinsCollapse) {
+  const RsmtTree t = build_rsmt({{1, 1}, {1, 1}, {4, 5}, {1, 1}});
+  EXPECT_EQ(t.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.length(), 7.0);
+  // All duplicate pins map to the same tree point.
+  EXPECT_EQ(t.pin_point[0], t.pin_point[1]);
+  EXPECT_EQ(t.pin_point[1], t.pin_point[3]);
+}
+
+TEST(Rsmt, PinPointMappingIsComplete) {
+  const std::vector<Point> pins{{0, 0}, {9, 2}, {4, 7}, {6, 6}};
+  const RsmtTree t = build_rsmt(pins);
+  ASSERT_EQ(t.pin_point.size(), pins.size());
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const int pt = t.pin_point[i];
+    ASSERT_GE(pt, 0);
+    EXPECT_EQ(t.points[static_cast<std::size_t>(pt)].pos, pins[i]);
+  }
+}
+
+TEST(Rsmt, CrossTopologyBeatsMst) {
+  // A plus-sign configuration where a Steiner point at the center wins.
+  const std::vector<Point> pins{{5, 0}, {5, 10}, {0, 5}, {10, 5}};
+  const RsmtTree t = build_rsmt(pins);
+  EXPECT_LE(t.length(), mst_length(pins) - 1.0);
+  EXPECT_DOUBLE_EQ(t.length(), 20.0);  // optimal: star from (5,5)
+}
+
+TEST(Rsmt, IncidenceListsMatchSegments) {
+  const RsmtTree t = build_rsmt({{0, 0}, {9, 2}, {4, 7}, {6, 6}, {2, 9}});
+  const auto inc = t.build_incidence();
+  std::size_t total = 0;
+  for (const auto& lst : inc) total += lst.size();
+  EXPECT_EQ(total, 2 * t.segments.size());
+}
+
+class RsmtRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsmtRandom, StructuralAndQualityProperties) {
+  const int degree = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(degree));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> pins;
+    for (int i = 0; i < degree; ++i) {
+      pins.push_back({std::floor(rng.uniform(0, 50)), std::floor(rng.uniform(0, 50))});
+    }
+    const RsmtTree t = build_rsmt(pins);
+    // Connectivity of all pins.
+    EXPECT_TRUE(tree_connects_all_pins(t));
+    // Length bounded below by half-perimeter and above by MST length.
+    const double len = t.length();
+    EXPECT_GE(len + 1e-9, pins_hpwl(pins) * 0.5);
+    EXPECT_LE(len, mst_length(pins) + 1e-9);
+    // Spanning-structure edge count: a tree over P points has P-1 edges
+    // (zero-length duplicates allowed, never more).
+    EXPECT_EQ(t.segments.size(), t.points.size() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RsmtRandom,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 12, 20, 32));
+
+TEST(Rsmt, HpwlHelper) {
+  EXPECT_DOUBLE_EQ(pins_hpwl({{0, 0}, {3, 4}}), 7.0);
+  EXPECT_DOUBLE_EQ(pins_hpwl({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(pins_hpwl({}), 0.0);
+}
+
+}  // namespace
+}  // namespace puffer
