@@ -1,0 +1,152 @@
+// Serial-vs-parallel timings for the hot kernels the deterministic
+// runtime covers: WaWirelength::evaluate, CongestionEstimator::estimate
+// (cold rebuild and RSMT-cache hit), and a full padding flow. Results go
+// to bench_results/BENCH_parallel_hotpaths.json, including the thread and
+// core counts so speedups are interpreted against the machine that
+// produced them (a 1-core box cannot show parallel speedup; correctness
+// is still exercised because results are bit-identical by construction).
+//
+// Environment: PUFFER_SCALE (design size), PUFFER_THREADS (parallel leg's
+// worker count; default hardware concurrency).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "congestion/estimator.h"
+#include "core/flow.h"
+#include "gp/wirelength.h"
+#include "io/synthetic.h"
+
+namespace {
+
+using namespace puffer;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Best-of-reps wall time of fn(), in seconds.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench::scale_divisor();
+  // Largest design of the Table I suite at this scale.
+  SyntheticSpec spec = table1_spec("MEDIA_SUBSYS", scale);
+  Design design = generate_synthetic(spec);
+  std::printf("design %s: %zu cells, %zu nets (PUFFER_SCALE=%d)\n",
+              spec.name.c_str(), design.cells.size(), design.nets.size(),
+              scale);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  par::set_num_threads(0);  // PUFFER_THREADS env or hardware
+  const int par_threads = par::num_threads();
+  const int reps = 5;
+
+  bench::BenchRecord rec("parallel_hotpaths");
+  rec.add("design", spec.name);
+  rec.add("num_cells", static_cast<int>(design.cells.size()));
+  rec.add("num_nets", static_cast<int>(design.nets.size()));
+  rec.add("hardware_cores", hw);
+  rec.add("parallel_threads", par_threads);
+
+  // --- WaWirelength::evaluate ---------------------------------------
+  {
+    WaWirelength wl(design);
+    std::vector<double> xc, yc;
+    for (CellId c : wl.movable_cells()) {
+      const Cell& cell = design.cells[static_cast<std::size_t>(c)];
+      xc.push_back(cell.x + cell.width * 0.5);
+      yc.push_back(cell.y + cell.height * 0.5);
+    }
+    std::vector<double> gx, gy;
+    par::set_num_threads(1);
+    const double t_serial =
+        time_best(reps, [&] { wl.evaluate(xc, yc, 4.0, gx, gy); });
+    par::set_num_threads(par_threads);
+    const double t_par =
+        time_best(reps, [&] { wl.evaluate(xc, yc, 4.0, gx, gy); });
+    rec.add("wirelength_eval_serial_s", t_serial);
+    rec.add("wirelength_eval_parallel_s", t_par);
+    rec.add("wirelength_eval_speedup", t_serial / t_par);
+    std::printf("wirelength evaluate: %.4fs serial, %.4fs x%d (%.2fx)\n",
+                t_serial, t_par, par_threads, t_serial / t_par);
+  }
+
+  // --- CongestionEstimator::estimate --------------------------------
+  {
+    CongestionConfig cfg;
+    cfg.enable_rsmt_cache = false;  // honest rebuild cost
+    CongestionEstimator cold(design, cfg);
+    par::set_num_threads(1);
+    const double t_serial = time_best(reps, [&] { cold.estimate(); });
+    par::set_num_threads(par_threads);
+    const double t_par = time_best(reps, [&] { cold.estimate(); });
+    rec.add("congestion_estimate_serial_s", t_serial);
+    rec.add("congestion_estimate_parallel_s", t_par);
+    rec.add("congestion_estimate_speedup", t_serial / t_par);
+
+    CongestionEstimator cached(design, CongestionConfig{});
+    cached.estimate();  // warm the cache
+    const double t_hit = time_best(reps, [&] { cached.estimate(); });
+    rec.add("congestion_estimate_cache_hit_s", t_hit);
+    rec.add("rsmt_cache_hit_speedup", t_serial / t_hit);
+    std::printf(
+        "congestion estimate: %.4fs serial, %.4fs x%d (%.2fx), "
+        "%.4fs cache-hit (%.2fx)\n",
+        t_serial, t_par, par_threads, t_serial / t_par, t_hit,
+        t_serial / t_hit);
+  }
+
+  // --- Full padding flow --------------------------------------------
+  {
+    PufferConfig cfg;
+    cfg.num_threads = 1;
+    cfg.congestion.enable_rsmt_cache = false;
+    Design d1 = generate_synthetic(spec);
+    const auto t0 = Clock::now();
+    PufferFlow f1(d1, cfg);
+    const FlowMetrics m1 = f1.run();
+    const double t_serial = seconds_since(t0);
+
+    cfg.num_threads = par_threads;
+    cfg.congestion.enable_rsmt_cache = true;
+    Design d2 = generate_synthetic(spec);
+    const auto t1 = Clock::now();
+    PufferFlow f2(d2, cfg);
+    const FlowMetrics m2 = f2.run();
+    const double t_par = seconds_since(t1);
+
+    const RouteResult r2 = evaluate_routability(d2);
+    rec.add("flow_serial_s", t_serial);
+    rec.add("flow_parallel_cached_s", t_par);
+    rec.add("flow_speedup", t_serial / t_par);
+    rec.add("flow_hpwl_serial", m1.hpwl_legal);
+    rec.add("flow_hpwl_parallel", m2.hpwl_legal);
+    rec.add("flow_padding_rounds", m2.padding_rounds);
+    rec.add("flow_overflow_pct", r2.overflow.total_pct());
+    std::printf("padding flow: %.2fs serial, %.2fs x%d+cache (%.2fx), "
+                "hpwl %.4g == %.4g\n",
+                t_serial, t_par, par_threads, t_serial / t_par,
+                m1.hpwl_legal, m2.hpwl_legal);
+  }
+
+  par::set_num_threads(0);
+  const std::string path = rec.write();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -7,9 +7,12 @@
 // reproduction used in EXPERIMENTS.md, or larger values for quick runs.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace puffer::bench {
 
@@ -27,5 +30,51 @@ inline std::string results_dir() {
   std::filesystem::create_directories(dir);
   return dir;
 }
+
+// Machine-readable benchmark record: an ordered flat JSON object written
+// to bench_results/BENCH_<name>.json so runs can be diffed and tracked by
+// scripts. Numbers are emitted with enough digits to round-trip doubles.
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    fields_.emplace_back(key, quoted);
+  }
+
+  // Writes bench_results/BENCH_<name>.json and returns the path.
+  std::string write() const {
+    const std::string path = results_dir() + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return {};
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace puffer::bench

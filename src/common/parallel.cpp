@@ -1,0 +1,184 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace puffer::par {
+namespace {
+
+// True while the current thread is executing a chunk; nested parallel
+// regions run inline so a chunk can never deadlock waiting for workers
+// that are busy running its parent.
+thread_local bool t_in_parallel = false;
+
+// One dispatch: workers claim chunk indices with fetch_add on `next` and
+// signal completion through `done`. The job is published via shared_ptr
+// so a late-waking worker can never apply a stale counter to a new job.
+struct Job {
+  const ChunkFn* fn = nullptr;
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  std::int64_t begin = 0;
+  int nchunks = 0;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+};
+
+class Pool {
+ public:
+  explicit Pool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void run(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      job_ = job;
+    }
+    cv_work_.notify_all();
+    exec(*job);
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] { return job->done.load() >= job->nchunks; });
+    job_.reset();
+  }
+
+ private:
+  void exec(Job& j) {
+    for (;;) {
+      const int c = j.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= j.nchunks) return;
+      const auto [b, e] = chunk_range(j.n, j.nchunks, c);
+      t_in_parallel = true;
+      (*j.fn)(j.begin + b, j.begin + e, c);
+      t_in_parallel = false;
+      if (j.done.fetch_add(1, std::memory_order_acq_rel) + 1 == j.nchunks) {
+        std::lock_guard<std::mutex> lock(m_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_work_.wait(lock, [&] {
+          return stop_ || (job_ && job_->next.load() < job_->nchunks);
+        });
+        if (stop_) return;
+        job = job_;
+      }
+      if (job) exec(*job);
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+std::mutex g_cfg_mutex;
+int g_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<Pool> g_pool;
+
+int resolve_default_threads() {
+  if (const char* env = std::getenv("PUFFER_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 64u));
+}
+
+void configure_locked(int n) {
+  g_threads = n >= 1 ? std::min(n, 256) : resolve_default_threads();
+  g_pool.reset();
+  if (g_threads > 1) {
+    g_pool = std::make_unique<Pool>(g_threads - 1);
+  }
+}
+
+}  // namespace
+
+int num_threads() {
+  std::lock_guard<std::mutex> lock(g_cfg_mutex);
+  if (g_threads == 0) configure_locked(0);
+  return g_threads;
+}
+
+void set_num_threads(int n) {
+  std::lock_guard<std::mutex> lock(g_cfg_mutex);
+  configure_locked(n);
+}
+
+int chunk_count(std::int64_t n, std::int64_t grain, int max_chunks) {
+  if (n <= 0) return 1;
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t want = (n + grain - 1) / grain;
+  return static_cast<int>(
+      std::clamp<std::int64_t>(want, 1, std::max(max_chunks, 1)));
+}
+
+std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n, int nchunks,
+                                                  int c) {
+  const std::int64_t base = n / nchunks;
+  const std::int64_t rem = n % nchunks;
+  const std::int64_t b = c * base + std::min<std::int64_t>(c, rem);
+  const std::int64_t len = base + (c < rem ? 1 : 0);
+  return {b, b + len};
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ChunkFn& fn, int max_chunks) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const int nchunks = chunk_count(n, grain, max_chunks);
+
+  Pool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_cfg_mutex);
+    if (g_threads == 0) configure_locked(0);
+    pool = g_pool.get();
+  }
+
+  if (nchunks == 1 || pool == nullptr || t_in_parallel) {
+    // Serial path (and nested regions): chunks run inline in order --
+    // identical decomposition, identical fold order.
+    for (int c = 0; c < nchunks; ++c) {
+      const auto [b, e] = chunk_range(n, nchunks, c);
+      fn(begin + b, begin + e, c);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->grain = grain;
+  job->begin = begin;
+  job->nchunks = nchunks;
+  pool->run(job);
+}
+
+}  // namespace puffer::par

@@ -1,0 +1,73 @@
+// Deterministic, work-stealing-free parallel runtime.
+//
+// The placement kernels must produce bit-identical results run-to-run and
+// across worker counts (the deterministic-RNG contract extends to
+// threading). Two rules make that possible:
+//
+//  1. The iteration space [begin, end) is split into a *fixed* chunk
+//     decomposition that depends only on the range size and the grain --
+//     never on the worker count. Workers claim chunks dynamically, but a
+//     chunk's contents are always the same.
+//  2. A chunk may only write chunk-private scratch or chunk-owned output
+//     (disjoint slices / row bands). Cross-chunk results are folded in
+//     ascending chunk order on the calling thread, so floating-point
+//     reductions have one canonical association.
+//
+// Worker count comes from set_num_threads(), the PUFFER_THREADS env var,
+// or the hardware; 1 runs everything inline on the caller. Nested
+// parallel_for calls from inside a chunk run inline as well.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace puffer::par {
+
+// Current worker count (>= 1, counts the calling thread).
+int num_threads();
+
+// n >= 1 pins the worker count; n <= 0 re-resolves from PUFFER_THREADS /
+// the hardware. Rebuilds the shared pool; do not call concurrently with a
+// running parallel_for.
+void set_num_threads(int n);
+
+// Deterministic chunk count for a range of n items: ceil(n / grain),
+// clamped to [1, max_chunks]. Independent of the worker count.
+int chunk_count(std::int64_t n, std::int64_t grain, int max_chunks = 64);
+
+// Half-open sub-range of chunk c when [0, n) is split into nchunks
+// balanced chunks (sizes differ by at most one, earlier chunks larger).
+std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n, int nchunks,
+                                                  int c);
+
+using ChunkFn = std::function<void(std::int64_t, std::int64_t, int)>;
+
+// Runs fn(chunk_begin, chunk_end, chunk_index) over the deterministic
+// chunking of [begin, end). Chunks execute on arbitrary workers (the
+// caller participates), so fn must follow the ownership rule above.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ChunkFn& fn, int max_chunks = 64);
+
+// Maps each chunk to a partial value and folds the partials with += in
+// ascending chunk order. MapFn: T(std::int64_t chunk_begin, chunk_end).
+template <typename T, typename MapFn>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  T init, MapFn map_chunk, int max_chunks = 16) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return init;
+  const int nchunks = chunk_count(n, grain, max_chunks);
+  std::vector<T> partial(static_cast<std::size_t>(nchunks), init);
+  parallel_for(
+      begin, end, grain,
+      [&](std::int64_t b, std::int64_t e, int c) {
+        partial[static_cast<std::size_t>(c)] = map_chunk(b, e);
+      },
+      max_chunks);
+  T total = init;
+  for (const T& p : partial) total += p;
+  return total;
+}
+
+}  // namespace puffer::par

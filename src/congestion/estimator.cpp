@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace puffer {
 
 CongestionEstimator::CongestionEstimator(const Design& design,
@@ -11,25 +13,36 @@ CongestionEstimator::CongestionEstimator(const Design& design,
       config_(config),
       grid_(GcellGrid::from_row_pitch(design.die, design.tech.row_height,
                                       config.rows_per_gcell)),
-      capacity_(build_capacity_maps(design, grid_)) {}
+      capacity_(build_capacity_maps(design, grid_)),
+      cache_(design.nets.size(), config.cache_quantum,
+             config.enable_rsmt_cache) {}
 
 namespace {
 
-// Accumulates probabilistic demand for one two-point segment.
-void add_segment_demand(const GcellGrid& grid, const Point& a, const Point& b,
-                        Map2D<double>& dmd_h, Map2D<double>& dmd_v) {
-  const GcellIndex ga = grid.index_of(a.x, a.y);
-  const GcellIndex gb = grid.index_of(b.x, b.y);
-  const int x0 = std::min(ga.gx, gb.gx), x1 = std::max(ga.gx, gb.gx);
-  const int y0 = std::min(ga.gy, gb.gy), y1 = std::max(ga.gy, gb.gy);
+// Gcell bounding box of one two-point segment, precomputed once so the
+// banded demand pass does not redo coordinate transforms per row band.
+struct SegSpan {
+  int x0, x1, y0, y1;
+};
+
+// Accumulates probabilistic demand for one segment, restricted to Gcell
+// rows [band_lo, band_hi]. Each row band is owned by exactly one chunk,
+// so per-Gcell addition order equals the serial net order and the result
+// is bit-identical for any worker count.
+void add_span_demand(const SegSpan& s, Map2D<double>& dmd_h,
+                     Map2D<double>& dmd_v, int band_lo, int band_hi) {
+  const int x0 = s.x0, x1 = s.x1, y0 = s.y0, y1 = s.y1;
   if (x0 == x1 && y0 == y1) return;  // same Gcell: covered by pin penalty
   if (y0 == y1) {
     // Horizontal I-shape: one unit across the covered Gcells.
+    if (y0 < band_lo || y0 > band_hi) return;
     for (int gx = x0; gx <= x1; ++gx) dmd_h.at(gx, y0) += 1.0;
     return;
   }
+  const int lo = std::max(y0, band_lo), hi = std::min(y1, band_hi);
+  if (lo > hi) return;
   if (x0 == x1) {
-    for (int gy = y0; gy <= y1; ++gy) dmd_v.at(x0, gy) += 1.0;
+    for (int gy = lo; gy <= hi; ++gy) dmd_v.at(x0, gy) += 1.0;
     return;
   }
   // L-shape: spread the average demand of the two candidate L routes over
@@ -37,7 +50,7 @@ void add_segment_demand(const GcellGrid& grid, const Point& a, const Point& b,
   // probability 1/#rows, each column the vertical one with 1/#cols.
   const double ph = 1.0 / static_cast<double>(y1 - y0 + 1);
   const double pv = 1.0 / static_cast<double>(x1 - x0 + 1);
-  for (int gy = y0; gy <= y1; ++gy) {
+  for (int gy = lo; gy <= hi; ++gy) {
     for (int gx = x0; gx <= x1; ++gx) {
       dmd_h.at(gx, gy) += ph;
       dmd_v.at(gx, gy) += pv;
@@ -47,6 +60,14 @@ void add_segment_demand(const GcellGrid& grid, const Point& a, const Point& b,
 
 }  // namespace
 
+double CongestionEstimator::gcell_pin_capacity() const {
+  const double site_w = std::max(design_.tech.site_width, 1e-9);
+  const double row_h = std::max(design_.tech.row_height, 1e-9);
+  const double sites =
+      (grid_.gcell_w() / site_w) * (grid_.gcell_h() / row_h);
+  return std::max(1.0, sites * config_.pins_per_site);
+}
+
 CongestionResult CongestionEstimator::estimate() const {
   CongestionResult result;
   result.maps = RoutingMaps(grid_, capacity_);
@@ -54,32 +75,72 @@ CongestionResult CongestionEstimator::estimate() const {
   Map2D<double>& dmd_v = result.maps.dmd_v;
 
   // --- step 2a: RSMT topologies ----------------------------------------
+  // Parallel per net: each net writes only its own tree / span slots, and
+  // unchanged nets are served from the topology cache.
+  const std::int64_t n_nets = static_cast<std::int64_t>(design_.nets.size());
   result.trees.resize(design_.nets.size());
-  std::vector<Point> pin_pts;
-  for (std::size_t n = 0; n < design_.nets.size(); ++n) {
-    const Net& net = design_.nets[n];
-    pin_pts.clear();
-    pin_pts.reserve(net.pins.size());
-    for (PinId pid : net.pins) pin_pts.push_back(design_.pin_position(pid));
-    result.trees[n] = build_rsmt(pin_pts);
-  }
+  std::vector<std::vector<SegSpan>> spans(design_.nets.size());
+  par::parallel_for(0, n_nets, 16, [&](std::int64_t nb, std::int64_t ne, int) {
+    std::vector<Point> pin_pts;
+    for (std::int64_t n = nb; n < ne; ++n) {
+      const Net& net = design_.nets[static_cast<std::size_t>(n)];
+      pin_pts.clear();
+      pin_pts.reserve(net.pins.size());
+      for (PinId pid : net.pins) pin_pts.push_back(design_.pin_position(pid));
+      const RsmtTree& tree =
+          cache_.get_or_build(static_cast<std::size_t>(n), pin_pts);
+      result.trees[static_cast<std::size_t>(n)] = tree;
+      auto& net_spans = spans[static_cast<std::size_t>(n)];
+      net_spans.reserve(tree.segments.size());
+      for (const RsmtSegment& seg : tree.segments) {
+        const Point& a = tree.points[static_cast<std::size_t>(seg.a)].pos;
+        const Point& b = tree.points[static_cast<std::size_t>(seg.b)].pos;
+        const GcellIndex ga = grid_.index_of(a.x, a.y);
+        const GcellIndex gb = grid_.index_of(b.x, b.y);
+        net_spans.push_back({std::min(ga.gx, gb.gx), std::max(ga.gx, gb.gx),
+                             std::min(ga.gy, gb.gy), std::max(ga.gy, gb.gy)});
+      }
+    }
+  }, 256);
 
   // --- step 2b: probabilistic demand ------------------------------------
-  for (const RsmtTree& tree : result.trees) {
-    for (const RsmtSegment& seg : tree.segments) {
-      add_segment_demand(grid_, tree.points[static_cast<std::size_t>(seg.a)].pos,
-                         tree.points[static_cast<std::size_t>(seg.b)].pos,
-                         dmd_h, dmd_v);
-    }
-  }
+  // Row-banded: every chunk walks all spans but writes only the Gcell
+  // rows it owns (see add_span_demand).
+  par::parallel_for(
+      0, grid_.ny(), std::max(1, grid_.ny() / 8),
+      [&](std::int64_t band_lo, std::int64_t band_hi_excl, int) {
+        for (const auto& net_spans : spans) {
+          for (const SegSpan& s : net_spans) {
+            add_span_demand(s, dmd_h, dmd_v, static_cast<int>(band_lo),
+                            static_cast<int>(band_hi_excl) - 1);
+          }
+        }
+      },
+      8);
 
-  // --- step 2c: pin penalty ----------------------------------------------
-  if (config_.pin_penalty > 0.0) {
+  // --- step 2c: pin penalty + crowding -----------------------------------
+  if (config_.pin_penalty > 0.0 || config_.pin_crowding > 0.0) {
+    Map2D<double> pin_cnt(grid_.nx(), grid_.ny());
     for (const Pin& pin : design_.pins) {
       const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
       const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
-      dmd_h.at(g.gx, g.gy) += config_.pin_penalty;
-      dmd_v.at(g.gx, g.gy) += config_.pin_penalty;
+      pin_cnt.at(g.gx, g.gy) += 1.0;
+    }
+    const double pin_cap = gcell_pin_capacity();
+    for (int gy = 0; gy < grid_.ny(); ++gy) {
+      for (int gx = 0; gx < grid_.nx(); ++gx) {
+        const double cnt = pin_cnt.at(gx, gy);
+        if (cnt <= 0.0) continue;
+        // Flat per-pin term plus the superlinear crowding excess: pins
+        // beyond the Gcell's access capacity each need an escape wire,
+        // split evenly between the two directions.
+        const double excess = std::max(0.0, cnt - pin_cap);
+        const double add = config_.pin_penalty * cnt +
+                           0.5 * config_.pin_crowding * excess;
+        if (add <= 0.0) continue;
+        dmd_h.at(gx, gy) += add;
+        dmd_v.at(gx, gy) += add;
+      }
     }
   }
 

@@ -27,6 +27,7 @@
 #include "grid/routing_maps.h"
 #include "netlist/design.h"
 #include "rsmt/rsmt.h"
+#include "rsmt/rsmt_cache.h"
 
 namespace puffer {
 
@@ -36,6 +37,18 @@ struct CongestionConfig {
   // Demand (track-equivalents, added to both directions) per pin in a
   // Gcell; models local-net consumption. Strategy parameter.
   double pin_penalty = 0.04;
+  // Pin-crowding model: a Gcell has pin-access capacity for roughly
+  // pins_per_site pins per placement site; every pin beyond that needs an
+  // escape wire, adding pin_crowding/2 track-equivalents to each
+  // direction. Off by default here so the estimator keeps the paper's
+  // pure topology-demand conservation (the evaluation router enables it;
+  // strategy exploration may raise it for padding features too).
+  double pins_per_site = 2.0;
+  double pin_crowding = 0.0;
+  // RSMT topology cache: nets whose quantized pin positions are unchanged
+  // since the previous estimate() reuse their tree (see rsmt_cache.h).
+  bool enable_rsmt_cache = true;
+  double cache_quantum = 1e-3;
   // Detour expansion: search radius in Gcells and on/off switch (the
   // estimation-accuracy ablation toggles this).
   int expand_radius = 4;
@@ -63,11 +76,21 @@ class CongestionEstimator {
 
   const GcellGrid& grid() const { return grid_; }
 
+  // Pin-access capacity of one Gcell under the crowding model.
+  double gcell_pin_capacity() const;
+
+  // Topology-cache statistics (accumulated across estimate() calls).
+  const RsmtCache& tree_cache() const { return cache_; }
+  void invalidate_tree_cache() { cache_.clear(); }
+
  private:
   const Design& design_;
   CongestionConfig config_;
   GcellGrid grid_;
   CapacityMaps capacity_;  // capacity depends only on fixed blockages
+  // Per-net memo of RSMT topologies; estimate() is logically const, the
+  // cache is a pure performance artifact.
+  mutable RsmtCache cache_;
 };
 
 }  // namespace puffer

@@ -142,7 +142,7 @@ FlowMetrics run_commercial_proxy(Design& design,
       const std::vector<double>& pad = padder.update(congestion);
       engine.set_padding(pad);
       PUFFER_LOG_INFO(kTag, "proxy padding round %d at iter %d (router OF %.3f%%)",
-                      padder.rounds(), engine.iteration(),
+                      padder.attempts(), engine.iteration(),
                       routed.overflow.total_pct());
       for (int k = 0; k < config.padding.spacing_iters; ++k) {
         if (!engine.step()) break;

@@ -1,6 +1,9 @@
 #include "core/flow.h"
 
+#include <algorithm>
+
 #include "common/logger.h"
+#include "common/parallel.h"
 
 namespace puffer {
 
@@ -14,6 +17,7 @@ PufferFlow::PufferFlow(Design& design, PufferConfig config)
 FlowMetrics PufferFlow::run() {
   FlowMetrics metrics;
   Timer total;
+  if (config_.num_threads > 0) par::set_num_threads(config_.num_threads);
 
   {
     ScopedStageTimer t(metrics.stages, "initial_place");
@@ -37,7 +41,7 @@ FlowMetrics PufferFlow::run() {
       PUFFER_LOG_INFO(kTag,
                       "padding round %d at iter %d (overflow %.3f, est "
                       "expanded %d segs)",
-                      padder.rounds(), engine.iteration(),
+                      padder.attempts(), engine.iteration(),
                       engine.density_overflow(), congestion.expanded_segments);
       // Let the density system absorb the new areas before re-estimating.
       for (int k = 0; k < config_.padding.spacing_iters; ++k) {
@@ -64,6 +68,18 @@ FlowMetrics PufferFlow::run() {
     const double site_area = design_.tech.site_width * design_.tech.row_height;
     for (int lv : levels) pad_area += lv * site_area;
     metrics.padding_area = pad_area;
+    if (metrics.padding_area <= 0.0 && metrics.padding_rounds > 0) {
+      // Padding was applied during GP but quantization dropped every
+      // discrete level; report the continuous applied area (capped by the
+      // discrete budget so the two paths stay comparable).
+      double movable_area = 0.0;
+      for (CellId cid : movable) {
+        movable_area += design_.cells[static_cast<std::size_t>(cid)].area();
+      }
+      metrics.padding_area =
+          std::min(padder.peak_applied_area(),
+                   config_.discrete.max_pad_area_frac * movable_area);
+    }
     legalize(design_, levels, config_.legal);
   }
   metrics.hpwl_legal = design_.total_hpwl();

@@ -38,6 +38,10 @@ struct PufferConfig {
   DiscretePaddingConfig discrete;
   InitialPlaceConfig init;
   double final_overflow = 0.10;  // GP convergence target after padding
+  // Worker threads for the parallel kernels: 0 = keep the current global
+  // setting (PUFFER_THREADS env / hardware), 1 = exact serial path.
+  // Results are bit-identical for any value (see docs/architecture.md).
+  int num_threads = 0;
 };
 
 struct FlowMetrics {

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "fft/fft.h"
 
 namespace puffer {
@@ -91,20 +92,32 @@ std::vector<double> apply_2d(const std::vector<double>& data, std::size_t nx,
   if (data.size() != nx * ny) {
     throw std::invalid_argument("2d transform: size mismatch");
   }
+  // The 1D transforms along rows (then columns) are independent and write
+  // disjoint output slices, so both passes fan out per line.
   std::vector<double> tmp(nx * ny);
-  std::vector<double> row(nx);
-  for (std::size_t n = 0; n < ny; ++n) {
-    for (std::size_t m = 0; m < nx; ++m) row[m] = data[n * nx + m];
-    const std::vector<double> tr = along_x(row);
-    for (std::size_t m = 0; m < nx; ++m) tmp[n * nx + m] = tr[m];
-  }
+  par::parallel_for(
+      0, static_cast<std::int64_t>(ny), 8,
+      [&](std::int64_t b, std::int64_t e, int) {
+        std::vector<double> row(nx);
+        for (std::int64_t ni = b; ni < e; ++ni) {
+          const std::size_t n = static_cast<std::size_t>(ni);
+          for (std::size_t m = 0; m < nx; ++m) row[m] = data[n * nx + m];
+          const std::vector<double> tr = along_x(row);
+          for (std::size_t m = 0; m < nx; ++m) tmp[n * nx + m] = tr[m];
+        }
+      });
   std::vector<double> out(nx * ny);
-  std::vector<double> col(ny);
-  for (std::size_t m = 0; m < nx; ++m) {
-    for (std::size_t n = 0; n < ny; ++n) col[n] = tmp[n * nx + m];
-    const std::vector<double> tr = along_y(col);
-    for (std::size_t n = 0; n < ny; ++n) out[n * nx + m] = tr[n];
-  }
+  par::parallel_for(
+      0, static_cast<std::int64_t>(nx), 8,
+      [&](std::int64_t b, std::int64_t e, int) {
+        std::vector<double> col(ny);
+        for (std::int64_t mi = b; mi < e; ++mi) {
+          const std::size_t m = static_cast<std::size_t>(mi);
+          for (std::size_t n = 0; n < ny; ++n) col[n] = tmp[n * nx + m];
+          const std::vector<double> tr = along_y(col);
+          for (std::size_t n = 0; n < ny; ++n) out[n * nx + m] = tr[n];
+        }
+      });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logger.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "fft/fft.h"
 
@@ -139,41 +140,54 @@ void EPlaceEngine::rasterize(const std::vector<double>& x,
   rho_real_.fill(0.0);
   const double die_x = design_.die.xlo;
   const double die_y = design_.die.ylo;
-  for (std::size_t i = 0; i < elems_.size(); ++i) {
-    const Element& e = elems_[i];
-    // ePlace local smoothing: a cell narrower than a bin is widened to
-    // one bin with its charge density scaled down to preserve area.
-    double w = e.w + e.pad;
-    double h = e.h;
-    double scale = 1.0;
-    if (w < bin_w_) {
-      scale *= w / bin_w_;
-      w = bin_w_;
-    }
-    if (h < bin_h_) {
-      scale *= h / bin_h_;
-      h = bin_h_;
-    }
-    const double xlo = x[i] - w * 0.5, xhi = x[i] + w * 0.5;
-    const double ylo = y[i] - h * 0.5, yhi = y[i] + h * 0.5;
-    const int bx0 = std::clamp(static_cast<int>((xlo - die_x) / bin_w_), 0, bins_ - 1);
-    const int bx1 = std::clamp(static_cast<int>((xhi - die_x) / bin_w_), 0, bins_ - 1);
-    const int by0 = std::clamp(static_cast<int>((ylo - die_y) / bin_h_), 0, bins_ - 1);
-    const int by1 = std::clamp(static_cast<int>((yhi - die_y) / bin_h_), 0, bins_ - 1);
-    for (int by = by0; by <= by1; ++by) {
-      const double b_ylo = die_y + by * bin_h_;
-      const double oy = std::min(yhi, b_ylo + bin_h_) - std::max(ylo, b_ylo);
-      if (oy <= 0.0) continue;
-      for (int bx = bx0; bx <= bx1; ++bx) {
-        const double b_xlo = die_x + bx * bin_w_;
-        const double ox = std::min(xhi, b_xlo + bin_w_) - std::max(xlo, b_xlo);
-        if (ox <= 0.0) continue;
-        const double a = ox * oy * scale;
-        rho_move_.at(bx, by) += a;
-        if (!e.filler) rho_real_.at(bx, by) += a;
-      }
-    }
-  }
+  // Row-banded scatter: every chunk scans all elements but writes only
+  // the bin rows it owns, so per-bin addition order equals the serial
+  // element order and the result is worker-count independent.
+  par::parallel_for(
+      0, bins_, std::max(1, bins_ / 8),
+      [&](std::int64_t band_lo, std::int64_t band_hi_excl, int) {
+        const int lo = static_cast<int>(band_lo);
+        const int hi = static_cast<int>(band_hi_excl) - 1;
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+          const Element& e = elems_[i];
+          // ePlace local smoothing: a cell narrower than a bin is widened
+          // to one bin with its charge density scaled down to preserve
+          // area.
+          double w = e.w + e.pad;
+          double h = e.h;
+          double scale = 1.0;
+          if (w < bin_w_) {
+            scale *= w / bin_w_;
+            w = bin_w_;
+          }
+          if (h < bin_h_) {
+            scale *= h / bin_h_;
+            h = bin_h_;
+          }
+          const double xlo = x[i] - w * 0.5, xhi = x[i] + w * 0.5;
+          const double ylo = y[i] - h * 0.5, yhi = y[i] + h * 0.5;
+          const int bx0 = std::clamp(static_cast<int>((xlo - die_x) / bin_w_), 0, bins_ - 1);
+          const int bx1 = std::clamp(static_cast<int>((xhi - die_x) / bin_w_), 0, bins_ - 1);
+          const int by0 = std::max(
+              lo, std::clamp(static_cast<int>((ylo - die_y) / bin_h_), 0, bins_ - 1));
+          const int by1 = std::min(
+              hi, std::clamp(static_cast<int>((yhi - die_y) / bin_h_), 0, bins_ - 1));
+          for (int by = by0; by <= by1; ++by) {
+            const double b_ylo = die_y + by * bin_h_;
+            const double oy = std::min(yhi, b_ylo + bin_h_) - std::max(ylo, b_ylo);
+            if (oy <= 0.0) continue;
+            for (int bx = bx0; bx <= bx1; ++bx) {
+              const double b_xlo = die_x + bx * bin_w_;
+              const double ox = std::min(xhi, b_xlo + bin_w_) - std::max(xlo, b_xlo);
+              if (ox <= 0.0) continue;
+              const double a = ox * oy * scale;
+              rho_move_.at(bx, by) += a;
+              if (!e.filler) rho_real_.at(bx, by) += a;
+            }
+          }
+        }
+      },
+      8);
 }
 
 double EPlaceEngine::gamma() const {
@@ -194,17 +208,28 @@ void EPlaceEngine::gradient(const std::vector<double>& x,
 
   // Density part.
   rasterize(x, y);
-  // Overflow metric from real movables vs free capacity.
-  double over = 0.0;
-  for (std::size_t i = 0; i < rho_real_.raw().size(); ++i) {
-    over += std::max(0.0, rho_real_.raw()[i] - bin_free_cap_.raw()[i]);
-  }
+  // Overflow metric from real movables vs free capacity (chunk-ordered
+  // fold, so the total is worker-count independent).
+  const double over = par::parallel_reduce(
+      0, static_cast<std::int64_t>(rho_real_.raw().size()), 4096, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
+        double s = 0.0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const std::size_t si = static_cast<std::size_t>(i);
+          s += std::max(0.0, rho_real_.raw()[si] - bin_free_cap_.raw()[si]);
+        }
+        return s;
+      });
   overflow_ = over / total_real_area_;
 
   Map2D<double> rho = rho_move_;
-  for (std::size_t i = 0; i < rho.raw().size(); ++i) {
-    rho.raw()[i] += rho_fixed_.raw()[i];
-  }
+  par::parallel_for(0, static_cast<std::int64_t>(rho.raw().size()), 4096,
+                    [&](std::int64_t b, std::int64_t e, int) {
+                      for (std::int64_t i = b; i < e; ++i) {
+                        rho.raw()[static_cast<std::size_t>(i)] +=
+                            rho_fixed_.raw()[static_cast<std::size_t>(i)];
+                      }
+                    });
   es_->solve(rho);
 
   if (!initialized_) {
@@ -227,29 +252,44 @@ void EPlaceEngine::gradient(const std::vector<double>& x,
 
   gx.assign(elems_.size(), 0.0);
   gy.assign(elems_.size(), 0.0);
-  wl_grad_l1_ = 0.0;
-  density_grad_l1_ = 0.0;
-  for (std::size_t i = 0; i < num_movable_; ++i) {
-    wl_grad_l1_ += std::abs(gwx[i]) + std::abs(gwy[i]);
-  }
-  for (std::size_t i = 0; i < elems_.size(); ++i) {
-    const int bx = std::clamp(static_cast<int>((x[i] - design_.die.xlo) / bin_w_), 0, bins_ - 1);
-    const int by = std::clamp(static_cast<int>((y[i] - design_.die.ylo) / bin_h_), 0, bins_ - 1);
-    const double q = elems_[i].area();
-    // dD/dx = -q * xi_x (field points away from charge accumulations).
-    double dx = -lambda_ * q * es_->field_x().at(bx, by);
-    double dy = -lambda_ * q * es_->field_y().at(bx, by);
-    density_grad_l1_ += std::abs(dx) + std::abs(dy);
-    double pins = 0.0;
-    if (i < num_movable_) {
-      dx += gwx[i];
-      dy += gwy[i];
-      pins = wirelength_.pin_counts()[i];
-    }
-    const double precond = std::max(1.0, pins + lambda_ * q);
-    gx[i] = dx / precond;
-    gy[i] = dy / precond;
-  }
+  wl_grad_l1_ = par::parallel_reduce(
+      0, static_cast<std::int64_t>(num_movable_), 4096, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
+        double s = 0.0;
+        for (std::int64_t i = b; i < e; ++i) {
+          s += std::abs(gwx[static_cast<std::size_t>(i)]) +
+               std::abs(gwy[static_cast<std::size_t>(i)]);
+        }
+        return s;
+      });
+  // Gradient assembly: each chunk writes its own gx/gy slice and a
+  // per-chunk density-L1 partial, folded in chunk order below.
+  const std::int64_t n_elems = static_cast<std::int64_t>(elems_.size());
+  density_grad_l1_ = par::parallel_reduce(
+      0, n_elems, 2048, 0.0, [&](std::int64_t b, std::int64_t e) {
+        double d_l1 = 0.0;
+        for (std::int64_t ii = b; ii < e; ++ii) {
+          const std::size_t i = static_cast<std::size_t>(ii);
+          const int bx = std::clamp(static_cast<int>((x[i] - design_.die.xlo) / bin_w_), 0, bins_ - 1);
+          const int by = std::clamp(static_cast<int>((y[i] - design_.die.ylo) / bin_h_), 0, bins_ - 1);
+          const double q = elems_[i].area();
+          // dD/dx = -q * xi_x (field points away from charge
+          // accumulations).
+          double dx = -lambda_ * q * es_->field_x().at(bx, by);
+          double dy = -lambda_ * q * es_->field_y().at(bx, by);
+          d_l1 += std::abs(dx) + std::abs(dy);
+          double pins = 0.0;
+          if (i < num_movable_) {
+            dx += gwx[i];
+            dy += gwy[i];
+            pins = wirelength_.pin_counts()[i];
+          }
+          const double precond = std::max(1.0, pins + lambda_ * q);
+          gx[i] = dx / precond;
+          gy[i] = dy / precond;
+        }
+        return d_l1;
+      });
 }
 
 void EPlaceEngine::clamp_positions(std::vector<double>& x,

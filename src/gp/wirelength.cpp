@@ -3,7 +3,17 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
+
 namespace puffer {
+
+namespace {
+// Nets per chunk / chunk cap for the parallel net fan-out. The chunk
+// decomposition (not the worker count) fixes the floating-point fold
+// order, so these constants are part of the numeric contract.
+constexpr std::int64_t kNetGrain = 128;
+constexpr int kMaxNetChunks = 16;
+}  // namespace
 
 WaWirelength::WaWirelength(const Design& design) {
   ordinal_.assign(design.cells.size(), -1);
@@ -103,35 +113,97 @@ double WaWirelength::evaluate(const std::vector<double>& xc,
                               std::vector<double>& grad_y) const {
   grad_x.assign(movable_.size(), 0.0);
   grad_y.assign(movable_.size(), 0.0);
-  double total = 0.0;
-  std::vector<double> px, py;
-  std::vector<std::int32_t> ords;
-  for (const CompiledNet& net : nets_) {
-    const std::size_t n = net.pins.size();
-    px.resize(n);
-    py.resize(n);
-    ords.resize(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      const NetPin& p = net.pins[k];
-      ords[k] = p.ordinal;
-      if (p.ordinal >= 0) {
-        px[k] = xc[static_cast<std::size_t>(p.ordinal)] + p.ox;
-        py[k] = yc[static_cast<std::size_t>(p.ordinal)] + p.oy;
-      } else {
-        px[k] = p.fx;
-        py[k] = p.fy;
+  const std::int64_t n_nets = static_cast<std::int64_t>(nets_.size());
+  if (n_nets == 0) return 0.0;
+
+  // Per-chunk net walk; accumulates into the given gradient buffers.
+  const auto eval_chunk = [&](std::int64_t nb, std::int64_t ne,
+                              std::vector<double>& gx,
+                              std::vector<double>& gy) {
+    double total = 0.0;
+    std::vector<double> px, py;
+    std::vector<std::int32_t> ords;
+    for (std::int64_t ni = nb; ni < ne; ++ni) {
+      const CompiledNet& net = nets_[static_cast<std::size_t>(ni)];
+      const std::size_t n = net.pins.size();
+      px.resize(n);
+      py.resize(n);
+      ords.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const NetPin& p = net.pins[k];
+        ords[k] = p.ordinal;
+        if (p.ordinal >= 0) {
+          px[k] = xc[static_cast<std::size_t>(p.ordinal)] + p.ox;
+          py[k] = yc[static_cast<std::size_t>(p.ordinal)] + p.oy;
+        } else {
+          px[k] = p.fx;
+          py[k] = p.fy;
+        }
       }
+      total += net.weight * wa_dimension(px, ords, xc, gamma, net.weight, gx);
+      total += net.weight * wa_dimension(py, ords, yc, gamma, net.weight, gy);
     }
-    total += net.weight * wa_dimension(px, ords, xc, gamma, net.weight, grad_x);
-    total += net.weight * wa_dimension(py, ords, yc, gamma, net.weight, grad_y);
+    return total;
+  };
+
+  const int nchunks = par::chunk_count(n_nets, kNetGrain, kMaxNetChunks);
+  if (nchunks == 1) {
+    return eval_chunk(0, n_nets, grad_x, grad_y);
   }
+
+  scratch_gx_.resize(static_cast<std::size_t>(nchunks));
+  scratch_gy_.resize(static_cast<std::size_t>(nchunks));
+  chunk_total_.assign(static_cast<std::size_t>(nchunks), 0.0);
+  par::parallel_for(
+      0, n_nets, kNetGrain,
+      [&](std::int64_t nb, std::int64_t ne, int c) {
+        auto& gx = scratch_gx_[static_cast<std::size_t>(c)];
+        auto& gy = scratch_gy_[static_cast<std::size_t>(c)];
+        gx.assign(movable_.size(), 0.0);
+        gy.assign(movable_.size(), 0.0);
+        chunk_total_[static_cast<std::size_t>(c)] = eval_chunk(nb, ne, gx, gy);
+      },
+      kMaxNetChunks);
+
+  // Ordered merge: cell i's gradient is the chunk partials summed in
+  // chunk order, regardless of which workers produced them.
+  par::parallel_for(
+      0, static_cast<std::int64_t>(movable_.size()), 4096,
+      [&](std::int64_t b, std::int64_t e, int) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const std::size_t si = static_cast<std::size_t>(i);
+          double sx = 0.0, sy = 0.0;
+          for (int c = 0; c < nchunks; ++c) {
+            sx += scratch_gx_[static_cast<std::size_t>(c)][si];
+            sy += scratch_gy_[static_cast<std::size_t>(c)][si];
+          }
+          grad_x[si] = sx;
+          grad_y[si] = sy;
+        }
+      });
+
+  double total = 0.0;
+  for (double t : chunk_total_) total += t;
   return total;
 }
 
 double WaWirelength::hpwl(const std::vector<double>& xc,
                           const std::vector<double>& yc) const {
+  const std::int64_t n_nets = static_cast<std::int64_t>(nets_.size());
+  return par::parallel_reduce(
+      0, n_nets, kNetGrain, 0.0,
+      [&](std::int64_t nb, std::int64_t ne) {
+        return hpwl_chunk(xc, yc, nb, ne);
+      },
+      kMaxNetChunks);
+}
+
+double WaWirelength::hpwl_chunk(const std::vector<double>& xc,
+                                const std::vector<double>& yc,
+                                std::int64_t nb, std::int64_t ne) const {
   double total = 0.0;
-  for (const CompiledNet& net : nets_) {
+  for (std::int64_t ni = nb; ni < ne; ++ni) {
+    const CompiledNet& net = nets_[static_cast<std::size_t>(ni)];
     double xlo = std::numeric_limits<double>::max(), xhi = -xlo;
     double ylo = xlo, yhi = xhi;
     for (const NetPin& p : net.pins) {

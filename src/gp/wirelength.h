@@ -9,6 +9,7 @@
 // pins of a cell move rigidly with it during global placement).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "netlist/design.h"
@@ -50,10 +51,20 @@ class WaWirelength {
     double weight;
     std::vector<NetPin> pins;
   };
+
+  double hpwl_chunk(const std::vector<double>& xc,
+                    const std::vector<double>& yc, std::int64_t nb,
+                    std::int64_t ne) const;
   std::vector<CompiledNet> nets_;
   std::vector<CellId> movable_;
   std::vector<std::int32_t> ordinal_;
   std::vector<double> pin_count_;
+
+  // Per-chunk gradient scratch for the parallel evaluate(): chunk c
+  // accumulates into scratch_g*_[c] only, and the merge folds chunks in
+  // ascending order so the result is independent of the worker count.
+  mutable std::vector<std::vector<double>> scratch_gx_, scratch_gy_;
+  mutable std::vector<double> chunk_total_;
 };
 
 }  // namespace puffer

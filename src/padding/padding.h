@@ -26,9 +26,13 @@ namespace puffer {
 
 struct PaddingParams {
   // Feature weights alpha_i, matching FeatureVector order:
-  // local_cg, local_pin, sur_cg, sur_pin, pin_cg.
-  double alpha[FeatureVector::kCount] = {1.5, 0.3, 1.2, 0.3, 0.25};
-  double beta = 0.5;   // formula offset
+  // local_cg, local_pin, sur_cg, sur_pin, pin_cg. The pin-density weights
+  // carry more of the load than the congestion-ratio ones because the
+  // detour-imitating expansion has already smoothed away most of the
+  // Cg overflow by the time features are extracted; these defaults are
+  // the starting point strategy exploration tunes from.
+  double alpha[FeatureVector::kCount] = {1.5, 0.6, 1.2, 0.5, 0.25};
+  double beta = 0.9;   // formula offset
   double mu = 6.0;     // padding magnitude (DBU of extra width per unit log)
   double zeta = 4.0;   // recycling effort (Eq. 15)
 
@@ -65,7 +69,16 @@ class PaddingEngine {
   // Applied padding area after the last round, as a fraction of the free
   // placement area A (drives the eta trigger condition).
   double last_utilization() const { return last_util_; }
-  int rounds() const { return round_; }
+  // Rounds in which at least one cell received positive padding. Rounds
+  // where the features stayed below the Eq. 14 threshold count as
+  // attempts (for the xi cap and Eq. 15) but not as padding rounds.
+  int rounds() const { return applied_rounds_; }
+  // Update() calls so far (the Eq. 15 / Eq. 16 round index).
+  int attempts() const { return round_; }
+  // Current total padding area (pad width x cell height, post-scaling)
+  // and its maximum over all rounds so far.
+  double applied_area() const { return last_area_; }
+  double peak_applied_area() const { return peak_area_; }
   const PaddingParams& params() const { return params_; }
 
   // Target utilization for round i (1-based), Eq. 16.
@@ -79,8 +92,11 @@ class PaddingEngine {
 
   std::vector<double> pad_;  // cumulative extra width per ordinal
   std::vector<int> pt_;      // times padded, per ordinal (Eq. 15)
-  int round_ = 0;
+  int round_ = 0;            // update() calls (Eq. 15/16 index)
+  int applied_rounds_ = 0;   // rounds with positive padding applied
   double last_util_ = 0.0;
+  double last_area_ = 0.0;
+  double peak_area_ = 0.0;
   double avail_area_ = 1.0;
 };
 

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/logger.h"
+#include "common/parallel.h"
 #include "rsmt/rsmt.h"
 
 namespace puffer {
@@ -54,34 +55,68 @@ RouteResult GlobalRouter::route() const {
   Map2D<double>& dmd_h = result.maps.dmd_h;
   Map2D<double>& dmd_v = result.maps.dmd_v;
 
-  // Local-net pin demand (not ripped up; same model as the estimator).
-  if (config_.pin_penalty > 0.0) {
+  // Local-net pin demand (not ripped up; same model as the estimator):
+  // a flat per-pin term plus the superlinear crowding excess for Gcells
+  // holding more pins than their access capacity.
+  if (config_.pin_penalty > 0.0 || config_.pin_crowding > 0.0) {
+    Map2D<double> pin_cnt(grid_.nx(), grid_.ny());
     for (const Pin& pin : design_.pins) {
       const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
       const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
-      dmd_h.at(g.gx, g.gy) += config_.pin_penalty;
-      dmd_v.at(g.gx, g.gy) += config_.pin_penalty;
+      pin_cnt.at(g.gx, g.gy) += 1.0;
+    }
+    const double site_w = std::max(design_.tech.site_width, 1e-9);
+    const double row_h = std::max(design_.tech.row_height, 1e-9);
+    const double pin_cap =
+        std::max(1.0, (grid_.gcell_w() / site_w) * (grid_.gcell_h() / row_h) *
+                          config_.pins_per_site);
+    for (int gy = 0; gy < grid_.ny(); ++gy) {
+      for (int gx = 0; gx < grid_.nx(); ++gx) {
+        const double cnt = pin_cnt.at(gx, gy);
+        if (cnt <= 0.0) continue;
+        const double excess = std::max(0.0, cnt - pin_cap);
+        const double add = config_.pin_penalty * cnt +
+                           0.5 * config_.pin_crowding * excess;
+        if (add <= 0.0) continue;
+        dmd_h.at(gx, gy) += add;
+        dmd_v.at(gx, gy) += add;
+      }
     }
   }
 
   // --- decompose nets into segments --------------------------------------
+  // Parallel per net (each net owns its slot), flattened in net order so
+  // the initial-routing sequence stays deterministic.
   std::vector<Seg> segs;
   {
-    std::vector<Point> pts;
-    for (const Net& net : design_.nets) {
-      if (net.pins.size() < 2) continue;
-      pts.clear();
-      for (PinId pid : net.pins) pts.push_back(design_.pin_position(pid));
-      const RsmtTree tree = build_rsmt(pts);
-      for (const RsmtSegment& s : tree.segments) {
-        Seg seg;
-        seg.a = grid_.index_of(tree.points[static_cast<std::size_t>(s.a)].pos.x,
-                               tree.points[static_cast<std::size_t>(s.a)].pos.y);
-        seg.b = grid_.index_of(tree.points[static_cast<std::size_t>(s.b)].pos.x,
-                               tree.points[static_cast<std::size_t>(s.b)].pos.y);
-        if (seg.a.gx == seg.b.gx && seg.a.gy == seg.b.gy) continue;
-        segs.push_back(std::move(seg));
-      }
+    const std::int64_t n_nets = static_cast<std::int64_t>(design_.nets.size());
+    std::vector<std::vector<Seg>> per_net(design_.nets.size());
+    par::parallel_for(
+        0, n_nets, 16,
+        [&](std::int64_t nb, std::int64_t ne, int) {
+          std::vector<Point> pts;
+          for (std::int64_t n = nb; n < ne; ++n) {
+            const Net& net = design_.nets[static_cast<std::size_t>(n)];
+            if (net.pins.size() < 2) continue;
+            pts.clear();
+            for (PinId pid : net.pins) pts.push_back(design_.pin_position(pid));
+            const RsmtTree tree = build_rsmt(pts);
+            for (const RsmtSegment& s : tree.segments) {
+              Seg seg;
+              seg.a = grid_.index_of(
+                  tree.points[static_cast<std::size_t>(s.a)].pos.x,
+                  tree.points[static_cast<std::size_t>(s.a)].pos.y);
+              seg.b = grid_.index_of(
+                  tree.points[static_cast<std::size_t>(s.b)].pos.x,
+                  tree.points[static_cast<std::size_t>(s.b)].pos.y);
+              if (seg.a.gx == seg.b.gx && seg.a.gy == seg.b.gy) continue;
+              per_net[static_cast<std::size_t>(n)].push_back(std::move(seg));
+            }
+          }
+        },
+        256);
+    for (auto& pn : per_net) {
+      for (Seg& s : pn) segs.push_back(std::move(s));
     }
   }
   result.segments = static_cast<int>(segs.size());

@@ -31,6 +31,14 @@ namespace puffer {
 struct RouterConfig {
   double rows_per_gcell = 3.0;  // Gcell granularity
   double pin_penalty = 0.04;    // local-net demand per pin (both dirs)
+  // Pin-crowding demand: pins beyond a Gcell's access capacity
+  // (pins_per_site per placement site) each add pin_crowding/2
+  // track-equivalents to both directions -- the escape wiring a real
+  // detailed router would need. Keeps the evaluator honest on degenerate
+  // clumped placements, which otherwise score *better* than spread ones
+  // because all their nets collapse into a single Gcell.
+  double pins_per_site = 2.0;
+  double pin_crowding = 1.0;
   int rr_rounds = 5;            // rip-up-and-reroute rounds
   int bbox_margin = 8;          // maze search window margin, in Gcells
   double overflow_slope = 8.0;  // congestion price slope

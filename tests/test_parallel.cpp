@@ -1,0 +1,283 @@
+// Determinism suite for the parallel runtime (common/parallel.h) and its
+// users: results must be bit-identical across PUFFER_THREADS=1,2,8 and
+// across repeated runs, because the chunk decomposition -- not the worker
+// count -- fixes every floating-point fold order. Also covers the RSMT
+// topology cache (rsmt/rsmt_cache.h) correctness: moved pins invalidate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
+#include "congestion/estimator.h"
+#include "core/flow.h"
+#include "fft/dct.h"
+#include "gp/wirelength.h"
+#include "io/synthetic.h"
+#include "rsmt/rsmt_cache.h"
+
+namespace puffer {
+namespace {
+
+// Restores the default worker count after each test so suites sharing the
+// binary are unaffected.
+class ParallelTest : public ::testing::Test {
+ protected:
+  ~ParallelTest() override { par::set_num_threads(0); }
+};
+
+Design small_design(std::uint64_t seed = 17) {
+  SyntheticSpec spec;
+  spec.name = "par";
+  spec.seed = seed;
+  spec.num_cells = 400;
+  spec.num_nets = 600;
+  spec.num_macros = 2;
+  return generate_synthetic(spec);
+}
+
+TEST_F(ParallelTest, ChunkRangesPartitionTheRange) {
+  for (const std::int64_t n : {1, 7, 100, 4097}) {
+    for (const std::int64_t grain : {1, 8, 1000}) {
+      const int c = par::chunk_count(n, grain);
+      std::int64_t expect_begin = 0;
+      for (int i = 0; i < c; ++i) {
+        const auto [b, e] = par::chunk_range(n, c, i);
+        EXPECT_EQ(b, expect_begin);
+        EXPECT_GE(e, b);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, n);
+    }
+  }
+}
+
+TEST_F(ParallelTest, ChunkCountIgnoresWorkerCount) {
+  par::set_num_threads(1);
+  const int c1 = par::chunk_count(1000, 16);
+  par::set_num_threads(8);
+  EXPECT_EQ(par::chunk_count(1000, 16), c1);
+}
+
+TEST_F(ParallelTest, ParallelForVisitsEveryIndexOnce) {
+  par::set_num_threads(4);
+  std::vector<int> hits(1000, 0);
+  par::parallel_for(0, 1000, 16, [&](std::int64_t b, std::int64_t e, int) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ParallelTest, ParallelReduceBitIdenticalAcrossThreads) {
+  const auto run = [] {
+    return par::parallel_reduce(0, 100000, 1024, 0.0,
+                                [](std::int64_t b, std::int64_t e) {
+                                  double s = 0.0;
+                                  for (std::int64_t i = b; i < e; ++i) {
+                                    s += std::sin(static_cast<double>(i)) /
+                                         (1.0 + static_cast<double>(i));
+                                  }
+                                  return s;
+                                });
+  };
+  par::set_num_threads(1);
+  const double r1 = run();
+  par::set_num_threads(2);
+  const double r2 = run();
+  par::set_num_threads(8);
+  const double r8 = run();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r8);
+  EXPECT_EQ(r8, run());  // repeated run
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  par::set_num_threads(4);
+  std::vector<int> hits(256, 0);
+  par::parallel_for(0, 16, 1, [&](std::int64_t ob, std::int64_t oe, int) {
+    for (std::int64_t o = ob; o < oe; ++o) {
+      par::parallel_for(0, 16, 1, [&](std::int64_t b, std::int64_t e, int) {
+        for (std::int64_t i = b; i < e; ++i) {
+          hits[static_cast<std::size_t>(o * 16 + i)]++;
+        }
+      });
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ParallelTest, WirelengthGradientBitIdenticalAcrossThreads) {
+  const Design d = small_design();
+  WaWirelength wl(d);
+  std::vector<double> xc, yc;
+  for (CellId c : wl.movable_cells()) {
+    const Cell& cell = d.cells[static_cast<std::size_t>(c)];
+    xc.push_back(cell.x + cell.width * 0.5);
+    yc.push_back(cell.y + cell.height * 0.5);
+  }
+  const auto run = [&](std::vector<double>& gx, std::vector<double>& gy) {
+    return wl.evaluate(xc, yc, 4.0, gx, gy);
+  };
+  std::vector<double> gx1, gy1, gx2, gy2, gx8, gy8;
+  par::set_num_threads(1);
+  const double w1 = run(gx1, gy1);
+  const double h1 = wl.hpwl(xc, yc);
+  par::set_num_threads(2);
+  const double w2 = run(gx2, gy2);
+  par::set_num_threads(8);
+  const double w8 = run(gx8, gy8);
+  const double h8 = wl.hpwl(xc, yc);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w8);
+  EXPECT_EQ(h1, h8);
+  ASSERT_EQ(gx1.size(), gx8.size());
+  for (std::size_t i = 0; i < gx1.size(); ++i) {
+    EXPECT_EQ(gx1[i], gx2[i]) << "grad_x mismatch at " << i;
+    EXPECT_EQ(gx1[i], gx8[i]) << "grad_x mismatch at " << i;
+    EXPECT_EQ(gy1[i], gy8[i]) << "grad_y mismatch at " << i;
+  }
+}
+
+TEST_F(ParallelTest, EstimatorDemandBitIdenticalAcrossThreads) {
+  const Design d = small_design(23);
+  const auto run = [&d](int threads) {
+    par::set_num_threads(threads);
+    CongestionEstimator est(d, CongestionConfig{});
+    return est.estimate();
+  };
+  const CongestionResult r1 = run(1);
+  const CongestionResult r2 = run(2);
+  const CongestionResult r8 = run(8);
+  EXPECT_EQ(r1.expanded_segments, r8.expanded_segments);
+  ASSERT_EQ(r1.maps.dmd_h.raw().size(), r8.maps.dmd_h.raw().size());
+  for (std::size_t i = 0; i < r1.maps.dmd_h.raw().size(); ++i) {
+    EXPECT_EQ(r1.maps.dmd_h.raw()[i], r2.maps.dmd_h.raw()[i]);
+    EXPECT_EQ(r1.maps.dmd_h.raw()[i], r8.maps.dmd_h.raw()[i]);
+    EXPECT_EQ(r1.maps.dmd_v.raw()[i], r8.maps.dmd_v.raw()[i]);
+  }
+  // RSMT wirelength of every tree is identical as well.
+  ASSERT_EQ(r1.trees.size(), r8.trees.size());
+  for (std::size_t n = 0; n < r1.trees.size(); ++n) {
+    EXPECT_EQ(r1.trees[n].length(), r8.trees[n].length());
+  }
+}
+
+TEST_F(ParallelTest, Fft2dBitIdenticalAcrossThreads) {
+  const std::size_t nx = 64, ny = 64;
+  std::vector<double> data(nx * ny);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(0.37 * static_cast<double>(i)) +
+              0.1 * static_cast<double>(i % 7);
+  }
+  par::set_num_threads(1);
+  const std::vector<double> a = dct2_2d(data, nx, ny);
+  const std::vector<double> ai = idxst_dct3_2d(data, nx, ny);
+  par::set_num_threads(8);
+  const std::vector<double> b = dct2_2d(data, nx, ny);
+  const std::vector<double> bi = idxst_dct3_2d(data, nx, ny);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(ai[i], bi[i]);
+  }
+}
+
+TEST_F(ParallelTest, FullFlowBitIdenticalAcrossThreads) {
+  const auto run = [](int threads, std::vector<double>& xs) {
+    Design d = small_design(31);
+    PufferConfig cfg;
+    cfg.gp.max_iters = 120;
+    cfg.padding.xi = 2;
+    cfg.num_threads = threads;
+    PufferFlow flow(d, cfg);
+    const FlowMetrics m = flow.run();
+    for (const Cell& c : d.cells) {
+      xs.push_back(c.x);
+      xs.push_back(c.y);
+    }
+    return m;
+  };
+  std::vector<double> pos1, pos8;
+  const FlowMetrics m1 = run(1, pos1);
+  const FlowMetrics m8 = run(8, pos8);
+  EXPECT_EQ(m1.hpwl_gp, m8.hpwl_gp);
+  EXPECT_EQ(m1.hpwl_legal, m8.hpwl_legal);
+  EXPECT_EQ(m1.padding_rounds, m8.padding_rounds);
+  EXPECT_EQ(m1.padding_area, m8.padding_area);
+  ASSERT_EQ(pos1.size(), pos8.size());
+  for (std::size_t i = 0; i < pos1.size(); ++i) {
+    EXPECT_EQ(pos1[i], pos8[i]) << "position mismatch at " << i;
+  }
+}
+
+TEST_F(ParallelTest, RsmtCacheHitsOnUnchangedPins) {
+  const Design d = small_design(37);
+  CongestionEstimator est(d, CongestionConfig{});
+  const CongestionResult r1 = est.estimate();
+  const std::uint64_t misses_after_first = est.tree_cache().misses();
+  EXPECT_GT(misses_after_first, 0u);  // cold cache
+  EXPECT_EQ(est.tree_cache().hits(), 0u);
+  const CongestionResult r2 = est.estimate();
+  // Nothing moved: every net is served from the cache...
+  EXPECT_EQ(est.tree_cache().misses(), misses_after_first);
+  EXPECT_EQ(est.tree_cache().hits(), misses_after_first);
+  // ...and the result is identical to the rebuilt one.
+  for (std::size_t i = 0; i < r1.maps.dmd_h.raw().size(); ++i) {
+    EXPECT_EQ(r1.maps.dmd_h.raw()[i], r2.maps.dmd_h.raw()[i]);
+    EXPECT_EQ(r1.maps.dmd_v.raw()[i], r2.maps.dmd_v.raw()[i]);
+  }
+}
+
+TEST_F(ParallelTest, RsmtCacheMovedPinInvalidatesEntry) {
+  Design d = small_design(41);
+  CongestionEstimator est(d, CongestionConfig{});
+  est.estimate();
+  const std::uint64_t misses1 = est.tree_cache().misses();
+  // Move one movable cell far enough to change its Gcell.
+  for (Cell& c : d.cells) {
+    if (!c.movable()) continue;
+    c.x += 40.0;
+    c.y += 40.0;
+    break;
+  }
+  est.estimate();
+  // Only the moved cell's nets rebuild; everything else hits.
+  const std::uint64_t misses2 = est.tree_cache().misses();
+  EXPECT_GT(misses2, misses1);
+  EXPECT_LT(misses2 - misses1, misses1);
+  EXPECT_GT(est.tree_cache().hits(), 0u);
+}
+
+TEST_F(ParallelTest, RsmtCacheKeyQuantization) {
+  RsmtCache cache(1, 1e-3);
+  const std::vector<Point> pins{{1.0, 2.0}, {5.0, 7.0}};
+  std::vector<Point> nudged = pins;
+  nudged[0].x += 1e-5;  // below the quantum: same key
+  EXPECT_EQ(cache.key_of(pins), cache.key_of(nudged));
+  std::vector<Point> moved = pins;
+  moved[0].x += 0.5;  // well beyond the quantum: new key
+  EXPECT_NE(cache.key_of(pins), cache.key_of(moved));
+
+  // A moved pin forces a rebuild through get_or_build as well.
+  cache.get_or_build(0, pins);
+  cache.get_or_build(0, pins);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.get_or_build(0, moved);
+  EXPECT_EQ(cache.misses(), 2u);
+  // The rebuilt tree reflects the new positions, not the cached ones.
+  const RsmtTree& t = cache.get_or_build(0, moved);
+  EXPECT_EQ(t.points[static_cast<std::size_t>(t.pin_point[0])].pos.x,
+            moved[0].x);
+}
+
+TEST_F(ParallelTest, DisabledCacheAlwaysRebuilds) {
+  CongestionConfig cfg;
+  cfg.enable_rsmt_cache = false;
+  const Design d = small_design(43);
+  CongestionEstimator est(d, cfg);
+  est.estimate();
+  est.estimate();
+  EXPECT_EQ(est.tree_cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace puffer
