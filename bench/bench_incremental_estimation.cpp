@@ -1,0 +1,132 @@
+// Incremental vs full congestion estimation (the demand-ledger tentpole).
+//
+// Simulates the padding-round workload the estimator sees in the flow:
+// each round the cells inside one randomly placed congested window (a
+// small fraction of the die) spread out a little while the rest of the
+// die is untouched -- that's what congestion-driven cell padding does to
+// a placement between estimation rounds. Each design copy is estimated
+// once with the from-scratch estimator and once with the ledger-based
+// incremental one. Reports per-round times, the speedup, the dirty-net
+// fraction and the demand-map checksums (which must agree -- the
+// incremental path is bit-identical by construction).
+//
+// Output: bench_results/BENCH_incremental_estimation.json.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "congestion/estimator.h"
+#include "geometry/geometry.h"
+#include "io/synthetic.h"
+
+namespace {
+
+using namespace puffer;
+
+// Moves the movable cells inside one random window spanning `window_frac`
+// of the die per axis (padding-style localized perturbation).
+void perturb_cells(Design& d, Rng& rng, double window_frac) {
+  const double ww = (d.die.xhi - d.die.xlo) * window_frac;
+  const double wh = (d.die.yhi - d.die.ylo) * window_frac;
+  const double wx = rng.uniform(d.die.xlo, d.die.xhi - ww);
+  const double wy = rng.uniform(d.die.ylo, d.die.yhi - wh);
+  for (Cell& c : d.cells) {
+    if (!c.movable()) continue;
+    if (c.x < wx || c.x > wx + ww || c.y < wy || c.y > wy + wh) continue;
+    c.x += static_cast<double>(rng.uniform_int(-40, 40));
+    c.y += static_cast<double>(rng.uniform_int(-40, 40));
+    c.x = clamp(c.x, d.die.xlo, d.die.xhi - c.width);
+    c.y = clamp(c.y, d.die.ylo, d.die.yhi - c.height);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench::scale_divisor();
+  SyntheticSpec spec;
+  spec.name = "incr_bench";
+  spec.num_cells = 640000 / scale;
+  spec.num_nets = 640000 / scale;
+  spec.num_macros = 8;
+  spec.seed = 42;
+  const double kWindowFrac = 0.25;  // window edge as a fraction of the die
+  const int kRounds = 12;
+
+  Design d_full = generate_synthetic(spec);
+  Design d_incr = generate_synthetic(spec);
+
+  CongestionConfig cfg;
+  cfg.pin_crowding = 1.0;
+  CongestionConfig full_cfg = cfg;
+  full_cfg.enable_rsmt_cache = false;  // true from-scratch baseline
+  CongestionEstimator full_est(d_full, full_cfg);
+  CongestionEstimator incr_est(d_incr, cfg);
+
+  // Identical move sequences on both copies.
+  Rng rng_full(7), rng_incr(7);
+  double full_s = 0.0, incr_s = 0.0;
+  double full_repeat_s = 0.0, incr_repeat_s = 0.0;  // rounds after warm-up
+  std::uint64_t checksum_full = 0, checksum_incr = 0;
+  bool identical = true;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round > 0) {
+      perturb_cells(d_full, rng_full, kWindowFrac);
+      perturb_cells(d_incr, rng_incr, kWindowFrac);
+    }
+    Timer tf;
+    const CongestionResult rf = full_est.estimate();
+    const double dtf = tf.elapsed_seconds();
+    Timer ti;
+    const CongestionResult ri = incr_est.estimate_incremental();
+    const double dti = ti.elapsed_seconds();
+    full_s += dtf;
+    incr_s += dti;
+    if (round > 0) {
+      full_repeat_s += dtf;
+      incr_repeat_s += dti;
+    }
+    checksum_full = demand_checksum(rf.maps);
+    checksum_incr = demand_checksum(ri.maps);
+    identical = identical && checksum_full == checksum_incr &&
+                rf.expanded_segments == ri.expanded_segments;
+    std::printf("round %2d: full %.4fs incr %.4fs (%s, checksums %s)\n", round,
+                dtf, dti,
+                incr_est.incremental_stats().last_was_full ? "full" : "incr",
+                checksum_full == checksum_incr ? "match" : "MISMATCH");
+  }
+
+  const IncrementalStats& stats = incr_est.incremental_stats();
+  const double speedup = incr_repeat_s > 0.0 ? full_repeat_s / incr_repeat_s : 0.0;
+  std::printf(
+      "\n%d rounds, one %.0f%%-of-die window perturbed per round: full "
+      "%.3fs, incremental %.3fs; repeat-round speedup %.2fx, %.1f%% nets "
+      "dirty, drift %llu, bit-identical %s\n",
+      kRounds, 100.0 * kWindowFrac, full_s, incr_s, speedup,
+      100.0 * stats.dirty_net_frac(),
+      static_cast<unsigned long long>(stats.drift_count),
+      identical ? "yes" : "NO");
+
+  bench::BenchRecord rec("incremental_estimation");
+  rec.add("scale", scale);
+  rec.add("num_cells", spec.num_cells);
+  rec.add("num_nets", static_cast<int>(d_incr.nets.size()));
+  rec.add("rounds", kRounds);
+  rec.add("window_frac", kWindowFrac);
+  rec.add("full_total_s", full_s);
+  rec.add("incremental_total_s", incr_s);
+  rec.add("full_repeat_s", full_repeat_s);
+  rec.add("incremental_repeat_s", incr_repeat_s);
+  rec.add("repeat_speedup", speedup);
+  rec.add("dirty_net_frac", stats.dirty_net_frac());
+  rec.add("full_rebuilds", stats.full_rebuilds);
+  rec.add("drift_count", static_cast<int>(stats.drift_count));
+  rec.add("checksum_full", std::to_string(checksum_full));
+  rec.add("checksum_incremental", std::to_string(checksum_incr));
+  rec.add("bit_identical", identical ? "yes" : "no");
+  const std::string path = rec.write();
+  std::printf("wrote %s\n", path.c_str());
+  return identical ? 0 : 1;
+}

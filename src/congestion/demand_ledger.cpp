@@ -1,0 +1,106 @@
+#include "congestion/demand_ledger.h"
+
+#include <algorithm>
+
+namespace puffer {
+
+void DemandLedger::reset(std::size_t num_nets, std::size_t num_pins,
+                         std::size_t num_cells, const GcellGrid& grid) {
+  entries_.assign(num_nets, NetEntry{});
+  trees_.assign(num_nets, RsmtTree{});
+  base_h_ = Map2D<double>(grid.nx(), grid.ny());
+  base_v_ = Map2D<double>(grid.nx(), grid.ny());
+  pin_cell_.assign(num_pins, -1);
+  cell_x_.assign(num_cells, 0.0);
+  cell_y_.assign(num_cells, 0.0);
+  pin_count_ = Map2D<double>(grid.nx(), grid.ny());
+  applied_penalty_ = Map2D<double>(grid.nx(), grid.ny());
+  dirty_ = Map2D<std::uint32_t>(grid.nx(), grid.ny());
+  row_dirty_.assign(static_cast<std::size_t>(grid.ny()), 0);
+  col_dirty_.assign(static_cast<std::size_t>(grid.nx()), 0);
+  epoch_ = 0;
+  initialized_ = true;
+}
+
+void DemandLedger::mark_move_cells(const ExpansionMove& m) {
+  if (!m.moved) return;
+  if (m.horizontal) {
+    for (int gx = m.lo; gx <= m.hi; ++gx) {
+      mark(gx, m.src);
+      mark(gx, m.dst);
+    }
+    const int ylo = std::min(m.src, m.dst), yhi = std::max(m.src, m.dst);
+    for (const int conn : {m.conn_a, m.conn_b}) {
+      if (conn < 0) continue;
+      for (int gy = ylo; gy <= yhi; ++gy) mark(conn, gy);
+    }
+  } else {
+    for (int gy = m.lo; gy <= m.hi; ++gy) {
+      mark(m.src, gy);
+      mark(m.dst, gy);
+    }
+    const int xlo = std::min(m.src, m.dst), xhi = std::max(m.src, m.dst);
+    for (const int conn : {m.conn_a, m.conn_b}) {
+      if (conn < 0) continue;
+      for (int gx = xlo; gx <= xhi; ++gx) mark(gx, conn);
+    }
+  }
+}
+
+bool DemandLedger::box_dirty(int x0, int x1, int y0, int y1) const {
+  bool any_row = false;
+  for (int gy = y0; gy <= y1 && !any_row; ++gy) {
+    any_row = row_dirty_[static_cast<std::size_t>(gy)] == epoch_;
+  }
+  if (!any_row) return false;
+  bool any_col = false;
+  for (int gx = x0; gx <= x1 && !any_col; ++gx) {
+    any_col = col_dirty_[static_cast<std::size_t>(gx)] == epoch_;
+  }
+  if (!any_col) return false;
+  for (int gy = y0; gy <= y1; ++gy) {
+    for (int gx = x0; gx <= x1; ++gx) {
+      if (dirty_.at(gx, gy) == epoch_) return true;
+    }
+  }
+  return false;
+}
+
+void DemandLedger::apply_span(const LedgerSpan& s, Map2D<double>& dmd_h,
+                              Map2D<double>& dmd_v, double sign) {
+  const double qh = sign * s.qh, qv = sign * s.qv;
+  for (int gy = s.y0; gy <= s.y1; ++gy) {
+    for (int gx = s.x0; gx <= s.x1; ++gx) {
+      if (s.qh != 0.0) dmd_h.at(gx, gy) += qh;
+      if (s.qv != 0.0) dmd_v.at(gx, gy) += qv;
+    }
+  }
+}
+
+void DemandLedger::apply_move(const ExpansionMove& m, Map2D<double>& dmd_h,
+                              Map2D<double>& dmd_v) {
+  if (!m.moved) return;
+  if (m.horizontal) {
+    for (int gx = m.lo; gx <= m.hi; ++gx) {
+      dmd_h.at(gx, m.src) -= 1.0;
+      dmd_h.at(gx, m.dst) += 1.0;
+    }
+    const int ylo = std::min(m.src, m.dst), yhi = std::max(m.src, m.dst);
+    for (const int conn : {m.conn_a, m.conn_b}) {
+      if (conn < 0) continue;
+      for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(conn, gy) += 1.0;
+    }
+  } else {
+    for (int gy = m.lo; gy <= m.hi; ++gy) {
+      dmd_v.at(m.src, gy) -= 1.0;
+      dmd_v.at(m.dst, gy) += 1.0;
+    }
+    const int xlo = std::min(m.src, m.dst), xhi = std::max(m.src, m.dst);
+    for (const int conn : {m.conn_a, m.conn_b}) {
+      if (conn < 0) continue;
+      for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, conn) += 1.0;
+    }
+  }
+}
+
+}  // namespace puffer

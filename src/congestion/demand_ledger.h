@@ -1,0 +1,157 @@
+// Per-net demand ledger for incremental congestion estimation.
+//
+// Between consecutive padding rounds (and across TPE trials) most nets do
+// not move, yet estimate() re-accumulates every net's demand from
+// scratch. The ledger records each net's last-applied contribution to the
+// pre-expansion demand maps -- its Gcell spans with their quantized
+// per-cell demand, the pin-count/penalty layer, and the detour-expansion
+// decisions -- so estimate_incremental() can subtract the stale
+// contribution and re-apply the fresh one for dirty nets only.
+//
+// Exactness invariant: every contribution to the demand maps is rounded
+// to a multiple of kDemandQuantum (2^-40). Sums of such values are exact
+// IEEE-double integer arithmetic while a Gcell's demand stays below
+// 2^53 * 2^-40 = 8192 track-equivalents, so addition is associative and
+// subtraction cancels exactly -- incremental maintenance is bit-identical
+// to a from-scratch accumulation in any order. The estimator enforces the
+// invariant by quantizing I/L span demand and the pin-penalty layer;
+// expansion moves are +/-1.0 (already exact).
+//
+// The expansion journal records, per segment, whether the segment moved
+// and where. Replay is valid for a segment whose read/write halo
+// ([span] x [row +/- expand_radius], or transposed) contains no cell
+// whose demand differs from the previous round's evolving state; the
+// dirty-cell stamps track exactly that set (seeded with the cells the
+// span/penalty updates touched, grown with the cells re-decided moves
+// write). See docs/architecture.md for the induction argument.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "grid/gcell.h"
+#include "grid/map2d.h"
+#include "grid/routing_maps.h"
+#include "rsmt/rsmt.h"
+
+namespace puffer {
+
+// All demand contributions are multiples of this quantum (2^-40) so that
+// map arithmetic is exact (see file comment).
+constexpr double kDemandQuantum = 1.0 / (1024.0 * 1024.0 * 1024.0 * 1024.0);
+constexpr double kDemandScale = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+
+inline double quantize_demand(double v) {
+  return std::round(v * kDemandScale) * kDemandQuantum;
+}
+
+// One two-point segment's Gcell bounding box plus its quantized per-cell
+// demand: I-shapes carry 1.0 in their direction, L-shapes the quantized
+// average-route probabilities in both.
+struct LedgerSpan {
+  int x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  double qh = 0.0;  // added to dmd_h at every covered Gcell
+  double qv = 0.0;  // added to dmd_v at every covered Gcell
+};
+
+// One segment's detour-expansion decision. Geometry (axis, span, source
+// row/column, Steiner-connector coordinates) is re-derivable from the
+// net's unchanged tree; recording it makes replay self-contained.
+struct ExpansionMove {
+  bool moved = false;
+  bool horizontal = false;  // axis of the I-shaped span
+  int lo = 0, hi = 0;       // span extent along the axis
+  int src = 0;              // source row (horizontal) / column (vertical)
+  int dst = 0;              // target row/column when moved
+  // Perpendicular connector coordinates for Steiner endpoints (-1 = pin
+  // endpoint, no connector): the column (horizontal) / row (vertical) of
+  // each endpoint.
+  int conn_a = -1;
+  int conn_b = -1;
+};
+
+class DemandLedger {
+ public:
+  struct NetEntry {
+    std::uint64_t key = 0;             // quantized-pin key last applied
+    std::vector<LedgerSpan> spans;     // applied pre-expansion demand
+    std::vector<ExpansionMove> moves;  // applied expansion decisions
+  };
+
+  DemandLedger() = default;
+
+  // (Re)initializes all state for a design with `num_nets` nets,
+  // `num_pins` pins and `num_cells` cells over `grid`. Clears every entry.
+  void reset(std::size_t num_nets, std::size_t num_pins, std::size_t num_cells,
+             const GcellGrid& grid);
+  // Drops the ledger; the next estimate_incremental() fully rebuilds.
+  void invalidate() { initialized_ = false; }
+  bool initialized() const { return initialized_; }
+  bool matches(std::size_t num_nets, std::size_t num_pins,
+               std::size_t num_cells) const {
+    return initialized_ && entries_.size() == num_nets &&
+           pin_cell_.size() == num_pins && cell_x_.size() == num_cells;
+  }
+
+  NetEntry& entry(std::size_t net) { return entries_[net]; }
+  std::vector<RsmtTree>& trees() { return trees_; }
+
+  // Pre-expansion demand (spans + pin layer), maintained incrementally.
+  Map2D<double>& base_h() { return base_h_; }
+  Map2D<double>& base_v() { return base_v_; }
+
+  // Pin layer: last-applied Gcell per pin (flat index, -1 = never), the
+  // integer pin counts, and the quantized penalty applied per Gcell.
+  std::vector<std::int32_t>& pin_cell() { return pin_cell_; }
+  Map2D<double>& pin_count() { return pin_count_; }
+  Map2D<double>& applied_penalty() { return applied_penalty_; }
+
+  // Per-cell position snapshot from the last applied round. A net can only
+  // be dirty if one of its cells moved (bitwise-identical cell position
+  // implies bitwise-identical pin positions and thus an unchanged quantized
+  // key), so dirty detection scans cells, not pins.
+  std::vector<double>& cell_x() { return cell_x_; }
+  std::vector<double>& cell_y() { return cell_y_; }
+
+  // --- dirty-cell tracking (epoch-stamped, no clearing) ------------------
+  void begin_round() { ++epoch_; }
+  void mark(int gx, int gy) {
+    dirty_.at(gx, gy) = epoch_;
+    row_dirty_[static_cast<std::size_t>(gy)] = epoch_;
+    col_dirty_[static_cast<std::size_t>(gx)] = epoch_;
+  }
+  void mark_span_cells(const LedgerSpan& s) {
+    for (int gy = s.y0; gy <= s.y1; ++gy) {
+      for (int gx = s.x0; gx <= s.x1; ++gx) mark(gx, gy);
+    }
+  }
+  // Marks every cell a recorded move writes (span source + target line and
+  // Steiner connectors). No-op for non-moves.
+  void mark_move_cells(const ExpansionMove& m);
+  // True when [x0,x1] x [y0,y1] (clamped by the caller) holds a cell
+  // marked this round. Row/column summaries reject clean boxes in O(extent).
+  bool box_dirty(int x0, int x1, int y0, int y1) const;
+
+  // --- exact replay helpers ----------------------------------------------
+  static void apply_span(const LedgerSpan& s, Map2D<double>& dmd_h,
+                         Map2D<double>& dmd_v, double sign);
+  // Re-applies a recorded move's demand deltas (+1/-1 lines, connectors).
+  static void apply_move(const ExpansionMove& m, Map2D<double>& dmd_h,
+                         Map2D<double>& dmd_v);
+
+ private:
+  bool initialized_ = false;
+  std::vector<NetEntry> entries_;
+  std::vector<RsmtTree> trees_;
+  Map2D<double> base_h_, base_v_;
+  std::vector<std::int32_t> pin_cell_;
+  Map2D<double> pin_count_;
+  Map2D<double> applied_penalty_;
+  std::vector<double> cell_x_, cell_y_;
+  Map2D<std::uint32_t> dirty_;
+  std::vector<std::uint32_t> row_dirty_, col_dirty_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace puffer

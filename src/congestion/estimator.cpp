@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logger.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 
 namespace puffer {
+
+namespace {
+constexpr const char* kTag = "congestion";
+}
 
 CongestionEstimator::CongestionEstimator(const Design& design,
                                          CongestionConfig config)
@@ -19,43 +25,117 @@ CongestionEstimator::CongestionEstimator(const Design& design,
 
 namespace {
 
-// Gcell bounding box of one two-point segment, precomputed once so the
-// banded demand pass does not redo coordinate transforms per row band.
-struct SegSpan {
-  int x0, x1, y0, y1;
-};
+// Decides (and applies) the detour-expansion move of one I-shaped segment
+// -- the exact sequential algorithm of paper step 3: find the nearest
+// parallel row/column where the whole span has slack for one more track,
+// move the unit demand there, and add perpendicular connector demand for
+// Steiner endpoints. Non-I segments return an empty (non-move) record.
+ExpansionMove decide_segment(const CongestionConfig& config, RoutingMaps& maps,
+                             const GcellIndex& ga, const GcellIndex& gb,
+                             bool a_steiner, bool b_steiner) {
+  ExpansionMove mv;
+  Map2D<double>& dmd_h = maps.dmd_h;
+  Map2D<double>& dmd_v = maps.dmd_v;
+  const bool horizontal = (ga.gy == gb.gy) && (ga.gx != gb.gx);
+  const bool vertical = (ga.gx == gb.gx) && (ga.gy != gb.gy);
+  if (!horizontal && !vertical) return mv;
 
-// Accumulates probabilistic demand for one segment, restricted to Gcell
-// rows [band_lo, band_hi]. Each row band is owned by exactly one chunk,
-// so per-Gcell addition order equals the serial net order and the result
-// is bit-identical for any worker count.
-void add_span_demand(const SegSpan& s, Map2D<double>& dmd_h,
-                     Map2D<double>& dmd_v, int band_lo, int band_hi) {
-  const int x0 = s.x0, x1 = s.x1, y0 = s.y0, y1 = s.y1;
-  if (x0 == x1 && y0 == y1) return;  // same Gcell: covered by pin penalty
-  if (y0 == y1) {
-    // Horizontal I-shape: one unit across the covered Gcells.
-    if (y0 < band_lo || y0 > band_hi) return;
-    for (int gx = x0; gx <= x1; ++gx) dmd_h.at(gx, y0) += 1.0;
-    return;
-  }
-  const int lo = std::max(y0, band_lo), hi = std::min(y1, band_hi);
-  if (lo > hi) return;
-  if (x0 == x1) {
-    for (int gy = lo; gy <= hi; ++gy) dmd_v.at(x0, gy) += 1.0;
-    return;
-  }
-  // L-shape: spread the average demand of the two candidate L routes over
-  // the bounding box: each row carries the horizontal crossing with
-  // probability 1/#rows, each column the vertical one with 1/#cols.
-  const double ph = 1.0 / static_cast<double>(y1 - y0 + 1);
-  const double pv = 1.0 / static_cast<double>(x1 - x0 + 1);
-  for (int gy = lo; gy <= hi; ++gy) {
+  if (horizontal) {
+    mv.horizontal = true;
+    const int y = ga.gy;
+    const int x0 = std::min(ga.gx, gb.gx), x1 = std::max(ga.gx, gb.gx);
+    mv.lo = x0;
+    mv.hi = x1;
+    mv.src = y;
+    mv.dst = y;
+    double worst = 0.0;
     for (int gx = x0; gx <= x1; ++gx) {
-      dmd_h.at(gx, gy) += ph;
-      dmd_v.at(gx, gy) += pv;
+      worst = std::max(worst, dmd_h.at(gx, y) /
+                                  std::max(maps.cap_h.at(gx, y), 1.0));
     }
+    if (worst <= config.congested_ratio) return mv;
+    int target = -1;
+    for (int k = 1; k <= config.expand_radius && target < 0; ++k) {
+      for (const int cand : {y + k, y - k}) {
+        if (cand < 0 || cand >= dmd_h.ny()) continue;
+        bool fits = true;
+        for (int gx = x0; gx <= x1 && fits; ++gx) {
+          fits = dmd_h.at(gx, cand) + 1.0 <=
+                 std::max(maps.cap_h.at(gx, cand), 1.0) *
+                     config.congested_ratio;
+        }
+        if (fits) {
+          target = cand;
+          break;
+        }
+      }
+    }
+    if (target < 0) return mv;
+    for (int gx = x0; gx <= x1; ++gx) {
+      dmd_h.at(gx, y) -= 1.0;
+      dmd_h.at(gx, target) += 1.0;
+    }
+    // Steiner endpoints need a perpendicular connector back to the tree
+    // (a real detour); pin endpoints just model cell spreading.
+    const int ylo = std::min(y, target), yhi = std::max(y, target);
+    if (a_steiner) {
+      mv.conn_a = ga.gx;
+      for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(ga.gx, gy) += 1.0;
+    }
+    if (b_steiner) {
+      mv.conn_b = gb.gx;
+      for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(gb.gx, gy) += 1.0;
+    }
+    mv.moved = true;
+    mv.dst = target;
+  } else {
+    mv.horizontal = false;
+    const int x = ga.gx;
+    const int y0 = std::min(ga.gy, gb.gy), y1 = std::max(ga.gy, gb.gy);
+    mv.lo = y0;
+    mv.hi = y1;
+    mv.src = x;
+    mv.dst = x;
+    double worst = 0.0;
+    for (int gy = y0; gy <= y1; ++gy) {
+      worst = std::max(worst, dmd_v.at(x, gy) /
+                                  std::max(maps.cap_v.at(x, gy), 1.0));
+    }
+    if (worst <= config.congested_ratio) return mv;
+    int target = -1;
+    for (int k = 1; k <= config.expand_radius && target < 0; ++k) {
+      for (const int cand : {x + k, x - k}) {
+        if (cand < 0 || cand >= dmd_v.nx()) continue;
+        bool fits = true;
+        for (int gy = y0; gy <= y1 && fits; ++gy) {
+          fits = dmd_v.at(cand, gy) + 1.0 <=
+                 std::max(maps.cap_v.at(cand, gy), 1.0) *
+                     config.congested_ratio;
+        }
+        if (fits) {
+          target = cand;
+          break;
+        }
+      }
+    }
+    if (target < 0) return mv;
+    for (int gy = y0; gy <= y1; ++gy) {
+      dmd_v.at(x, gy) -= 1.0;
+      dmd_v.at(target, gy) += 1.0;
+    }
+    const int xlo = std::min(x, target), xhi = std::max(x, target);
+    if (a_steiner) {
+      mv.conn_a = ga.gy;
+      for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, ga.gy) += 1.0;
+    }
+    if (b_steiner) {
+      mv.conn_b = gb.gy;
+      for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, gb.gy) += 1.0;
+    }
+    mv.moved = true;
+    mv.dst = target;
   }
+  return mv;
 }
 
 }  // namespace
@@ -68,178 +148,486 @@ double CongestionEstimator::gcell_pin_capacity() const {
   return std::max(1.0, sites * config_.pins_per_site);
 }
 
-CongestionResult CongestionEstimator::estimate() const {
-  CongestionResult result;
-  result.maps = RoutingMaps(grid_, capacity_);
-  Map2D<double>& dmd_h = result.maps.dmd_h;
-  Map2D<double>& dmd_v = result.maps.dmd_v;
-
-  // --- step 2a: RSMT topologies ----------------------------------------
-  // Parallel per net: each net writes only its own tree / span slots, and
-  // unchanged nets are served from the topology cache.
-  const std::int64_t n_nets = static_cast<std::int64_t>(design_.nets.size());
-  result.trees.resize(design_.nets.size());
-  std::vector<std::vector<SegSpan>> spans(design_.nets.size());
-  par::parallel_for(0, n_nets, 16, [&](std::int64_t nb, std::int64_t ne, int) {
-    std::vector<Point> pin_pts;
-    for (std::int64_t n = nb; n < ne; ++n) {
-      const Net& net = design_.nets[static_cast<std::size_t>(n)];
-      pin_pts.clear();
-      pin_pts.reserve(net.pins.size());
-      for (PinId pid : net.pins) pin_pts.push_back(design_.pin_position(pid));
-      const RsmtTree& tree =
-          cache_.get_or_build(static_cast<std::size_t>(n), pin_pts);
-      result.trees[static_cast<std::size_t>(n)] = tree;
-      auto& net_spans = spans[static_cast<std::size_t>(n)];
-      net_spans.reserve(tree.segments.size());
-      for (const RsmtSegment& seg : tree.segments) {
-        const Point& a = tree.points[static_cast<std::size_t>(seg.a)].pos;
-        const Point& b = tree.points[static_cast<std::size_t>(seg.b)].pos;
-        const GcellIndex ga = grid_.index_of(a.x, a.y);
-        const GcellIndex gb = grid_.index_of(b.x, b.y);
-        net_spans.push_back({std::min(ga.gx, gb.gx), std::max(ga.gx, gb.gx),
-                             std::min(ga.gy, gb.gy), std::max(ga.gy, gb.gy)});
-      }
+void CongestionEstimator::spans_of(const RsmtTree& tree,
+                                   std::vector<LedgerSpan>& out) const {
+  out.clear();
+  out.reserve(tree.segments.size());
+  for (const RsmtSegment& seg : tree.segments) {
+    const Point& a = tree.points[static_cast<std::size_t>(seg.a)].pos;
+    const Point& b = tree.points[static_cast<std::size_t>(seg.b)].pos;
+    const GcellIndex ga = grid_.index_of(a.x, a.y);
+    const GcellIndex gb = grid_.index_of(b.x, b.y);
+    LedgerSpan s;
+    s.x0 = std::min(ga.gx, gb.gx);
+    s.x1 = std::max(ga.gx, gb.gx);
+    s.y0 = std::min(ga.gy, gb.gy);
+    s.y1 = std::max(ga.gy, gb.gy);
+    if (s.x0 == s.x1 && s.y0 == s.y1) continue;  // covered by pin penalty
+    if (s.y0 == s.y1) {
+      s.qh = 1.0;  // horizontal I-shape: one unit across the covered Gcells
+    } else if (s.x0 == s.x1) {
+      s.qv = 1.0;
+    } else {
+      // L-shape: spread the average demand of the two candidate L routes
+      // over the bounding box; each row carries the horizontal crossing
+      // with probability 1/#rows, each column the vertical with 1/#cols.
+      s.qh = quantize_demand(1.0 / static_cast<double>(s.y1 - s.y0 + 1));
+      s.qv = quantize_demand(1.0 / static_cast<double>(s.x1 - s.x0 + 1));
     }
-  }, 256);
+    out.push_back(s);
+  }
+}
 
-  // --- step 2b: probabilistic demand ------------------------------------
-  // Row-banded: every chunk walks all spans but writes only the Gcell
-  // rows it owns (see add_span_demand).
+struct CongestionEstimator::SpanBuild {
+  std::vector<RsmtTree> trees;
+  std::vector<std::vector<LedgerSpan>> spans;
+  std::vector<std::uint64_t> keys;
+};
+
+// Parallel per net: each net writes only its own tree / span slots, and
+// unchanged nets are served from the topology cache.
+CongestionEstimator::SpanBuild CongestionEstimator::build_all_spans(
+    bool want_keys) const {
+  SpanBuild b;
+  const std::size_t n_nets = design_.nets.size();
+  b.trees.resize(n_nets);
+  b.spans.resize(n_nets);
+  if (want_keys) b.keys.assign(n_nets, 0);
+  par::parallel_for(
+      0, static_cast<std::int64_t>(n_nets), 16,
+      [&](std::int64_t nb, std::int64_t ne, int) {
+        std::vector<Point> pin_pts;
+        for (std::int64_t n = nb; n < ne; ++n) {
+          const std::size_t ni = static_cast<std::size_t>(n);
+          const Net& net = design_.nets[ni];
+          pin_pts.clear();
+          pin_pts.reserve(net.pins.size());
+          for (PinId pid : net.pins) {
+            pin_pts.push_back(design_.pin_position(pid));
+          }
+          const std::uint64_t key =
+              cache_.enabled() ? cache_.key_of(pin_pts) : 0;
+          if (want_keys) b.keys[ni] = key;
+          b.trees[ni] = cache_.get_or_build(ni, pin_pts, key);
+          spans_of(b.trees[ni], b.spans[ni]);
+        }
+      },
+      256);
+  return b;
+}
+
+// Row-banded probabilistic demand: every chunk walks all spans but writes
+// only the Gcell rows it owns, so per-Gcell addition order equals the
+// serial net order for any worker count (and is exact anyway, since all
+// contributions are kDemandQuantum multiples).
+void CongestionEstimator::accumulate_base(
+    const std::vector<std::vector<LedgerSpan>>& spans, Map2D<double>& dmd_h,
+    Map2D<double>& dmd_v) const {
   par::parallel_for(
       0, grid_.ny(), std::max(1, grid_.ny() / 8),
       [&](std::int64_t band_lo, std::int64_t band_hi_excl, int) {
+        const int lo = static_cast<int>(band_lo);
+        const int hi = static_cast<int>(band_hi_excl) - 1;
         for (const auto& net_spans : spans) {
-          for (const SegSpan& s : net_spans) {
-            add_span_demand(s, dmd_h, dmd_v, static_cast<int>(band_lo),
-                            static_cast<int>(band_hi_excl) - 1);
+          for (const LedgerSpan& s : net_spans) {
+            const int y0 = std::max(s.y0, lo), y1 = std::min(s.y1, hi);
+            for (int gy = y0; gy <= y1; ++gy) {
+              for (int gx = s.x0; gx <= s.x1; ++gx) {
+                if (s.qh != 0.0) dmd_h.at(gx, gy) += s.qh;
+                if (s.qv != 0.0) dmd_v.at(gx, gy) += s.qv;
+              }
+            }
           }
         }
       },
       8);
+}
 
-  // --- step 2c: pin penalty + crowding -----------------------------------
-  if (config_.pin_penalty > 0.0 || config_.pin_crowding > 0.0) {
-    Map2D<double> pin_cnt(grid_.nx(), grid_.ny());
-    for (const Pin& pin : design_.pins) {
-      const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
-      const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
-      pin_cnt.at(g.gx, g.gy) += 1.0;
-    }
-    const double pin_cap = gcell_pin_capacity();
-    for (int gy = 0; gy < grid_.ny(); ++gy) {
-      for (int gx = 0; gx < grid_.nx(); ++gx) {
-        const double cnt = pin_cnt.at(gx, gy);
-        if (cnt <= 0.0) continue;
-        // Flat per-pin term plus the superlinear crowding excess: pins
-        // beyond the Gcell's access capacity each need an escape wire,
-        // split evenly between the two directions.
-        const double excess = std::max(0.0, cnt - pin_cap);
-        const double add = config_.pin_penalty * cnt +
-                           0.5 * config_.pin_crowding * excess;
-        if (add <= 0.0) continue;
-        dmd_h.at(gx, gy) += add;
-        dmd_v.at(gx, gy) += add;
-      }
+// Pin penalty + crowding: a flat per-pin term plus the superlinear
+// crowding excess (pins beyond the Gcell's access capacity each need an
+// escape wire, split evenly between the two directions). Optionally
+// records the pin counts / applied values / per-pin Gcells for the ledger.
+void CongestionEstimator::add_pin_layer(
+    Map2D<double>& dmd_h, Map2D<double>& dmd_v, Map2D<double>* pin_count_out,
+    Map2D<double>* applied_out, std::vector<std::int32_t>* pin_cell_out) const {
+  if (config_.pin_penalty <= 0.0 && config_.pin_crowding <= 0.0) return;
+  Map2D<double> pin_cnt(grid_.nx(), grid_.ny());
+  const int nx = grid_.nx();
+  for (std::size_t p = 0; p < design_.pins.size(); ++p) {
+    const Pin& pin = design_.pins[p];
+    const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
+    const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
+    pin_cnt.at(g.gx, g.gy) += 1.0;
+    if (pin_cell_out) {
+      (*pin_cell_out)[p] = static_cast<std::int32_t>(g.gy) * nx + g.gx;
     }
   }
+  const double pin_cap = gcell_pin_capacity();
+  for (int gy = 0; gy < grid_.ny(); ++gy) {
+    for (int gx = 0; gx < grid_.nx(); ++gx) {
+      const double cnt = pin_cnt.at(gx, gy);
+      if (cnt <= 0.0) continue;
+      const double excess = std::max(0.0, cnt - pin_cap);
+      const double add = quantize_demand(config_.pin_penalty * cnt +
+                                         0.5 * config_.pin_crowding * excess);
+      if (add <= 0.0) continue;
+      dmd_h.at(gx, gy) += add;
+      dmd_v.at(gx, gy) += add;
+      if (applied_out) applied_out->at(gx, gy) = add;
+    }
+  }
+  if (pin_count_out) *pin_count_out = std::move(pin_cnt);
+}
 
-  // --- step 3: detour-imitating expansion --------------------------------
-  if (!config_.enable_detour_expansion) return result;
-
-  const auto ratio_h = [&](int gx, int gy) {
-    return dmd_h.at(gx, gy) / std::max(result.maps.cap_h.at(gx, gy), 1.0);
-  };
-  const auto ratio_v = [&](int gx, int gy) {
-    return dmd_v.at(gx, gy) / std::max(result.maps.cap_v.at(gx, gy), 1.0);
-  };
-
-  for (const RsmtTree& tree : result.trees) {
+// Full detour-imitating expansion over all trees in net order, optionally
+// recording one ExpansionMove per segment (index-aligned) for the ledger.
+int CongestionEstimator::expand_all(
+    const std::vector<RsmtTree>& trees, RoutingMaps& maps,
+    std::vector<std::vector<ExpansionMove>>* record) const {
+  if (!config_.enable_detour_expansion) return 0;
+  int expanded = 0;
+  for (std::size_t n = 0; n < trees.size(); ++n) {
+    const RsmtTree& tree = trees[n];
+    if (record) (*record)[n].reserve(tree.segments.size());
     for (const RsmtSegment& seg : tree.segments) {
       const RsmtPoint& pa = tree.points[static_cast<std::size_t>(seg.a)];
       const RsmtPoint& pb = tree.points[static_cast<std::size_t>(seg.b)];
       const GcellIndex ga = grid_.index_of(pa.pos.x, pa.pos.y);
       const GcellIndex gb = grid_.index_of(pb.pos.x, pb.pos.y);
-      const bool horizontal = (ga.gy == gb.gy) && (ga.gx != gb.gx);
-      const bool vertical = (ga.gx == gb.gx) && (ga.gy != gb.gy);
-      if (!horizontal && !vertical) continue;  // only I-shaped segments
+      const ExpansionMove mv = decide_segment(config_, maps, ga, gb,
+                                              pa.is_steiner(), pb.is_steiner());
+      if (mv.moved) ++expanded;
+      if (record) (*record)[n].push_back(mv);
+    }
+  }
+  return expanded;
+}
 
-      if (horizontal) {
-        const int y = ga.gy;
-        const int x0 = std::min(ga.gx, gb.gx), x1 = std::max(ga.gx, gb.gx);
-        double worst = 0.0;
-        for (int gx = x0; gx <= x1; ++gx) worst = std::max(worst, ratio_h(gx, y));
-        if (worst <= config_.congested_ratio) continue;
-        // Find the nearest parallel row where the whole span has slack for
-        // one more track.
-        int target = -1;
-        for (int k = 1; k <= config_.expand_radius && target < 0; ++k) {
-          for (const int cand : {y + k, y - k}) {
-            if (cand < 0 || cand >= grid_.ny()) continue;
-            bool fits = true;
-            for (int gx = x0; gx <= x1 && fits; ++gx) {
-              fits = dmd_h.at(gx, cand) + 1.0 <=
-                     std::max(result.maps.cap_h.at(gx, cand), 1.0) *
-                         config_.congested_ratio;
-            }
-            if (fits) {
-              target = cand;
-              break;
-            }
-          }
-        }
-        if (target < 0) continue;
-        for (int gx = x0; gx <= x1; ++gx) {
-          dmd_h.at(gx, y) -= 1.0;
-          dmd_h.at(gx, target) += 1.0;
-        }
-        // Steiner endpoints need a perpendicular connector back to the
-        // tree (a real detour); pin endpoints just model cell spreading.
-        const int ylo = std::min(y, target), yhi = std::max(y, target);
-        if (pa.is_steiner()) {
-          for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(ga.gx, gy) += 1.0;
-        }
-        if (pb.is_steiner()) {
-          for (int gy = ylo; gy <= yhi; ++gy) dmd_v.at(gb.gx, gy) += 1.0;
-        }
-        ++result.expanded_segments;
-      } else if (vertical) {
-        const int x = ga.gx;
-        const int y0 = std::min(ga.gy, gb.gy), y1 = std::max(ga.gy, gb.gy);
-        double worst = 0.0;
-        for (int gy = y0; gy <= y1; ++gy) worst = std::max(worst, ratio_v(x, gy));
-        if (worst <= config_.congested_ratio) continue;
-        int target = -1;
-        for (int k = 1; k <= config_.expand_radius && target < 0; ++k) {
-          for (const int cand : {x + k, x - k}) {
-            if (cand < 0 || cand >= grid_.nx()) continue;
-            bool fits = true;
-            for (int gy = y0; gy <= y1 && fits; ++gy) {
-              fits = dmd_v.at(cand, gy) + 1.0 <=
-                     std::max(result.maps.cap_v.at(cand, gy), 1.0) *
-                         config_.congested_ratio;
-            }
-            if (fits) {
-              target = cand;
-              break;
-            }
-          }
-        }
-        if (target < 0) continue;
-        for (int gy = y0; gy <= y1; ++gy) {
-          dmd_v.at(x, gy) -= 1.0;
-          dmd_v.at(target, gy) += 1.0;
-        }
-        const int xlo = std::min(x, target), xhi = std::max(x, target);
-        if (pa.is_steiner()) {
-          for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, ga.gy) += 1.0;
-        }
-        if (pb.is_steiner()) {
-          for (int gx = xlo; gx <= xhi; ++gx) dmd_h.at(gx, gb.gy) += 1.0;
-        }
-        ++result.expanded_segments;
+CongestionResult CongestionEstimator::estimate() const {
+  SpanBuild b = build_all_spans(/*want_keys=*/false);
+  CongestionResult result;
+  result.maps = RoutingMaps(grid_, capacity_);
+  accumulate_base(b.spans, result.maps.dmd_h, result.maps.dmd_v);
+  add_pin_layer(result.maps.dmd_h, result.maps.dmd_v, nullptr, nullptr,
+                nullptr);
+  result.trees = std::move(b.trees);
+  result.expanded_segments = expand_all(result.trees, result.maps, nullptr);
+  return result;
+}
+
+// From-scratch estimation that also (re)populates the demand ledger:
+// per-net keys + spans, the pin layer, the pre-expansion base maps, and
+// the expansion journal.
+CongestionResult CongestionEstimator::rebuild_full() {
+  SpanBuild b = build_all_spans(/*want_keys=*/true);
+  const std::size_t n_nets = design_.nets.size();
+  ledger_.reset(n_nets, design_.pins.size(), design_.cells.size(), grid_);
+  for (std::size_t ci = 0; ci < design_.cells.size(); ++ci) {
+    ledger_.cell_x()[ci] = design_.cells[ci].x;
+    ledger_.cell_y()[ci] = design_.cells[ci].y;
+  }
+
+  CongestionResult result;
+  result.maps = RoutingMaps(grid_, capacity_);
+  accumulate_base(b.spans, result.maps.dmd_h, result.maps.dmd_v);
+  add_pin_layer(result.maps.dmd_h, result.maps.dmd_v, &ledger_.pin_count(),
+                &ledger_.applied_penalty(), &ledger_.pin_cell());
+  ledger_.base_h() = result.maps.dmd_h;  // pre-expansion snapshot
+  ledger_.base_v() = result.maps.dmd_v;
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    ledger_.entry(n).key = b.keys[n];
+    ledger_.entry(n).spans = std::move(b.spans[n]);
+  }
+  ledger_.trees() = std::move(b.trees);
+
+  std::vector<std::vector<ExpansionMove>> record(n_nets);
+  result.expanded_segments = expand_all(ledger_.trees(), result.maps, &record);
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    ledger_.entry(n).moves = std::move(record[n]);
+  }
+  result.trees = ledger_.trees();
+  calls_since_rebuild_ = 0;
+  return result;
+}
+
+// Ledger-based estimation round: detect dirty nets by quantized pin key,
+// subtract their stale span demand and re-apply the fresh one, update the
+// pin layer on Gcells whose pin count changed, then re-run detour
+// expansion only where the demand state differs from the previous round
+// (recorded decisions are replayed verbatim elsewhere).
+CongestionResult CongestionEstimator::incremental_pass(int& dirty_nets,
+                                                       int& replayed,
+                                                       int& redecided) {
+  const std::size_t n_nets = design_.nets.size();
+  ledger_.begin_round();
+
+  // --- cell-level pre-filter -------------------------------------------
+  // A net's quantized key can only change if one of its cells moved, so
+  // compare each cell against the ledger's position snapshot and re-hash
+  // only nets incident to a moved cell: O(cells + moved-cell pins)
+  // instead of O(all pins).
+  std::vector<std::uint8_t> candidate(n_nets, 0);
+  std::vector<std::uint32_t> moved_cells;
+  {
+    std::vector<double>& sx = ledger_.cell_x();
+    std::vector<double>& sy = ledger_.cell_y();
+    for (std::size_t ci = 0; ci < design_.cells.size(); ++ci) {
+      const Cell& c = design_.cells[ci];
+      if (c.x == sx[ci] && c.y == sy[ci]) continue;
+      sx[ci] = c.x;
+      sy[ci] = c.y;
+      moved_cells.push_back(static_cast<std::uint32_t>(ci));
+      for (PinId pid : c.pins) {
+        const NetId nid = design_.pins[static_cast<std::size_t>(pid)].net;
+        if (nid != kInvalidId) candidate[static_cast<std::size_t>(nid)] = 1;
       }
     }
+  }
+
+  // --- dirty detection + fresh trees/spans (parallel per net) ------------
+  std::vector<std::uint8_t> dirty(n_nets, 0);
+  std::vector<std::vector<LedgerSpan>> fresh(n_nets);
+  std::vector<std::uint64_t> fresh_keys(n_nets, 0);
+  par::parallel_for(
+      0, static_cast<std::int64_t>(n_nets), 16,
+      [&](std::int64_t nb, std::int64_t ne, int) {
+        std::vector<Point> pin_pts;
+        for (std::int64_t n = nb; n < ne; ++n) {
+          const std::size_t ni = static_cast<std::size_t>(n);
+          if (!candidate[ni]) continue;
+          const Net& net = design_.nets[ni];
+          pin_pts.clear();
+          pin_pts.reserve(net.pins.size());
+          for (PinId pid : net.pins) {
+            pin_pts.push_back(design_.pin_position(pid));
+          }
+          const std::uint64_t key = cache_.key_of(pin_pts);
+          if (key == ledger_.entry(ni).key) continue;
+          dirty[ni] = 1;
+          fresh_keys[ni] = key;
+          ledger_.trees()[ni] = cache_.get_or_build(ni, pin_pts, key);
+          spans_of(ledger_.trees()[ni], fresh[ni]);
+        }
+      },
+      256);
+
+  // --- subtract stale / apply fresh span demand (exact cancellation) -----
+  Map2D<double>& base_h = ledger_.base_h();
+  Map2D<double>& base_v = ledger_.base_v();
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    if (!dirty[n]) continue;
+    ++dirty_nets;
+    DemandLedger::NetEntry& e = ledger_.entry(n);
+    for (const LedgerSpan& s : e.spans) {
+      DemandLedger::apply_span(s, base_h, base_v, -1.0);
+      ledger_.mark_span_cells(s);
+    }
+    e.spans = std::move(fresh[n]);
+    e.key = fresh_keys[n];
+    for (const LedgerSpan& s : e.spans) {
+      DemandLedger::apply_span(s, base_h, base_v, +1.0);
+      ledger_.mark_span_cells(s);
+    }
+  }
+
+  // --- pin layer on Gcells whose pin count changed -----------------------
+  // Only a moved cell's pins can land in a different Gcell, so the rescan
+  // covers moved cells only (update order is irrelevant: the counts are
+  // exact +/-1 integer updates and `changed` is sorted before use).
+  if (config_.pin_penalty > 0.0 || config_.pin_crowding > 0.0) {
+    const int nx = grid_.nx();
+    std::vector<std::int32_t>& pin_cell = ledger_.pin_cell();
+    Map2D<double>& pin_cnt = ledger_.pin_count();
+    std::vector<std::int32_t> changed;
+    for (const std::uint32_t ci : moved_cells) {
+      const Cell& c = design_.cells[ci];
+      for (PinId pid : c.pins) {
+        const std::size_t p = static_cast<std::size_t>(pid);
+        const Pin& pin = design_.pins[p];
+        const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
+        const std::int32_t flat = static_cast<std::int32_t>(g.gy) * nx + g.gx;
+        if (flat == pin_cell[p]) continue;
+        pin_cnt.raw()[static_cast<std::size_t>(pin_cell[p])] -= 1.0;
+        pin_cnt.raw()[static_cast<std::size_t>(flat)] += 1.0;
+        changed.push_back(pin_cell[p]);
+        changed.push_back(flat);
+        pin_cell[p] = flat;
+      }
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    const double pin_cap = gcell_pin_capacity();
+    Map2D<double>& applied = ledger_.applied_penalty();
+    for (const std::int32_t flat : changed) {
+      const int gx = flat % nx, gy = flat / nx;
+      const double old_add = applied.at(gx, gy);
+      if (old_add != 0.0) {
+        base_h.at(gx, gy) -= old_add;
+        base_v.at(gx, gy) -= old_add;
+      }
+      double add = 0.0;
+      const double cnt = pin_cnt.at(gx, gy);
+      if (cnt > 0.0) {
+        const double excess = std::max(0.0, cnt - pin_cap);
+        const double q = quantize_demand(config_.pin_penalty * cnt +
+                                         0.5 * config_.pin_crowding * excess);
+        if (q > 0.0) add = q;
+      }
+      if (add != 0.0) {
+        base_h.at(gx, gy) += add;
+        base_v.at(gx, gy) += add;
+      }
+      applied.at(gx, gy) = add;
+      ledger_.mark(gx, gy);
+    }
+  }
+
+  // --- result maps = pre-expansion snapshot ------------------------------
+  CongestionResult result;
+  result.maps = RoutingMaps(grid_, capacity_);
+  result.maps.dmd_h = base_h;
+  result.maps.dmd_v = base_v;
+
+  // --- detour expansion: replay clean regions, re-decide dirty ones ------
+  if (config_.enable_detour_expansion) {
+    const int R = config_.expand_radius;
+    const int W = grid_.nx(), H = grid_.ny();
+    int expanded = 0;
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      const RsmtTree& tree = ledger_.trees()[n];
+      DemandLedger::NetEntry& e = ledger_.entry(n);
+      const bool net_dirty =
+          dirty[n] || e.moves.size() != tree.segments.size();
+      if (net_dirty) {
+        // The journal belongs to the old tree: void it (its writes may
+        // differ from this round's) and decide every segment fresh.
+        for (const ExpansionMove& m : e.moves) ledger_.mark_move_cells(m);
+        e.moves.clear();
+        e.moves.reserve(tree.segments.size());
+        for (const RsmtSegment& seg : tree.segments) {
+          const RsmtPoint& pa = tree.points[static_cast<std::size_t>(seg.a)];
+          const RsmtPoint& pb = tree.points[static_cast<std::size_t>(seg.b)];
+          const GcellIndex ga = grid_.index_of(pa.pos.x, pa.pos.y);
+          const GcellIndex gb = grid_.index_of(pb.pos.x, pb.pos.y);
+          const ExpansionMove mv = decide_segment(
+              config_, result.maps, ga, gb, pa.is_steiner(), pb.is_steiner());
+          if (mv.moved) {
+            ++expanded;
+            ledger_.mark_move_cells(mv);
+          }
+          e.moves.push_back(mv);
+          ++redecided;
+        }
+        continue;
+      }
+      for (std::size_t i = 0; i < tree.segments.size(); ++i) {
+        const RsmtSegment& seg = tree.segments[i];
+        const RsmtPoint& pa = tree.points[static_cast<std::size_t>(seg.a)];
+        const RsmtPoint& pb = tree.points[static_cast<std::size_t>(seg.b)];
+        const GcellIndex ga = grid_.index_of(pa.pos.x, pa.pos.y);
+        const GcellIndex gb = grid_.index_of(pb.pos.x, pb.pos.y);
+        const bool horizontal = (ga.gy == gb.gy) && (ga.gx != gb.gx);
+        const bool vertical = (ga.gx == gb.gx) && (ga.gy != gb.gy);
+        if (!horizontal && !vertical) continue;  // never expands
+        // Everything this segment reads or writes lies in its span
+        // crossed with the +/- expand_radius halo.
+        int bx0, bx1, by0, by1;
+        if (horizontal) {
+          bx0 = std::min(ga.gx, gb.gx);
+          bx1 = std::max(ga.gx, gb.gx);
+          by0 = std::max(0, ga.gy - R);
+          by1 = std::min(H - 1, ga.gy + R);
+        } else {
+          by0 = std::min(ga.gy, gb.gy);
+          by1 = std::max(ga.gy, gb.gy);
+          bx0 = std::max(0, ga.gx - R);
+          bx1 = std::min(W - 1, ga.gx + R);
+        }
+        if (!ledger_.box_dirty(bx0, bx1, by0, by1)) {
+          DemandLedger::apply_move(e.moves[i], result.maps.dmd_h,
+                                   result.maps.dmd_v);
+          if (e.moves[i].moved) ++expanded;
+          ++replayed;
+          continue;
+        }
+        const ExpansionMove mv = decide_segment(
+            config_, result.maps, ga, gb, pa.is_steiner(), pb.is_steiner());
+        const ExpansionMove& old = e.moves[i];
+        if (mv.moved != old.moved || (mv.moved && mv.dst != old.dst)) {
+          ledger_.mark_move_cells(old);
+          ledger_.mark_move_cells(mv);
+        }
+        if (mv.moved) ++expanded;
+        e.moves[i] = mv;
+        ++redecided;
+      }
+    }
+    result.expanded_segments = expanded;
+  }
+
+  result.trees = ledger_.trees();
+  return result;
+}
+
+CongestionResult CongestionEstimator::estimate_incremental() {
+  Timer timer;
+  const std::size_t n_nets = design_.nets.size();
+  const bool can_use_ledger = config_.enable_incremental && cache_.enabled();
+  const bool ledger_ok =
+      can_use_ledger &&
+      ledger_.matches(n_nets, design_.pins.size(), design_.cells.size());
+  const bool full =
+      !ledger_ok || (config_.full_rebuild_interval > 0 &&
+                     calls_since_rebuild_ >= config_.full_rebuild_interval);
+
+  CongestionResult result;
+  int dirty = 0, replayed = 0, redecided = 0;
+  if (!full) {
+    result = incremental_pass(dirty, replayed, redecided);
+    ++calls_since_rebuild_;
+    // Clean nets are logical topology-cache hits served by the ledger.
+    cache_.add_hits(static_cast<std::uint64_t>(n_nets) -
+                    static_cast<std::uint64_t>(dirty));
+  } else if (!can_use_ledger) {
+    result = estimate();
+  } else if (ledger_ok && config_.verify_rebuild) {
+    // Exact-fallback rebuild: run the ledger path first, then rebuild from
+    // scratch and check the two are bit-identical (the ledger must never
+    // drift). The fresh result is what callers get either way.
+    const CongestionResult inc = incremental_pass(dirty, replayed, redecided);
+    result = rebuild_full();
+    const bool same = inc.maps.dmd_h.raw() == result.maps.dmd_h.raw() &&
+                      inc.maps.dmd_v.raw() == result.maps.dmd_v.raw() &&
+                      inc.expanded_segments == result.expanded_segments;
+    if (!same) {
+      ++incr_stats_.drift_count;
+      PUFFER_LOG_ERROR(kTag,
+                       "demand ledger drifted from full rebuild "
+                       "(checksum %016llx vs %016llx); adopting rebuild",
+                       static_cast<unsigned long long>(
+                           demand_checksum(inc.maps)),
+                       static_cast<unsigned long long>(
+                           demand_checksum(result.maps)));
+    }
+  } else {
+    result = rebuild_full();
+  }
+
+  const double dt = timer.elapsed_seconds();
+  ++incr_stats_.calls;
+  incr_stats_.last_was_full = full;
+  incr_stats_.last_dirty_nets = dirty;
+  incr_stats_.last_total_nets = static_cast<int>(n_nets);
+  incr_stats_.last_replayed_segments = replayed;
+  incr_stats_.last_redecided_segments = redecided;
+  incr_stats_.last_time_s = dt;
+  if (full) {
+    ++incr_stats_.full_rebuilds;
+    incr_stats_.full_time_s += dt;
+  } else {
+    incr_stats_.incremental_time_s += dt;
+    incr_stats_.dirty_nets_total += dirty;
+    incr_stats_.nets_total += static_cast<std::int64_t>(n_nets);
   }
   return result;
 }

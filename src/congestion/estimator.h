@@ -22,8 +22,10 @@
 // congestion on the same trees.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "congestion/demand_ledger.h"
 #include "grid/routing_maps.h"
 #include "netlist/design.h"
 #include "rsmt/rsmt.h"
@@ -56,6 +58,18 @@ struct CongestionConfig {
   // A segment is considered congested (triggering expansion) when some
   // Gcell on it exceeds this demand/capacity ratio. Strategy parameter.
   double congested_ratio = 1.0;
+  // Incremental estimation (estimate_incremental): maintain the per-net
+  // demand ledger between calls so only dirty nets are re-accumulated.
+  // Requires the RSMT cache; with the cache disabled every call falls
+  // back to a full estimate.
+  bool enable_incremental = true;
+  // Every Nth estimate_incremental() call rebuilds the ledger from
+  // scratch (0 = rebuild only on the first call / after invalidation).
+  int full_rebuild_interval = 16;
+  // On rebuild rounds, additionally run the incremental path and check it
+  // is bit-identical to the from-scratch result; a mismatch increments
+  // IncrementalStats::drift_count and the fresh result is adopted.
+  bool verify_rebuild = true;
 };
 
 struct CongestionResult {
@@ -67,12 +81,46 @@ struct CongestionResult {
   int expanded_segments = 0;
 };
 
+// Observability for the incremental path (ledger/cache effectiveness).
+struct IncrementalStats {
+  // Last estimate_incremental() call.
+  bool last_was_full = false;
+  int last_dirty_nets = 0;
+  int last_total_nets = 0;
+  int last_replayed_segments = 0;   // expansion decisions replayed verbatim
+  int last_redecided_segments = 0;  // expansion decisions recomputed
+  double last_time_s = 0.0;
+  // Cumulative across calls.
+  int calls = 0;
+  int full_rebuilds = 0;
+  std::int64_t dirty_nets_total = 0;
+  std::int64_t nets_total = 0;  // nets examined across incremental rounds
+  double incremental_time_s = 0.0;  // time spent in ledger-based rounds
+  double full_time_s = 0.0;         // time spent in full-rebuild rounds
+  // Rebuild-round verification failures (must stay 0; see verify_rebuild).
+  std::uint64_t drift_count = 0;
+
+  double dirty_net_frac() const {
+    return nets_total > 0
+               ? static_cast<double>(dirty_nets_total) /
+                     static_cast<double>(nets_total)
+               : 0.0;
+  }
+};
+
 class CongestionEstimator {
  public:
   CongestionEstimator(const Design& design, CongestionConfig config);
 
   // Full estimation from the design's current cell positions.
   CongestionResult estimate() const;
+
+  // Ledger-based estimation: bit-identical to estimate() but only dirty
+  // nets (quantized pin key changed since the last call) are
+  // re-accumulated, and detour expansion is re-decided only where demand
+  // changed. The first call (and every full_rebuild_interval-th call)
+  // rebuilds the ledger from scratch.
+  CongestionResult estimate_incremental();
 
   const GcellGrid& grid() const { return grid_; }
 
@@ -81,9 +129,31 @@ class CongestionEstimator {
 
   // Topology-cache statistics (accumulated across estimate() calls).
   const RsmtCache& tree_cache() const { return cache_; }
-  void invalidate_tree_cache() { cache_.clear(); }
+  RsmtCache& tree_cache() { return cache_; }
+  void invalidate_tree_cache() {
+    cache_.clear();
+    ledger_.invalidate();  // stale trees must not be replayed
+  }
+
+  const IncrementalStats& incremental_stats() const { return incr_stats_; }
 
  private:
+  struct SpanBuild;  // trees + quantized spans (+ keys) for all nets
+
+  SpanBuild build_all_spans(bool want_keys) const;
+  void spans_of(const RsmtTree& tree, std::vector<LedgerSpan>& out) const;
+  void accumulate_base(const std::vector<std::vector<LedgerSpan>>& spans,
+                       Map2D<double>& dmd_h, Map2D<double>& dmd_v) const;
+  void add_pin_layer(Map2D<double>& dmd_h, Map2D<double>& dmd_v,
+                     Map2D<double>* pin_count_out, Map2D<double>* applied_out,
+                     std::vector<std::int32_t>* pin_cell_out) const;
+  int expand_all(const std::vector<RsmtTree>& trees, RoutingMaps& maps,
+                 std::vector<std::vector<ExpansionMove>>* record) const;
+
+  CongestionResult rebuild_full();
+  CongestionResult incremental_pass(int& dirty_nets, int& replayed,
+                                    int& redecided);
+
   const Design& design_;
   CongestionConfig config_;
   GcellGrid grid_;
@@ -91,6 +161,9 @@ class CongestionEstimator {
   // Per-net memo of RSMT topologies; estimate() is logically const, the
   // cache is a pure performance artifact.
   mutable RsmtCache cache_;
+  DemandLedger ledger_;
+  IncrementalStats incr_stats_;
+  int calls_since_rebuild_ = 0;
 };
 
 }  // namespace puffer

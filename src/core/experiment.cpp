@@ -25,16 +25,21 @@ ExperimentResult run_experiment(Design& design, PlacerKind kind,
     case PlacerKind::kPuffer: {
       PufferFlow flow(design, config.puffer);
       result.flow = flow.run();
+      // Warm evaluation: the router reuses the flow's RSMT topology cache
+      // for nets legalization left (quantized-)unmoved.
+      result.route =
+          evaluate_routability(design, config.eval_router, flow.estimator());
       break;
     }
     case PlacerKind::kReplaceRc:
       result.flow = run_replace_rc(design, config.replace_rc);
+      result.route = evaluate_routability(design, config.eval_router);
       break;
     case PlacerKind::kCommercialProxy:
       result.flow = run_commercial_proxy(design, config.commercial);
+      result.route = evaluate_routability(design, config.eval_router);
       break;
   }
-  result.route = evaluate_routability(design, config.eval_router);
   PUFFER_LOG_INFO("experiment", "%s / %s: HOF %.2f%% VOF %.2f%% WL %.4g RT %.1fs",
                   result.benchmark.c_str(), placer_name(kind),
                   result.hof_pct(), result.vof_pct(), result.routed_wl(),

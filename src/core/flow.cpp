@@ -26,7 +26,9 @@ FlowMetrics PufferFlow::run() {
 
   EPlaceEngine engine(design_, config_.gp);
   PaddingEngine padder(design_, engine.movable_cells(), config_.padding);
-  CongestionEstimator estimator(design_, config_.congestion);
+  // One estimator for all padding rounds: its demand ledger and topology
+  // cache carry over, so each round pays only for the nets that moved.
+  estimator_ = std::make_unique<CongestionEstimator>(design_, config_.congestion);
 
   // Global placement with interleaved routability optimization.
   {
@@ -35,14 +37,19 @@ FlowMetrics PufferFlow::run() {
       engine.run_to_overflow(config_.padding.tau);
       if (!padder.should_trigger(engine.density_overflow())) break;
       ScopedStageTimer t2(metrics.stages, "routability_opt");
-      const CongestionResult congestion = estimator.estimate();
+      const CongestionResult congestion = estimator_->estimate_incremental();
+      const IncrementalStats& est = estimator_->incremental_stats();
       const std::vector<double>& pad = padder.update(congestion);
       engine.set_padding(pad);
       PUFFER_LOG_INFO(kTag,
                       "padding round %d at iter %d (overflow %.3f, est "
-                      "expanded %d segs)",
+                      "expanded %d segs; %s est %.3fs, %d/%d nets dirty, "
+                      "cache hit %.0f%%)",
                       padder.attempts(), engine.iteration(),
-                      engine.density_overflow(), congestion.expanded_segments);
+                      engine.density_overflow(), congestion.expanded_segments,
+                      est.last_was_full ? "full" : "incr", est.last_time_s,
+                      est.last_dirty_nets, est.last_total_nets,
+                      100.0 * estimator_->tree_cache().hit_rate());
       // Let the density system absorb the new areas before re-estimating.
       for (int k = 0; k < config_.padding.spacing_iters; ++k) {
         if (!engine.step()) break;
@@ -85,15 +92,30 @@ FlowMetrics PufferFlow::run() {
   metrics.hpwl_legal = design_.total_hpwl();
   metrics.legality = check_legality(design_);
   metrics.runtime_s = total.elapsed_seconds();
+  metrics.estimation = estimator_->incremental_stats();
+  metrics.rsmt_cache_hit_rate = estimator_->tree_cache().hit_rate();
   PUFFER_LOG_INFO(kTag, "flow done in %.1fs: hpwl %.4g -> %.4g, %s",
                   metrics.runtime_s, metrics.hpwl_gp, metrics.hpwl_legal,
                   metrics.legality.summary().c_str());
+  if (metrics.estimation.calls > 0) {
+    PUFFER_LOG_INFO(
+        kTag,
+        "estimation: %d calls (%d full), %.1f%% nets dirty on incr rounds, "
+        "incr %.3fs / full %.3fs, rsmt cache hit %.0f%%, drift %llu",
+        metrics.estimation.calls, metrics.estimation.full_rebuilds,
+        100.0 * metrics.estimation.dirty_net_frac(),
+        metrics.estimation.incremental_time_s, metrics.estimation.full_time_s,
+        100.0 * metrics.rsmt_cache_hit_rate,
+        static_cast<unsigned long long>(metrics.estimation.drift_count));
+  }
   return metrics;
 }
 
 RouteResult evaluate_routability(const Design& design,
-                                 const RouterConfig& config) {
-  GlobalRouter router(design, config);
+                                 const RouterConfig& config,
+                                 CongestionEstimator* warm) {
+  GlobalRouter router(design, config,
+                      warm ? &warm->tree_cache() : nullptr);
   return router.route();
 }
 

@@ -17,6 +17,8 @@
 // a neutral evaluator.
 #pragma once
 
+#include <memory>
+
 #include "common/timer.h"
 #include "congestion/estimator.h"
 #include "gp/engine.h"
@@ -52,6 +54,10 @@ struct FlowMetrics {
   double runtime_s = 0.0;
   StageTimes stages;
   LegalityReport legality;
+  // Incremental-estimation observability: ledger stats accumulated over
+  // the padding rounds plus the RSMT topology-cache hit rate.
+  IncrementalStats estimation;
+  double rsmt_cache_hit_rate = 0.0;
 };
 
 class PufferFlow {
@@ -61,13 +67,25 @@ class PufferFlow {
   // Runs the full flow; the design's cell positions are the result.
   FlowMetrics run();
 
+  // The flow's congestion estimator (valid after run(); null before).
+  // Exposed so the evaluation router can warm-start from the flow's RSMT
+  // topology cache instead of rebuilding every net's tree.
+  CongestionEstimator* estimator() { return estimator_.get(); }
+
  private:
   Design& design_;
   PufferConfig config_;
+  // Owned by the flow so the demand ledger and topology cache persist
+  // across padding rounds (and outlive run() for warm evaluation).
+  std::unique_ptr<CongestionEstimator> estimator_;
 };
 
-// Runs the evaluation router on the design's current placement.
+// Runs the evaluation router on the design's current placement. `warm`
+// (optional) shares the flow estimator's RSMT topology cache with the
+// router, skipping tree construction for nets unmoved since the last
+// estimate.
 RouteResult evaluate_routability(const Design& design,
-                                 const RouterConfig& config = {});
+                                 const RouterConfig& config = {},
+                                 CongestionEstimator* warm = nullptr);
 
 }  // namespace puffer

@@ -1,8 +1,10 @@
 #include "explore/strategy_explorer.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logger.h"
+#include "common/parallel.h"
 
 namespace puffer {
 
@@ -17,20 +19,46 @@ ParamExplorationOutcome explore_parameters(const std::vector<ParamSpec>& specs,
   out.best_loss = std::numeric_limits<double>::max();
   TpeSampler sampler(specs, config.tpe, config.seed);
 
+  const int batch = std::max(1, config.batch_size);
   int tc = 0;   // total evaluations
   int npc = 0;  // non-improving streak
   while (tc < config.time_limit && npc < config.early_stop) {
-    Observation o;
-    o.x = sampler.suggest(out.observations);
-    o.loss = eval(o.x);
-    out.observations.push_back(o);
-    if (o.loss < out.best_loss) {
-      out.best_loss = o.loss;
-      out.best = o.x;
-      npc = 0;
+    // Suggest the whole batch first (sequentially: the sampler's RNG
+    // stream advances on this thread, so the candidate sequence is
+    // deterministic), then evaluate concurrently, then fold the
+    // observations in candidate order -- the loop state updates exactly
+    // as if the candidates had been evaluated one by one.
+    const int want = std::min(batch, config.time_limit - tc);
+    std::vector<Assignment> xs(static_cast<std::size_t>(want));
+    for (int i = 0; i < want; ++i) xs[static_cast<std::size_t>(i)] =
+        sampler.suggest(out.observations);
+    std::vector<double> losses(static_cast<std::size_t>(want), 0.0);
+    if (want == 1) {
+      losses[0] = eval(xs[0]);
+    } else {
+      par::parallel_for(
+          0, want, 1,
+          [&](std::int64_t b, std::int64_t e, int) {
+            for (std::int64_t i = b; i < e; ++i) {
+              losses[static_cast<std::size_t>(i)] =
+                  eval(xs[static_cast<std::size_t>(i)]);
+            }
+          },
+          want);
     }
-    ++tc;
-    ++npc;
+    for (int i = 0; i < want && npc < config.early_stop; ++i) {
+      Observation o;
+      o.x = xs[static_cast<std::size_t>(i)];
+      o.loss = losses[static_cast<std::size_t>(i)];
+      out.observations.push_back(std::move(o));
+      if (losses[static_cast<std::size_t>(i)] < out.best_loss) {
+        out.best_loss = losses[static_cast<std::size_t>(i)];
+        out.best = xs[static_cast<std::size_t>(i)];
+        npc = 0;
+      }
+      ++tc;
+      ++npc;
+    }
   }
   out.ranges = update_param_ranges(specs, out.observations);
   out.early_stopped = npc >= config.early_stop;

@@ -31,6 +31,17 @@ struct ExploreConfig {
   int time_limit = 40;  // TC: max evaluations per parameter exploration
   int early_stop = 10;  // EC: stop after this many non-improving evals
   int outer_rounds = 3; // outer TC of Algorithm 3
+  // Candidates suggested (sequentially, so the sampler stream is
+  // deterministic) and evaluated (concurrently via the parallel runtime)
+  // per SMBO round. 1 = the exact serial Algorithm-2 loop. Larger batches
+  // trade some sample efficiency (candidates within a batch cannot see
+  // each other's losses) for wall-clock when evaluations dominate.
+  // Observations are folded in candidate order, so best/best_loss and the
+  // early-stop point are identical for any PUFFER_THREADS value.
+  // Concurrent evaluators must be thread-safe and must not mutate global
+  // state (e.g. a PufferFlow evaluator must keep num_threads = 0 so it
+  // does not resize the shared worker pool mid-batch).
+  int batch_size = 1;
   TpeConfig tpe;
   std::uint64_t seed = 1234;
 };

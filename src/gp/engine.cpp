@@ -199,8 +199,14 @@ double EPlaceEngine::gamma() const {
 void EPlaceEngine::gradient(const std::vector<double>& x,
                             const std::vector<double>& y,
                             std::vector<double>& gx, std::vector<double>& gy) {
-  // Wirelength part (movables only).
-  static thread_local std::vector<double> gwx, gwy;
+  // Wirelength part (movables only). The scratch vectors are thread_local
+  // (engines on different threads must not share them), but the parallel
+  // lambdas below must see the *caller's* instances: thread_local names
+  // are not captured, each worker would resolve them to its own empty
+  // vector. Bind ordinary references so the capture is by caller address.
+  static thread_local std::vector<double> gwx_tls, gwy_tls;
+  std::vector<double>& gwx = gwx_tls;
+  std::vector<double>& gwy = gwy_tls;
   const std::vector<double> xm(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(num_movable_));
   const std::vector<double> ym(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(num_movable_));
   wirelength_.evaluate(xm, ym, gamma(), gwx, gwy);

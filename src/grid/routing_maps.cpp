@@ -1,6 +1,7 @@
 #include "grid/routing_maps.h"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -59,6 +60,25 @@ OverflowStats compute_overflow(const RoutingMaps& maps) {
   stats.vof_pct = cap_v_sum > 0.0 ? 100.0 * of_v / cap_v_sum : 0.0;
   stats.total_overflow = of_h + of_v;
   return stats;
+}
+
+std::uint64_t demand_checksum(const RoutingMaps& maps) {
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  std::uint64_t h = kFnvOffset;
+  const auto mix = [&h](const Map2D<double>& m) {
+    for (const double v : m.raw()) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        h ^= (bits >> (i * 8)) & 0xffu;
+        h *= kFnvPrime;
+      }
+    }
+  };
+  mix(maps.dmd_h);
+  mix(maps.dmd_v);
+  return h;
 }
 
 double map_correlation(const Map2D<double>& a, const Map2D<double>& b) {

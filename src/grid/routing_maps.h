@@ -3,6 +3,7 @@
 // (Eq. 7-style) and map export for Fig. 5-like congestion pictures.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "grid/capacity.h"
@@ -44,6 +45,12 @@ struct OverflowStats {
 };
 
 OverflowStats compute_overflow(const RoutingMaps& maps);
+
+// FNV-1a over the raw bit patterns of both demand maps. Bit-identical maps
+// (and only those) hash equal, so the incremental estimator's drift check,
+// the randomized-equivalence tests and the benchmark can compare full vs
+// ledger-based results with a single number.
+std::uint64_t demand_checksum(const RoutingMaps& maps);
 
 // Pearson correlation between two equally-sized maps; used by the
 // estimation-accuracy ablation. Returns 0 when either map is constant.

@@ -42,12 +42,14 @@ void apply_path(const std::vector<GcellIndex>& path, Map2D<double>& dmd_h,
 
 }  // namespace
 
-GlobalRouter::GlobalRouter(const Design& design, RouterConfig config)
+GlobalRouter::GlobalRouter(const Design& design, RouterConfig config,
+                           RsmtCache* tree_cache)
     : design_(design),
       config_(config),
       grid_(GcellGrid::from_row_pitch(design.die, design.tech.row_height,
                                       config.rows_per_gcell)),
-      capacity_(build_capacity_maps(design, grid_)) {}
+      capacity_(build_capacity_maps(design, grid_)),
+      tree_cache_(tree_cache) {}
 
 RouteResult GlobalRouter::route() const {
   RouteResult result;
@@ -100,7 +102,12 @@ RouteResult GlobalRouter::route() const {
             if (net.pins.size() < 2) continue;
             pts.clear();
             for (PinId pid : net.pins) pts.push_back(design_.pin_position(pid));
-            const RsmtTree tree = build_rsmt(pts);
+            // Warm start: reuse the estimator's cached topology when the
+            // quantized pins still match (per-net slots, race-free).
+            const RsmtTree tree =
+                tree_cache_ ? tree_cache_->get_or_build(
+                                  static_cast<std::size_t>(n), pts)
+                            : build_rsmt(pts);
             for (const RsmtSegment& s : tree.segments) {
               Seg seg;
               seg.a = grid_.index_of(

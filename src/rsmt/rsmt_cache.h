@@ -34,6 +34,10 @@ class RsmtCache {
   // otherwise rebuilds via build_rsmt and stores the result.
   const RsmtTree& get_or_build(std::size_t net,
                                const std::vector<Point>& pins);
+  // Same, with the key already computed via key_of (the incremental
+  // estimator hashes every net for dirty detection and reuses the hash).
+  const RsmtTree& get_or_build(std::size_t net, const std::vector<Point>& pins,
+                               std::uint64_t key);
 
   void invalidate(std::size_t net);
   void clear();
@@ -41,6 +45,16 @@ class RsmtCache {
   bool enabled() const { return enabled_; }
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
+  double hit_rate() const {
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    return h + m > 0.0 ? h / (h + m) : 0.0;
+  }
+  // Credits logical hits that skipped get_or_build entirely (the demand
+  // ledger serves clean nets without consulting the cache).
+  void add_hits(std::uint64_t n) {
+    hits_.fetch_add(n, std::memory_order_relaxed);
+  }
   void reset_stats();
 
   // Exposed for tests: the key two pin sets map to is equal iff every

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "explore/strategy_explorer.h"
 
@@ -215,6 +216,72 @@ TEST(Algorithm3, GroupedExplorationImprovesSeparableLoss) {
   EXPECT_LT(explorer.best().loss, 4.0);
   EXPECT_NEAR(final[0], 2.0, 3.0);
   EXPECT_NEAR(final[1], 8.0, 3.5);
+}
+
+// Batched evaluation folds observations in candidate order, so the
+// outcome (best, best_loss, every observation) is identical for any
+// worker count.
+TEST(Algorithm2, BatchedOutcomeIndependentOfThreadCount) {
+  struct ThreadGuard {
+    ~ThreadGuard() { par::set_num_threads(0); }
+  } guard;
+  const std::vector<ParamSpec> specs{{"x", ParamKind::kContinuous, 0.0, 10.0},
+                                     {"y", ParamKind::kContinuous, 0.0, 10.0}};
+  ExploreConfig cfg;
+  cfg.time_limit = 24;
+  cfg.early_stop = 24;
+  cfg.batch_size = 4;
+  cfg.seed = 77;
+  const auto eval = [](const Assignment& a) {
+    return (a[0] - 6.0) * (a[0] - 6.0) + std::abs(a[1] - 2.5);
+  };
+
+  par::set_num_threads(1);
+  const auto serial = explore_parameters(specs, eval, cfg);
+  par::set_num_threads(8);
+  const auto parallel8 = explore_parameters(specs, eval, cfg);
+
+  EXPECT_DOUBLE_EQ(serial.best_loss, parallel8.best_loss);
+  EXPECT_EQ(serial.best, parallel8.best);
+  ASSERT_EQ(serial.observations.size(), parallel8.observations.size());
+  for (std::size_t i = 0; i < serial.observations.size(); ++i) {
+    EXPECT_EQ(serial.observations[i].x, parallel8.observations[i].x);
+    EXPECT_DOUBLE_EQ(serial.observations[i].loss,
+                     parallel8.observations[i].loss);
+  }
+}
+
+TEST(Algorithm2, BatchedRespectsTimeLimit) {
+  const std::vector<ParamSpec> specs{{"x", ParamKind::kContinuous, 0.0, 1.0}};
+  ExploreConfig cfg;
+  cfg.time_limit = 10;
+  cfg.early_stop = 100;
+  cfg.batch_size = 4;  // 10 is not a multiple of 4: final batch is clamped
+  int evals = 0;
+  Rng noise(3);
+  const auto outcome = explore_parameters(
+      specs,
+      [&](const Assignment&) {
+        ++evals;
+        return noise.uniform(0, 1);
+      },
+      cfg);
+  EXPECT_EQ(evals, 10);
+  EXPECT_EQ(outcome.observations.size(), 10u);
+}
+
+TEST(Algorithm2, BatchedStopsEarlyMidBatch) {
+  const std::vector<ParamSpec> specs{{"x", ParamKind::kContinuous, 0.0, 1.0}};
+  ExploreConfig cfg;
+  cfg.time_limit = 100;
+  cfg.early_stop = 7;
+  cfg.batch_size = 4;
+  const auto outcome = explore_parameters(
+      specs, [](const Assignment&) { return 1.0; }, cfg);
+  EXPECT_TRUE(outcome.early_stopped);
+  // The fold stops recording once npc hits EC, exactly as the serial
+  // loop would: 4 observations from the first batch, 3 from the second.
+  EXPECT_EQ(outcome.observations.size(), 7u);
 }
 
 TEST(Algorithm3, SingletonGroupsAddedForUncoveredParams) {

@@ -1,0 +1,206 @@
+// Tests for the incremental congestion estimator (per-net demand ledger):
+// randomized move sequences must keep estimate_incremental() bit-identical
+// to a from-scratch estimate() every round, for any thread count, with the
+// detour expansion on or off, and the periodic verified rebuild must never
+// observe ledger drift.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "congestion/estimator.h"
+#include "core/flow.h"
+#include "io/synthetic.h"
+
+namespace puffer {
+namespace {
+
+Design small_synthetic(std::uint64_t seed = 7) {
+  SyntheticSpec spec;
+  spec.num_cells = 260;
+  spec.num_nets = 400;
+  spec.num_macros = 2;
+  spec.seed = seed;
+  return generate_synthetic(spec);
+}
+
+// Moves ~frac of the movable cells by a whole-DBU offset (far above the
+// 1e-3 cache quantum, so a moved net is always detected as dirty) and
+// clamps them into the die.
+void perturb_cells(Design& d, Rng& rng, double frac) {
+  for (Cell& c : d.cells) {
+    if (!c.movable() || !rng.chance(frac)) continue;
+    c.x += static_cast<double>(rng.uniform_int(-30, 30));
+    c.y += static_cast<double>(rng.uniform_int(-30, 30));
+    c.x = clamp(c.x, d.die.xlo, d.die.xhi - c.width);
+    c.y = clamp(c.y, d.die.ylo, d.die.yhi - c.height);
+  }
+}
+
+// Restores the global worker-pool setting after a test that changes it.
+struct ThreadGuard {
+  ~ThreadGuard() { par::set_num_threads(0); }
+};
+
+CongestionConfig incr_config() {
+  CongestionConfig cfg;
+  cfg.pin_crowding = 1.0;  // exercise the nonlinear pin layer too
+  return cfg;
+}
+
+void expect_identical(const CongestionResult& inc, const CongestionResult& ref,
+                      int round) {
+  ASSERT_EQ(inc.maps.dmd_h.raw(), ref.maps.dmd_h.raw()) << "round " << round;
+  ASSERT_EQ(inc.maps.dmd_v.raw(), ref.maps.dmd_v.raw()) << "round " << round;
+  EXPECT_EQ(inc.expanded_segments, ref.expanded_segments) << "round " << round;
+  EXPECT_EQ(demand_checksum(inc.maps), demand_checksum(ref.maps))
+      << "round " << round;
+}
+
+void run_randomized_equivalence(CongestionConfig cfg, std::uint64_t seed) {
+  Design d = small_synthetic(seed);
+  CongestionEstimator inc(d, cfg);
+  CongestionConfig ref_cfg = cfg;
+  ref_cfg.enable_rsmt_cache = false;  // independent from-scratch reference
+  CongestionEstimator ref(d, ref_cfg);
+
+  Rng rng(seed * 31 + 1);
+  for (int round = 0; round < 10; ++round) {
+    if (round > 0) perturb_cells(d, rng, 0.15);
+    const CongestionResult a = inc.estimate_incremental();
+    const CongestionResult b = ref.estimate();
+    expect_identical(a, b, round);
+  }
+  const IncrementalStats& stats = inc.incremental_stats();
+  EXPECT_EQ(stats.calls, 10);
+  EXPECT_EQ(stats.drift_count, 0u);
+  EXPECT_EQ(stats.full_rebuilds, 1);  // only the initial ledger build
+  // With 15% of cells moved per round, most nets must be served from the
+  // ledger (this is the whole point of the incremental path).
+  EXPECT_GT(stats.nets_total, 0);
+  EXPECT_LT(stats.dirty_net_frac(), 0.9);
+}
+
+TEST(Incremental, RandomizedMovesBitIdenticalWithExpansion) {
+  run_randomized_equivalence(incr_config(), 7);
+}
+
+TEST(Incremental, RandomizedMovesBitIdenticalWithoutExpansion) {
+  CongestionConfig cfg = incr_config();
+  cfg.enable_detour_expansion = false;
+  run_randomized_equivalence(cfg, 11);
+}
+
+TEST(Incremental, RandomizedMovesBitIdenticalNoPinLayer) {
+  CongestionConfig cfg = incr_config();
+  cfg.pin_penalty = 0.0;
+  cfg.pin_crowding = 0.0;
+  run_randomized_equivalence(cfg, 13);
+}
+
+// The incremental result must be bit-identical across worker counts: the
+// per-round checksums of a 1-thread run and an 8-thread run agree.
+TEST(Incremental, ThreadCountInvariance) {
+  ThreadGuard guard;
+  std::vector<std::uint64_t> checksums[2];
+  const int threads[2] = {1, 8};
+  for (int t = 0; t < 2; ++t) {
+    par::set_num_threads(threads[t]);
+    Design d = small_synthetic(17);
+    CongestionEstimator est(d, incr_config());
+    Rng rng(99);
+    for (int round = 0; round < 6; ++round) {
+      if (round > 0) perturb_cells(d, rng, 0.2);
+      checksums[t].push_back(demand_checksum(est.estimate_incremental().maps));
+    }
+  }
+  EXPECT_EQ(checksums[0], checksums[1]);
+}
+
+// Every full_rebuild_interval-th call re-runs the ledger path next to a
+// from-scratch rebuild and compares them; drift_count must stay 0.
+TEST(Incremental, PeriodicVerifiedRebuildNeverDrifts) {
+  Design d = small_synthetic(23);
+  CongestionConfig cfg = incr_config();
+  cfg.full_rebuild_interval = 4;
+  cfg.verify_rebuild = true;
+  CongestionEstimator est(d, cfg);
+  Rng rng(5);
+  for (int round = 0; round < 13; ++round) {
+    if (round > 0) perturb_cells(d, rng, 0.25);
+    est.estimate_incremental();
+  }
+  const IncrementalStats& stats = est.incremental_stats();
+  EXPECT_EQ(stats.drift_count, 0u);
+  EXPECT_GE(stats.full_rebuilds, 3);  // call 0 plus every 4th afterwards
+  EXPECT_LT(stats.full_rebuilds, stats.calls);
+}
+
+// With the cache (or the feature) disabled the incremental entry point
+// must fall back to a plain full estimate and still match the reference.
+TEST(Incremental, FallsBackToFullWithoutCache) {
+  Design d = small_synthetic(29);
+  CongestionConfig cfg = incr_config();
+  cfg.enable_rsmt_cache = false;
+  CongestionEstimator est(d, cfg);
+  const CongestionResult a = est.estimate_incremental();
+  const CongestionResult b = est.estimate();
+  expect_identical(a, b, 0);
+  EXPECT_TRUE(est.incremental_stats().last_was_full);
+}
+
+// Invalidation (e.g. after a grid-parameter change upstream) must force a
+// rebuild instead of replaying stale trees.
+TEST(Incremental, InvalidateForcesRebuild) {
+  Design d = small_synthetic(31);
+  CongestionEstimator est(d, incr_config());
+  est.estimate_incremental();
+  est.invalidate_tree_cache();
+  est.estimate_incremental();
+  EXPECT_TRUE(est.incremental_stats().last_was_full);
+  EXPECT_EQ(est.incremental_stats().full_rebuilds, 2);
+}
+
+// The warm evaluation router (sharing the estimator's topology cache)
+// must produce exactly the same routing result as a cold router.
+TEST(Incremental, WarmRouterMatchesColdRouter) {
+  Design d = small_synthetic(37);
+  CongestionEstimator est(d, incr_config());
+  est.estimate_incremental();  // populate the topology cache
+
+  const RouterConfig rcfg;
+  const RouteResult cold = evaluate_routability(d, rcfg);
+  const RouteResult warm = evaluate_routability(d, rcfg, &est);
+  EXPECT_EQ(demand_checksum(cold.maps), demand_checksum(warm.maps));
+  EXPECT_DOUBLE_EQ(cold.wirelength, warm.wirelength);
+  EXPECT_EQ(cold.segments, warm.segments);
+  EXPECT_DOUBLE_EQ(cold.overflow.hof_pct, warm.overflow.hof_pct);
+  EXPECT_DOUBLE_EQ(cold.overflow.vof_pct, warm.overflow.vof_pct);
+}
+
+// End-to-end parity: the full flow must produce the same placement with
+// the incremental estimator as with per-round full estimation.
+TEST(Incremental, FlowParityIncrementalVsFull) {
+  SyntheticSpec spec;
+  spec.num_cells = 150;
+  spec.num_nets = 220;
+  spec.seed = 3;
+
+  double hpwl[2] = {0.0, 0.0};
+  for (int t = 0; t < 2; ++t) {
+    Design d = generate_synthetic(spec);
+    PufferConfig cfg;
+    cfg.congestion.enable_incremental = (t == 0);
+    PufferFlow flow(d, cfg);
+    const FlowMetrics m = flow.run();
+    hpwl[t] = m.hpwl_legal;
+    if (t == 0) {
+      EXPECT_EQ(m.estimation.drift_count, 0u);
+    }
+  }
+  EXPECT_DOUBLE_EQ(hpwl[0], hpwl[1]);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -12,6 +12,7 @@
 #include "congestion/estimator.h"
 #include "core/flow.h"
 #include "fft/dct.h"
+#include "gp/engine.h"
 #include "gp/wirelength.h"
 #include "io/synthetic.h"
 #include "rsmt/rsmt_cache.h"
@@ -160,6 +161,34 @@ TEST_F(ParallelTest, EstimatorDemandBitIdenticalAcrossThreads) {
   for (std::size_t n = 0; n < r1.trees.size(); ++n) {
     EXPECT_EQ(r1.trees[n].length(), r8.trees[n].length());
   }
+}
+
+// Regression: the engine's gradient uses thread_local scratch vectors,
+// and thread_local names are not lambda-captured -- pool workers used to
+// resolve them to their own empty instances and crash. Only designs with
+// > 4096 elements split the gradient reduce into multiple chunks, so this
+// needs a larger design than the other tests.
+TEST_F(ParallelTest, LargeGradientBitIdenticalAcrossThreads) {
+  SyntheticSpec spec;
+  spec.name = "par_large";
+  spec.seed = 41;
+  spec.num_cells = 4600;
+  spec.num_nets = 5200;
+  spec.num_macros = 4;
+  const auto run = [&spec](int threads) {
+    par::set_num_threads(threads);
+    Design d = generate_synthetic(spec);
+    initial_place(d);
+    GpConfig cfg;
+    cfg.max_iters = 6;
+    EPlaceEngine engine(d, cfg);
+    for (int i = 0; i < 5; ++i) engine.step();
+    return std::make_pair(engine.last_hpwl(), engine.density_overflow());
+  };
+  const auto r1 = run(1);
+  const auto r8 = run(8);
+  EXPECT_EQ(r1.first, r8.first);
+  EXPECT_EQ(r1.second, r8.second);
 }
 
 TEST_F(ParallelTest, Fft2dBitIdenticalAcrossThreads) {
