@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
 
   TextTable table({"Benchmark", "Placer", "HOF(%)", "VOF(%)", "WL", "RT(s)",
-                   "PassH", "PassV"});
+                   "RouteRT(s)", "Segs", "Rerouted", "RRRounds", "PassH",
+                   "PassV"});
   struct Acc {
     double hof = 0, vof = 0;
     double log_wl = 0, log_rt = 0;
@@ -56,6 +57,10 @@ int main(int argc, char** argv) {
                      TextTable::fmt(r.vof_pct(), 2),
                      TextTable::fmt(r.routed_wl(), 0),
                      TextTable::fmt(r.runtime_s(), 1),
+                     TextTable::fmt(r.flow.router.route_time_s, 2),
+                     TextTable::fmt_int(r.flow.router.segments),
+                     TextTable::fmt_int(r.flow.router.rerouted),
+                     TextTable::fmt_int(r.flow.router.rounds_used),
                      r.pass_h() ? "yes" : "NO", r.pass_v() ? "yes" : "NO"});
       acc[p].hof += r.hof_pct();
       acc[p].vof += r.vof_pct();

@@ -40,10 +40,20 @@ ExperimentResult run_experiment(Design& design, PlacerKind kind,
       result.route = evaluate_routability(design, config.eval_router);
       break;
   }
-  PUFFER_LOG_INFO("experiment", "%s / %s: HOF %.2f%% VOF %.2f%% WL %.4g RT %.1fs",
+  result.flow.router.route_time_s = result.route.route_time_s;
+  result.flow.router.rrr_time_s = result.route.rrr_time_s;
+  result.flow.router.segments = result.route.segments;
+  result.flow.router.rerouted = result.route.rerouted;
+  result.flow.router.rounds_used = result.route.rounds_used;
+  result.flow.stages.add("evaluate_route", result.route.route_time_s);
+  PUFFER_LOG_INFO("experiment",
+                  "%s / %s: HOF %.2f%% VOF %.2f%% WL %.4g RT %.1fs (route "
+                  "%.2fs, %d segs, %d rerouted over %d rounds)",
                   result.benchmark.c_str(), placer_name(kind),
                   result.hof_pct(), result.vof_pct(), result.routed_wl(),
-                  result.runtime_s());
+                  result.runtime_s(), result.route.route_time_s,
+                  result.route.segments, result.route.rerouted,
+                  result.route.rounds_used);
   return result;
 }
 

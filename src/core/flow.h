@@ -46,6 +46,17 @@ struct PufferConfig {
   int num_threads = 0;
 };
 
+// Evaluation-router stage metrics: filled by the experiment harness from
+// the RouteResult of the neutral evaluation that follows the flow (the
+// router runs outside run(), so the flow itself leaves these zero).
+struct RouterStageMetrics {
+  double route_time_s = 0.0;  // total route() wall time
+  double rrr_time_s = 0.0;    // rip-up-and-reroute phase wall time
+  int segments = 0;
+  int rerouted = 0;
+  int rounds_used = 0;
+};
+
 struct FlowMetrics {
   double hpwl_gp = 0.0;      // after global placement
   double hpwl_legal = 0.0;   // after legalization
@@ -58,6 +69,7 @@ struct FlowMetrics {
   // the padding rounds plus the RSMT topology-cache hit rate.
   IncrementalStats estimation;
   double rsmt_cache_hit_rate = 0.0;
+  RouterStageMetrics router;
 };
 
 class PufferFlow {

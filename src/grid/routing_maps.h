@@ -25,6 +25,16 @@ struct RoutingMaps {
   double cg_h(int gx, int gy) const;
   double cg_v(int gx, int gy) const;
 
+  // Per-direction overflow predicate (dmd > cap, strict) -- the single
+  // definition shared by compute_overflow, the router's incremental
+  // overflow tracker and the history-cost growth.
+  bool overflowed_h(int gx, int gy) const {
+    return dmd_h.at(gx, gy) > cap_h.at(gx, gy);
+  }
+  bool overflowed_v(int gx, int gy) const {
+    return dmd_v.at(gx, gy) > cap_v.at(gx, gy);
+  }
+
   // Combined congestion, Eq. (10): when the two directions disagree in
   // sign take the max; otherwise their sum.
   double cg(int gx, int gy) const;

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+#include <stdexcept>
+#include <vector>
 
 #include "common/logger.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "congestion/demand_ledger.h"
+#include "router/maze.h"
+#include "router/overflow_tracker.h"
+#include "router/path_use.h"
 #include "rsmt/rsmt.h"
 
 namespace puffer {
@@ -19,39 +25,65 @@ struct Seg {
   std::vector<GcellIndex> path;  // inclusive cell sequence a..b
 };
 
-// Demand application: each path cell consumes the direction(s) of its
-// adjacent moves; a turning cell consumes both directions.
-void apply_path(const std::vector<GcellIndex>& path, Map2D<double>& dmd_h,
-                Map2D<double>& dmd_v, double sign) {
-  const std::size_t n = path.size();
-  if (n < 2) return;
-  for (std::size_t i = 0; i < n; ++i) {
-    bool h = false, v = false;
-    if (i > 0) {
-      if (path[i - 1].gy == path[i].gy) h = true;
-      else v = true;
+// Per-thread window-local overlay of a segment's own demand, so the maze
+// prices the field with the segment's old path removed without mutating
+// the shared (frozen) maps. Arrays stay all-zero between uses; `touched`
+// records which entries to clear.
+struct OwnUseOverlay {
+  std::vector<std::int8_t> h, v;
+  std::vector<std::size_t> touched;
+
+  void load(const std::vector<GcellIndex>& path, const MazeWindow& w) {
+    const std::size_t cells =
+        static_cast<std::size_t>(w.ww) * static_cast<std::size_t>(w.wh);
+    if (h.size() < cells) {
+      h.resize(cells, 0);
+      v.resize(cells, 0);
     }
-    if (i + 1 < n) {
-      if (path[i + 1].gy == path[i].gy) h = true;
-      else v = true;
-    }
-    if (h) dmd_h.at(path[i].gx, path[i].gy) += sign;
-    if (v) dmd_v.at(path[i].gx, path[i].gy) += sign;
+    for_each_path_use(path, [&](int gx, int gy, bool uh, bool uv) {
+      if (!w.contains(gx, gy)) return;
+      const std::size_t i = static_cast<std::size_t>(gy - w.y0) *
+                                static_cast<std::size_t>(w.ww) +
+                            static_cast<std::size_t>(gx - w.x0);
+      if (h[i] == 0 && v[i] == 0) touched.push_back(i);
+      if (uh) h[i] += 1;
+      if (uv) v[i] += 1;
+    });
   }
-}
+  void clear() {
+    for (const std::size_t i : touched) {
+      h[i] = 0;
+      v[i] = 0;
+    }
+    touched.clear();
+  }
+};
 
 }  // namespace
+
+RouterConfig validate_router_config(RouterConfig config) {
+  if (!(config.rows_per_gcell > 0.0) ||
+      !std::isfinite(config.rows_per_gcell)) {
+    throw std::invalid_argument(
+        "RouterConfig.rows_per_gcell must be positive and finite");
+  }
+  config.rr_rounds = std::max(0, config.rr_rounds);
+  config.bbox_margin = std::max(0, config.bbox_margin);
+  config.turn_cost = std::max(0.0, config.turn_cost);
+  return config;
+}
 
 GlobalRouter::GlobalRouter(const Design& design, RouterConfig config,
                            RsmtCache* tree_cache)
     : design_(design),
-      config_(config),
+      config_(validate_router_config(config)),
       grid_(GcellGrid::from_row_pitch(design.die, design.tech.row_height,
-                                      config.rows_per_gcell)),
+                                      config_.rows_per_gcell)),
       capacity_(build_capacity_maps(design, grid_)),
       tree_cache_(tree_cache) {}
 
 RouteResult GlobalRouter::route() const {
+  Timer route_timer;
   RouteResult result;
   result.maps = RoutingMaps(grid_, capacity_);
   Map2D<double>& dmd_h = result.maps.dmd_h;
@@ -77,8 +109,11 @@ RouteResult GlobalRouter::route() const {
         const double cnt = pin_cnt.at(gx, gy);
         if (cnt <= 0.0) continue;
         const double excess = std::max(0.0, cnt - pin_cap);
-        const double add = config_.pin_penalty * cnt +
-                           0.5 * config_.pin_crowding * excess;
+        // Quantized like the estimator's pin layer: every demand value is
+        // then a multiple of kDemandQuantum, so the +/-1 rip/re-apply
+        // arithmetic of the reroute rounds cancels bit-exactly.
+        const double add = quantize_demand(config_.pin_penalty * cnt +
+                                           0.5 * config_.pin_crowding * excess);
         if (add <= 0.0) continue;
         dmd_h.at(gx, gy) += add;
         dmd_v.at(gx, gy) += add;
@@ -88,7 +123,8 @@ RouteResult GlobalRouter::route() const {
 
   // --- decompose nets into segments --------------------------------------
   // Parallel per net (each net owns its slot), flattened in net order so
-  // the initial-routing sequence stays deterministic.
+  // the segment sequence -- and with it every commit order below -- stays
+  // deterministic.
   std::vector<Seg> segs;
   {
     const std::int64_t n_nets = static_cast<std::int64_t>(design_.nets.size());
@@ -126,29 +162,37 @@ RouteResult GlobalRouter::route() const {
       for (Seg& s : pn) segs.push_back(std::move(s));
     }
   }
+  const std::int64_t n_segs = static_cast<std::int64_t>(segs.size());
   result.segments = static_cast<int>(segs.size());
 
   Map2D<double> hist_h(grid_.nx(), grid_.ny());
   Map2D<double> hist_v(grid_.nx(), grid_.ny());
 
-  // Directional entry cost of a Gcell during maze/pattern routing.
-  const auto cost_h = [&](int gx, int gy) {
+  // Directional entry cost of a Gcell; `dh`/`dv` let the maze price the
+  // field with the segment's own demand subtracted.
+  const auto cost_h_at = [&](int gx, int gy, double dh) {
     const double cap = std::max(result.maps.cap_h.at(gx, gy), 1.0);
-    const double ratio = (dmd_h.at(gx, gy) + 1.0) / cap;
+    const double ratio = (dh + 1.0) / cap;
     double c = 1.0;
     if (ratio > 1.0) {
       c += config_.overflow_slope * (ratio - 1.0) + hist_h.at(gx, gy);
     }
     return c;
   };
-  const auto cost_v = [&](int gx, int gy) {
+  const auto cost_v_at = [&](int gx, int gy, double dv) {
     const double cap = std::max(result.maps.cap_v.at(gx, gy), 1.0);
-    const double ratio = (dmd_v.at(gx, gy) + 1.0) / cap;
+    const double ratio = (dv + 1.0) / cap;
     double c = 1.0;
     if (ratio > 1.0) {
       c += config_.overflow_slope * (ratio - 1.0) + hist_v.at(gx, gy);
     }
     return c;
+  };
+  const auto cost_h = [&](int gx, int gy) {
+    return cost_h_at(gx, gy, dmd_h.at(gx, gy));
+  };
+  const auto cost_v = [&](int gx, int gy) {
+    return cost_v_at(gx, gy, dmd_v.at(gx, gy));
   };
 
   // Builds an L path through the given corner.
@@ -173,174 +217,199 @@ RouteResult GlobalRouter::route() const {
 
   const auto path_cost = [&](const std::vector<GcellIndex>& path) {
     double c = 0.0;
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      bool h = false, v = false;
-      if (i > 0) (path[i - 1].gy == path[i].gy ? h : v) = true;
-      if (i + 1 < path.size()) (path[i + 1].gy == path[i].gy ? h : v) = true;
-      if (h) c += cost_h(path[i].gx, path[i].gy);
-      if (v) c += cost_v(path[i].gx, path[i].gy);
-    }
+    for_each_path_use(path, [&](int gx, int gy, bool h, bool v) {
+      if (h) c += cost_h(gx, gy);
+      if (v) c += cost_v(gx, gy);
+    });
     return c;
   };
 
   // --- initial pattern routing -------------------------------------------
-  for (Seg& seg : segs) {
-    const GcellIndex c1{seg.b.gx, seg.a.gy};
-    const GcellIndex c2{seg.a.gx, seg.b.gy};
-    auto p1 = l_path(seg.a, c1, seg.b);
-    if (seg.a.gx == seg.b.gx || seg.a.gy == seg.b.gy) {
-      seg.path = std::move(p1);
-    } else {
-      auto p2 = l_path(seg.a, c2, seg.b);
-      seg.path = path_cost(p1) <= path_cost(p2) ? std::move(p1) : std::move(p2);
-    }
-    apply_path(seg.path, dmd_h, dmd_v, +1.0);
+  // Both L candidates are priced concurrently against the frozen
+  // pin-demand field (each segment owns its slot), then demand is
+  // committed serially in segment order -- deterministic for any worker
+  // count, same contract as the reroute rounds below.
+  par::parallel_for(
+      0, n_segs, 64,
+      [&](std::int64_t sb, std::int64_t se, int) {
+        for (std::int64_t i = sb; i < se; ++i) {
+          Seg& seg = segs[static_cast<std::size_t>(i)];
+          const GcellIndex c1{seg.b.gx, seg.a.gy};
+          const GcellIndex c2{seg.a.gx, seg.b.gy};
+          auto p1 = l_path(seg.a, c1, seg.b);
+          if (seg.a.gx == seg.b.gx || seg.a.gy == seg.b.gy) {
+            seg.path = std::move(p1);
+          } else {
+            auto p2 = l_path(seg.a, c2, seg.b);
+            seg.path =
+                path_cost(p1) <= path_cost(p2) ? std::move(p1) : std::move(p2);
+          }
+        }
+      },
+      256);
+  for (const Seg& seg : segs) {
+    apply_path_demand(seg.path, dmd_h, dmd_v, +1.0);
   }
 
-  // --- negotiated rip-up and reroute --------------------------------------
+  // Incremental overflow bookkeeping: one full scan here, then every
+  // overflow bit, overflowed-cell list and per-segment touch count is
+  // maintained from the +/-1 deltas of the commit path.
+  OverflowTracker tracker;
+  tracker.init(result.maps, segs.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    tracker.register_path(i, segs[i].path, result.maps);
+  }
+
+  // --- batched negotiated rip-up and reroute ------------------------------
+  Timer rrr_timer;
   const int W = grid_.nx(), H = grid_.ny();
-  std::vector<double> gscore;
-  std::vector<int> visit_mark;
-  std::vector<std::int32_t> parent;
-  int visit_token = 0;
+  const std::int32_t qturn = static_cast<std::int32_t>(
+      std::lround(config_.turn_cost * static_cast<double>(kQCostScale)));
 
-  // Direction-aware A* within a window; dir 0 = arrived horizontally,
-  // 1 = vertically.
-  const auto maze = [&](const Seg& seg) -> std::vector<GcellIndex> {
-    const int x0 = std::max(0, std::min(seg.a.gx, seg.b.gx) - config_.bbox_margin);
-    const int x1 = std::min(W - 1, std::max(seg.a.gx, seg.b.gx) + config_.bbox_margin);
-    const int y0 = std::max(0, std::min(seg.a.gy, seg.b.gy) - config_.bbox_margin);
-    const int y1 = std::min(H - 1, std::max(seg.a.gy, seg.b.gy) + config_.bbox_margin);
-    const int ww = x1 - x0 + 1, wh = y1 - y0 + 1;
-    const std::size_t states = static_cast<std::size_t>(ww) * wh * 2;
-    if (gscore.size() < states) {
-      gscore.resize(states);
-      visit_mark.resize(states, -1);
-      parent.resize(states);
-    }
-    ++visit_token;
-    const auto sid = [&](int gx, int gy, int dir) {
-      return (static_cast<std::size_t>(gy - y0) * ww + (gx - x0)) * 2 +
-             static_cast<std::size_t>(dir);
-    };
-    const auto heur = [&](int gx, int gy) {
-      return static_cast<double>(std::abs(gx - seg.b.gx) +
-                                 std::abs(gy - seg.b.gy));
-    };
-    using QE = std::pair<double, std::uint32_t>;  // (f, state)
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> open;
-    const auto push = [&](int gx, int gy, int dir, double g, std::int32_t par) {
-      const std::size_t s = sid(gx, gy, dir);
-      if (visit_mark[s] == visit_token && gscore[s] <= g) return;
-      visit_mark[s] = visit_token;
-      gscore[s] = g;
-      parent[s] = par;
-      open.emplace(g + heur(gx, gy), static_cast<std::uint32_t>(s));
-    };
-    push(seg.a.gx, seg.a.gy, 0, cost_h(seg.a.gx, seg.a.gy), -1);
-    push(seg.a.gx, seg.a.gy, 1, cost_v(seg.a.gx, seg.a.gy), -1);
-
-    std::int32_t goal_state = -1;
-    while (!open.empty()) {
-      const auto [f, sraw] = open.top();
-      open.pop();
-      const std::size_t s = sraw;
-      const int dir = static_cast<int>(s % 2);
-      const int gx = x0 + static_cast<int>((s / 2) % static_cast<std::size_t>(ww));
-      const int gy = y0 + static_cast<int>((s / 2) / static_cast<std::size_t>(ww));
-      if (f > gscore[s] + heur(gx, gy) + 1e-9) continue;  // stale entry
-      if (gx == seg.b.gx && gy == seg.b.gy) {
-        goal_state = static_cast<std::int32_t>(s);
-        break;
-      }
-      const double g = gscore[s];
-      // Horizontal moves.
-      if (gx > x0) {
-        const double c = cost_h(gx - 1, gy) + (dir == 1 ? config_.turn_cost : 0.0);
-        push(gx - 1, gy, 0, g + c, static_cast<std::int32_t>(s));
-      }
-      if (gx < x1) {
-        const double c = cost_h(gx + 1, gy) + (dir == 1 ? config_.turn_cost : 0.0);
-        push(gx + 1, gy, 0, g + c, static_cast<std::int32_t>(s));
-      }
-      if (gy > y0) {
-        const double c = cost_v(gx, gy - 1) + (dir == 0 ? config_.turn_cost : 0.0);
-        push(gx, gy - 1, 1, g + c, static_cast<std::int32_t>(s));
-      }
-      if (gy < y1) {
-        const double c = cost_v(gx, gy + 1) + (dir == 0 ? config_.turn_cost : 0.0);
-        push(gx, gy + 1, 1, g + c, static_cast<std::int32_t>(s));
-      }
-    }
-    std::vector<GcellIndex> path;
-    if (goal_state < 0) return path;  // unreachable inside the window
-    std::int32_t s = goal_state;
-    while (s >= 0) {
-      const int gx = x0 + static_cast<int>((static_cast<std::size_t>(s) / 2) %
-                                           static_cast<std::size_t>(ww));
-      const int gy = y0 + static_cast<int>((static_cast<std::size_t>(s) / 2) /
-                                           static_cast<std::size_t>(ww));
-      path.push_back({gx, gy});
-      s = parent[static_cast<std::size_t>(s)];
-    }
-    std::reverse(path.begin(), path.end());
-    // Collapse duplicate cells introduced by direction changes in place.
-    std::vector<GcellIndex> dedup;
-    for (const GcellIndex& g : path) {
-      if (dedup.empty() || dedup.back().gx != g.gx || dedup.back().gy != g.gy) {
-        dedup.push_back(g);
-      }
-    }
-    return dedup;
+  // Quantized live cost of a path including turn penalties; used by the
+  // serial commit to compare a candidate against the ripped old path
+  // under the same objective the maze optimizes.
+  const auto path_qcost = [&](const std::vector<GcellIndex>& path) {
+    std::int64_t q = 0;
+    for_each_path_use(path, [&](int gx, int gy, bool h, bool v) {
+      if (h) q += quantize_cost(cost_h(gx, gy));
+      if (v) q += quantize_cost(cost_v(gx, gy));
+      if (h && v) q += qturn;  // turning cell = one direction change
+    });
+    return q;
   };
 
+  std::vector<std::int32_t> selected;
+  std::vector<std::vector<GcellIndex>> candidates;
+  // Failure backoff: a search that finds no admissible improvement
+  // proves its segment locally optimal for the current history; retrying
+  // next round is almost always wasted (the field barely moved). Such a
+  // segment sits out exponentially more rounds -- history keeps growing
+  // on its overflowed cells meanwhile, so the retry faces a genuinely
+  // changed price -- and an adoption resets the backoff. Updated only in
+  // the serial commit, so scheduling is thread-count independent.
+  std::vector<std::uint8_t> fail_streak(static_cast<std::size_t>(n_segs), 0);
+  std::vector<std::int16_t> eligible_round(static_cast<std::size_t>(n_segs),
+                                           0);
   for (int round = 0; round < config_.rr_rounds; ++round) {
-    // Grow history on overflowed Gcells.
-    bool any_overflow = false;
-    for (int gy = 0; gy < H; ++gy) {
-      for (int gx = 0; gx < W; ++gx) {
-        if (dmd_h.at(gx, gy) > result.maps.cap_h.at(gx, gy)) {
-          hist_h.at(gx, gy) += config_.history_step;
-          any_overflow = true;
-        }
-        if (dmd_v.at(gx, gy) > result.maps.cap_v.at(gx, gy)) {
-          hist_v.at(gx, gy) += config_.history_step;
-          any_overflow = true;
-        }
+    if (!tracker.any_overflow()) break;
+    // Grow history on overflowed Gcells (visits only the overflowed set).
+    tracker.grow_history(hist_h, hist_v, config_.history_step);
+
+    // Select every segment whose path currently touches overflow (a flat
+    // integer scan over the incrementally maintained touch counts) and
+    // whose backoff has elapsed.
+    selected.clear();
+    for (std::int64_t i = 0; i < n_segs; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      if (tracker.touches_overflow(s) &&
+          round >= static_cast<int>(eligible_round[s])) {
+        selected.push_back(static_cast<std::int32_t>(i));
       }
     }
-    if (!any_overflow) break;
+    if (selected.empty()) continue;  // backed-off segments may wake later
+    ++result.rounds_used;
+    result.reroute_attempts += static_cast<int>(selected.size());
 
+    // Maze-route all selected segments concurrently against the frozen
+    // round-start field (demand + history are not mutated until the
+    // commit loop below). Each segment sees the field with its own path
+    // subtracted and writes only its own candidate slot, so the result
+    // is bit-identical for any thread count.
+    candidates.assign(selected.size(), {});
+    par::parallel_for(
+        0, static_cast<std::int64_t>(selected.size()), 2,
+        [&](std::int64_t kb, std::int64_t ke, int) {
+          static thread_local MazeArena arena_tls;
+          static thread_local OwnUseOverlay own_tls;
+          MazeArena& arena = arena_tls;
+          OwnUseOverlay& own = own_tls;
+          for (std::int64_t k = kb; k < ke; ++k) {
+            const Seg& seg =
+                segs[static_cast<std::size_t>(selected[static_cast<std::size_t>(k)])];
+            MazeWindow w;
+            w.x0 = std::max(0, std::min(seg.a.gx, seg.b.gx) -
+                                   config_.bbox_margin);
+            w.y0 = std::max(0, std::min(seg.a.gy, seg.b.gy) -
+                                   config_.bbox_margin);
+            w.ww = std::min(W - 1, std::max(seg.a.gx, seg.b.gx) +
+                                       config_.bbox_margin) -
+                   w.x0 + 1;
+            w.wh = std::min(H - 1, std::max(seg.a.gy, seg.b.gy) +
+                                       config_.bbox_margin) -
+                   w.y0 + 1;
+            own.load(seg.path, w);
+            const auto cell_cost = [&](int gx, int gy, std::int32_t& qch,
+                                       std::int32_t& qcv) {
+              const std::size_t i = static_cast<std::size_t>(gy - w.y0) *
+                                        static_cast<std::size_t>(w.ww) +
+                                    static_cast<std::size_t>(gx - w.x0);
+              qch = quantize_cost(
+                  cost_h_at(gx, gy, dmd_h.at(gx, gy) - own.h[i]));
+              qcv = quantize_cost(
+                  cost_v_at(gx, gy, dmd_v.at(gx, gy) - own.v[i]));
+            };
+            // The old path's cost on the frozen field with its own demand
+            // ripped, in the commit comparator's convention. Bounds the
+            // search: a candidate at or above it can never be admitted,
+            // so the maze exits the moment its front proves that.
+            std::int64_t qold = 0;
+            for_each_path_use(seg.path,
+                              [&](int gx, int gy, bool h, bool v) {
+                                std::int32_t qch, qcv;
+                                cell_cost(gx, gy, qch, qcv);
+                                if (h) qold += qch;
+                                if (v) qold += qcv;
+                                if (h && v) qold += qturn;
+                              });
+            candidates[static_cast<std::size_t>(k)] =
+                maze_route(w, seg.a, seg.b, qturn, arena, cell_cost, qold);
+            own.clear();
+          }
+        },
+        256);
+
+    // Serial commit in segment order with exact rip/re-apply demand
+    // arithmetic. A candidate is adopted only if it is strictly cheaper
+    // than the old path under the live post-rip field, so a batch of
+    // identical segments fills a detour row until it stops paying off
+    // instead of herding onto it wholesale.
     int rerouted = 0;
-    for (Seg& seg : segs) {
-      // Does this segment touch overflow in a direction it uses?
-      bool touches = false;
-      for (std::size_t i = 0; i < seg.path.size() && !touches; ++i) {
-        const GcellIndex& g = seg.path[i];
-        const bool h_used =
-            (i > 0 && seg.path[i - 1].gy == g.gy) ||
-            (i + 1 < seg.path.size() && seg.path[i + 1].gy == g.gy);
-        const bool v_used =
-            (i > 0 && seg.path[i - 1].gx == g.gx) ||
-            (i + 1 < seg.path.size() && seg.path[i + 1].gx == g.gx);
-        if (h_used && dmd_h.at(g.gx, g.gy) > result.maps.cap_h.at(g.gx, g.gy)) {
-          touches = true;
+    for (std::size_t k = 0; k < selected.size(); ++k) {
+      const std::size_t i = static_cast<std::size_t>(selected[k]);
+      Seg& seg = segs[i];
+      std::vector<GcellIndex>& cand = candidates[k];
+      bool adopted = false;
+      if (cand.size() >= 2) {  // bound-aborted / unreachable: keep old path
+        tracker.rip(i, seg.path, result.maps);
+        if (path_qcost(cand) < path_qcost(seg.path)) {
+          seg.path = std::move(cand);
+          adopted = true;
+          ++rerouted;
         }
-        if (v_used && dmd_v.at(g.gx, g.gy) > result.maps.cap_v.at(g.gx, g.gy)) {
-          touches = true;
-        }
+        tracker.apply(i, seg.path, result.maps);
       }
-      if (!touches) continue;
-      apply_path(seg.path, dmd_h, dmd_v, -1.0);
-      std::vector<GcellIndex> np = maze(seg);
-      if (!np.empty()) seg.path = std::move(np);
-      apply_path(seg.path, dmd_h, dmd_v, +1.0);
-      ++rerouted;
+      if (adopted) {
+        fail_streak[i] = 0;
+        eligible_round[i] = static_cast<std::int16_t>(round + 1);
+      } else {
+        fail_streak[i] = static_cast<std::uint8_t>(
+            std::min<int>(fail_streak[i] + 1, 3));
+        eligible_round[i] =
+            static_cast<std::int16_t>(round + (1 << fail_streak[i]));
+      }
     }
     result.rerouted += rerouted;
-    PUFFER_LOG_DEBUG(kTag, "rrr round %d rerouted %d segments", round, rerouted);
-    if (rerouted == 0) break;
+    // Convergence exit: when fewer than 1/64 of this round's searches
+    // improve anything, further rounds only reshuffle the residual --
+    // stop instead of grinding out the budget.
+    if (static_cast<std::size_t>(rerouted) * 64 < selected.size()) break;
+    PUFFER_LOG_DEBUG(kTag, "rrr round %d: %zu selected, %d rerouted, %lld "
+                     "overflowed resources",
+                     round, selected.size(), rerouted,
+                     static_cast<long long>(tracker.overflowed_resources()));
   }
+  result.rrr_time_s = rrr_timer.elapsed_seconds();
 
   // --- metrics -------------------------------------------------------------
   result.overflow = compute_overflow(result.maps);
@@ -352,6 +421,7 @@ RouteResult GlobalRouter::route() const {
     }
   }
   result.wirelength = wl;
+  result.route_time_s = route_timer.elapsed_seconds();
   return result;
 }
 

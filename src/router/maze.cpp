@@ -1,0 +1,233 @@
+#include "router/maze.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace puffer {
+
+namespace {
+
+inline std::int32_t count_trailing_zeros(std::uint64_t bits) {
+  return static_cast<std::int32_t>(std::countr_zero(bits));
+}
+
+}  // namespace
+
+std::int32_t quantize_cost(double cost) {
+  const double q = std::round(cost * static_cast<double>(kQCostScale));
+  if (q <= static_cast<double>(kQCostScale)) return kQCostScale;
+  if (q >= static_cast<double>(kQCostMax)) return kQCostMax;
+  return static_cast<std::int32_t>(q);
+}
+
+namespace {
+
+// Ring size: one pop at front f can push entries up to
+// f + entry(neighbor) + turn-cell extra entry + qturn + kQCostScale
+// (the heuristic can grow by one step), so with qturn clamped below
+// 2*kQCostMax - kQCostScale every in-flight f stays within the ring.
+constexpr std::int32_t kRingSize = 4 * kQCostMax + 1;
+constexpr std::int32_t kMaxQTurn = 2 * kQCostMax - kQCostScale - 1;
+
+}  // namespace
+
+std::vector<GcellIndex> maze_route(const MazeWindow& w, GcellIndex a,
+                                   GcellIndex b, std::int32_t qturn,
+                                   MazeArena& arena,
+                                   const CellCostFn& cell_cost,
+                                   std::int64_t qbound) {
+  std::vector<GcellIndex> out;
+  if (w.ww <= 0 || w.wh <= 0 || !w.contains(a.gx, a.gy) ||
+      !w.contains(b.gx, b.gy)) {
+    return out;
+  }
+  if (a.gx == b.gx && a.gy == b.gy) {
+    out.push_back(a);
+    return out;
+  }
+  qturn = std::clamp<std::int32_t>(qturn, 0, kMaxQTurn);
+
+  const std::size_t cells =
+      static_cast<std::size_t>(w.ww) * static_cast<std::size_t>(w.wh);
+  const std::size_t states = cells * 2;
+  if (arena.gscore.size() < states) {
+    arena.gscore.resize(states);
+    arena.parent.resize(states);
+    arena.visit.resize(states, 0);
+    arena.closed.resize(states, 0);
+  }
+  if (arena.qcost_h.size() < cells) {
+    arena.qcost_h.resize(cells);
+    arena.qcost_v.resize(cells);
+    arena.cost_epoch.resize(cells, 0);
+  }
+  if (arena.buckets.size() < static_cast<std::size_t>(kRingSize)) {
+    arena.buckets.resize(static_cast<std::size_t>(kRingSize));
+    arena.occupied.assign((static_cast<std::size_t>(kRingSize) + 63) / 64, 0);
+  }
+  const std::uint32_t token = ++arena.epoch;
+  if (token == 0) {
+    // Epoch wrapped: all stamps are stale-but-plausible; hard reset.
+    std::fill(arena.visit.begin(), arena.visit.end(), 0u);
+    std::fill(arena.closed.begin(), arena.closed.end(), 0u);
+    std::fill(arena.cost_epoch.begin(), arena.cost_epoch.end(), 0u);
+    ++arena.epoch;
+  }
+
+  const auto cell_id = [&](int gx, int gy) {
+    return static_cast<std::size_t>(gy - w.y0) *
+               static_cast<std::size_t>(w.ww) +
+           static_cast<std::size_t>(gx - w.x0);
+  };
+  // dir 0 = arrived horizontally, 1 = vertically.
+  const auto sid = [&](int gx, int gy, int dir) {
+    return cell_id(gx, gy) * 2 + static_cast<std::size_t>(dir);
+  };
+  const auto heur = [&](int gx, int gy) {
+    return static_cast<std::int64_t>(kQCostScale) *
+           (std::abs(gx - b.gx) + std::abs(gy - b.gy));
+  };
+  const auto costs_of = [&](int gx, int gy) -> std::pair<std::int32_t, std::int32_t> {
+    const std::size_t c = cell_id(gx, gy);
+    if (arena.cost_epoch[c] != token) {
+      cell_cost(gx, gy, arena.qcost_h[c], arena.qcost_v[c]);
+      arena.cost_epoch[c] = token;
+    }
+    return {arena.qcost_h[c], arena.qcost_v[c]};
+  };
+
+  std::int64_t cur_f = -1;
+  std::size_t pending = 0;
+  const auto push = [&](int gx, int gy, int dir, std::int64_t g,
+                        std::int32_t par) {
+    const std::size_t s = sid(gx, gy, dir);
+    if (arena.visit[s] == token &&
+        (arena.closed[s] == token || arena.gscore[s] <= g)) {
+      return;
+    }
+    arena.visit[s] = token;
+    arena.gscore[s] = g;
+    arena.parent[s] = par;
+    const std::int64_t f = g + heur(gx, gy);
+    const std::int32_t slot = static_cast<std::int32_t>(f % kRingSize);
+    auto& bucket = arena.buckets[static_cast<std::size_t>(slot)];
+    if (bucket.empty()) {
+      arena.touched.push_back(slot);
+      arena.occupied[static_cast<std::size_t>(slot) >> 6] |=
+          std::uint64_t{1} << (slot & 63);
+    }
+    bucket.push_back(static_cast<std::uint32_t>(s));
+    ++pending;
+    if (cur_f < 0 || f < cur_f) cur_f = f;
+  };
+  // Circular distance from `slot` to the nearest occupied slot (itself
+  // included); word-scans the occupancy bitmap instead of stepping the
+  // front one bucket at a time. Callers guarantee a set bit exists
+  // (pending > 0) and every pending f lies within one ring of cur_f.
+  const auto gap_to_occupied = [&](std::int32_t slot) -> std::int32_t {
+    std::size_t word = static_cast<std::size_t>(slot) >> 6;
+    std::uint64_t bits = arena.occupied[word] >> (slot & 63);
+    if (bits != 0) return count_trailing_zeros(bits);
+    std::int32_t d = 64 - (slot & 63);
+    const std::size_t nwords = arena.occupied.size();
+    for (;;) {
+      word = word + 1 < nwords ? word + 1 : 0;
+      // The wrap re-enters at slot 0: bits past kRingSize in the last
+      // word are never set, so the scan cannot alias. `d` overshoots by
+      // the pad when wrapping through the partial word; correct it.
+      if (word == 0) d = kRingSize - slot;
+      bits = arena.occupied[word];
+      if (bits != 0) return d + count_trailing_zeros(bits);
+      d += 64;
+    }
+  };
+
+  {
+    const auto [ch, cv] = costs_of(a.gx, a.gy);
+    push(a.gx, a.gy, 0, ch, -1);
+    push(a.gx, a.gy, 1, cv, -1);
+  }
+
+  std::int32_t goal_state = -1;
+  while (pending > 0) {
+    // cur_f lower-bounds every pending f (consistent heuristic, positive
+    // edges), so reaching qbound proves no admissible path remains.
+    if (qbound > 0 && cur_f >= qbound) break;
+    const std::int32_t slot = static_cast<std::int32_t>(cur_f % kRingSize);
+    auto& bucket = arena.buckets[static_cast<std::size_t>(slot)];
+    if (bucket.empty()) {
+      // Monotone front: jump straight to the next occupied slot.
+      cur_f += gap_to_occupied(slot);
+      continue;
+    }
+    const std::size_t s = bucket.back();
+    bucket.pop_back();
+    --pending;
+    if (bucket.empty()) {
+      arena.occupied[static_cast<std::size_t>(slot) >> 6] &=
+          ~(std::uint64_t{1} << (slot & 63));
+    }
+    const int dir = static_cast<int>(s % 2);
+    const std::size_t c = s / 2;
+    const int gx = w.x0 + static_cast<int>(c % static_cast<std::size_t>(w.ww));
+    const int gy = w.y0 + static_cast<int>(c / static_cast<std::size_t>(w.ww));
+    if (arena.closed[s] == token) continue;  // superseded entry
+    if (arena.gscore[s] + heur(gx, gy) != cur_f) continue;  // stale entry
+    arena.closed[s] = token;
+    if (gx == b.gx && gy == b.gy) {
+      goal_state = static_cast<std::int32_t>(s);
+      break;
+    }
+    const std::int64_t g = arena.gscore[s];
+    // A direction change makes the current cell a turning cell, which
+    // consumes BOTH directions' resources in the demand model -- charge
+    // the perpendicular entry cost of the turn cell plus the via-ish
+    // penalty, so the search objective matches path_qcost (the commit
+    // comparator) exactly. That identity is what makes the qbound prune
+    // tight.
+    const auto [ch_c, cv_c] = costs_of(gx, gy);
+    const std::int32_t turn_h = dir == 1 ? qturn + ch_c : 0;
+    const std::int32_t turn_v = dir == 0 ? qturn + cv_c : 0;
+    if (gx > w.x0) {
+      push(gx - 1, gy, 0, g + costs_of(gx - 1, gy).first + turn_h,
+           static_cast<std::int32_t>(s));
+    }
+    if (gx + 1 < w.x0 + w.ww) {
+      push(gx + 1, gy, 0, g + costs_of(gx + 1, gy).first + turn_h,
+           static_cast<std::int32_t>(s));
+    }
+    if (gy > w.y0) {
+      push(gx, gy - 1, 1, g + costs_of(gx, gy - 1).second + turn_v,
+           static_cast<std::int32_t>(s));
+    }
+    if (gy + 1 < w.y0 + w.wh) {
+      push(gx, gy + 1, 1, g + costs_of(gx, gy + 1).second + turn_v,
+           static_cast<std::int32_t>(s));
+    }
+  }
+  // Drain leftover entries so the ring and its occupancy bitmap are
+  // clean for the next call -- only the slots this search dirtied.
+  for (std::int32_t slot : arena.touched) {
+    arena.buckets[static_cast<std::size_t>(slot)].clear();
+    arena.occupied[static_cast<std::size_t>(slot) >> 6] &=
+        ~(std::uint64_t{1} << (slot & 63));
+  }
+  arena.touched.clear();
+  if (goal_state < 0) return out;  // unreachable inside the window
+
+  std::int32_t s = goal_state;
+  while (s >= 0) {
+    const std::size_t c = static_cast<std::size_t>(s) / 2;
+    const int gx = w.x0 + static_cast<int>(c % static_cast<std::size_t>(w.ww));
+    const int gy = w.y0 + static_cast<int>(c / static_cast<std::size_t>(w.ww));
+    if (out.empty() || out.back().gx != gx || out.back().gy != gy) {
+      out.push_back({gx, gy});
+    }
+    s = arena.parent[static_cast<std::size_t>(s)];
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace puffer

@@ -1,0 +1,131 @@
+#include "router/overflow_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "router/path_use.h"
+
+namespace puffer {
+
+void OverflowTracker::init(const RoutingMaps& maps, std::size_t num_segments) {
+  nx_ = maps.dmd_h.nx();
+  ny_ = maps.dmd_h.ny();
+  const std::size_t n = static_cast<std::size_t>(nx_) * ny_;
+  of_count_ = 0;
+  for (int dir = 0; dir < 2; ++dir) {
+    of_bit_[dir].assign(n, 0);
+    in_list_[dir].assign(n, 0);
+    of_list_[dir].clear();
+    users_[dir].assign(n, {});
+  }
+  for (int dir = 0; dir < 2; ++dir) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const int gx = static_cast<int>(i % static_cast<std::size_t>(nx_));
+      const int gy = static_cast<int>(i / static_cast<std::size_t>(nx_));
+      if (dir == 0 ? maps.overflowed_h(gx, gy) : maps.overflowed_v(gx, gy)) {
+        of_bit_[dir][i] = 1;
+        in_list_[dir][i] = 1;
+        of_list_[dir].push_back(static_cast<std::int32_t>(i));
+        ++of_count_;
+      }
+    }
+  }
+  otouch_.assign(num_segments, 0);
+}
+
+void OverflowTracker::register_path(std::size_t seg,
+                                    const std::vector<GcellIndex>& path,
+                                    const RoutingMaps& maps) {
+  (void)maps;
+  for_each_path_use(path, [&](int gx, int gy, bool h, bool v) {
+    const std::size_t i =
+        static_cast<std::size_t>(gy) * static_cast<std::size_t>(nx_) +
+        static_cast<std::size_t>(gx);
+    if (h) {
+      users_[0][i].push_back(static_cast<std::int32_t>(seg));
+      if (of_bit_[0][i]) ++otouch_[seg];
+    }
+    if (v) {
+      users_[1][i].push_back(static_cast<std::int32_t>(seg));
+      if (of_bit_[1][i]) ++otouch_[seg];
+    }
+  });
+}
+
+void OverflowTracker::delta(std::size_t seg, int gx, int gy, int dir,
+                            double sign, RoutingMaps& maps) {
+  const std::size_t i =
+      static_cast<std::size_t>(gy) * static_cast<std::size_t>(nx_) +
+      static_cast<std::size_t>(gx);
+  Map2D<double>& dmd = dir == 0 ? maps.dmd_h : maps.dmd_v;
+  const Map2D<double>& cap = dir == 0 ? maps.cap_h : maps.cap_v;
+  std::vector<std::int32_t>& users = users_[dir][i];
+  if (sign < 0.0) {
+    // The segment leaves this resource: drop its own touch first, then
+    // remove it from the user list so the flip below only updates others.
+    if (of_bit_[dir][i]) --otouch_[seg];
+    const auto it =
+        std::find(users.begin(), users.end(), static_cast<std::int32_t>(seg));
+    assert(it != users.end());
+    *it = users.back();
+    users.pop_back();
+    dmd.raw()[i] -= 1.0;
+    if (of_bit_[dir][i] && !(dmd.raw()[i] > cap.raw()[i])) {
+      of_bit_[dir][i] = 0;  // stays in of_list_, compacted lazily
+      --of_count_;
+      for (std::int32_t u : users) --otouch_[static_cast<std::size_t>(u)];
+    }
+  } else {
+    dmd.raw()[i] += 1.0;
+    if (!of_bit_[dir][i] && dmd.raw()[i] > cap.raw()[i]) {
+      of_bit_[dir][i] = 1;
+      ++of_count_;
+      if (!in_list_[dir][i]) {
+        in_list_[dir][i] = 1;
+        of_list_[dir].push_back(static_cast<std::int32_t>(i));
+      }
+      for (std::int32_t u : users) ++otouch_[static_cast<std::size_t>(u)];
+    }
+    users.push_back(static_cast<std::int32_t>(seg));
+    if (of_bit_[dir][i]) ++otouch_[seg];
+  }
+}
+
+void OverflowTracker::rip(std::size_t seg, const std::vector<GcellIndex>& path,
+                          RoutingMaps& maps) {
+  for_each_path_use(path, [&](int gx, int gy, bool h, bool v) {
+    if (h) delta(seg, gx, gy, 0, -1.0, maps);
+    if (v) delta(seg, gx, gy, 1, -1.0, maps);
+  });
+}
+
+void OverflowTracker::apply(std::size_t seg,
+                            const std::vector<GcellIndex>& path,
+                            RoutingMaps& maps) {
+  for_each_path_use(path, [&](int gx, int gy, bool h, bool v) {
+    if (h) delta(seg, gx, gy, 0, +1.0, maps);
+    if (v) delta(seg, gx, gy, 1, +1.0, maps);
+  });
+}
+
+void OverflowTracker::grow_history(Map2D<double>& hist_h,
+                                   Map2D<double>& hist_v, double step) {
+  Map2D<double>* hist[2] = {&hist_h, &hist_v};
+  for (int dir = 0; dir < 2; ++dir) {
+    std::vector<std::int32_t>& list = of_list_[dir];
+    std::size_t k = 0;
+    while (k < list.size()) {
+      const std::size_t i = static_cast<std::size_t>(list[k]);
+      if (of_bit_[dir][i]) {
+        hist[dir]->raw()[i] += step;
+        ++k;
+      } else {
+        in_list_[dir][i] = 0;  // compact: the overflow has cleared
+        list[k] = list.back();
+        list.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace puffer

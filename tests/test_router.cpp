@@ -1,9 +1,18 @@
 // Tests for the evaluation global router: demand accounting, pattern
-// routing, negotiated rip-up-and-reroute, and metric reporting.
+// routing, batched negotiated rip-up-and-reroute (bit-identical across
+// thread counts), the bucket-queue maze kernel, config validation, and
+// metric reporting.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "congestion/demand_ledger.h"
 #include "io/synthetic.h"
 #include "router/global_router.h"
+#include "router/maze.h"
+#include "router/path_use.h"
 
 namespace puffer {
 namespace {
@@ -162,6 +171,207 @@ TEST(Router, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.wirelength, b.wirelength);
   EXPECT_DOUBLE_EQ(a.overflow.hof_pct, b.overflow.hof_pct);
   EXPECT_EQ(a.rerouted, b.rerouted);
+}
+
+// Restores the default worker count after each test so suites sharing
+// the binary are unaffected.
+class RouterParallelTest : public ::testing::Test {
+ protected:
+  ~RouterParallelTest() override { par::set_num_threads(0); }
+};
+
+// The batched rip-up-and-reroute contract: maze candidates are computed
+// against the frozen round-start field with per-thread arenas and all
+// demand mutations happen on the serial commit path, so RouteResult is
+// bit-identical for any PUFFER_THREADS. This is also the regression
+// test for the seed's shared gscore/visit_mark/parent maze scratch,
+// which raced once the maze phase went parallel.
+TEST_F(RouterParallelTest, BitIdenticalAcrossThreadCounts) {
+  SyntheticSpec spec;
+  spec.name = "router_threads";
+  spec.num_cells = 360;
+  spec.num_nets = 540;
+  spec.num_macros = 2;
+  spec.seed = 23;
+  spec.h_capacity_factor = 0.55;  // starve the supply so RRR engages
+  spec.v_capacity_factor = 0.55;
+  const Design d = generate_synthetic(spec);
+  RouterConfig cfg;
+  cfg.rr_rounds = 4;
+
+  par::set_num_threads(1);
+  const RouteResult ref = GlobalRouter(d, cfg).route();
+  EXPECT_GT(ref.rounds_used, 0) << "workload must exercise the RRR phase";
+  EXPECT_GT(ref.rerouted, 0);
+  for (const int threads : {2, 8}) {
+    par::set_num_threads(threads);
+    const RouteResult r = GlobalRouter(d, cfg).route();
+    EXPECT_EQ(demand_checksum(r.maps), demand_checksum(ref.maps))
+        << "threads=" << threads;
+    EXPECT_EQ(r.wirelength, ref.wirelength) << "threads=" << threads;
+    EXPECT_EQ(r.overflow.hof_pct, ref.overflow.hof_pct);
+    EXPECT_EQ(r.overflow.vof_pct, ref.overflow.vof_pct);
+    EXPECT_EQ(r.rerouted, ref.rerouted);
+    EXPECT_EQ(r.rounds_used, ref.rounds_used);
+    EXPECT_EQ(r.segments, ref.segments);
+  }
+}
+
+// Demand accounting round trip: every contribution is +/-1.0 on a
+// quantized base (multiples of kDemandQuantum), which is exact IEEE
+// integer arithmetic -- so apply followed by rip restores the maps
+// bit-identically, in any interleaving. This is the invariant the
+// batched commit's rip/re-apply arithmetic rests on.
+TEST(Router, ApplyPathDemandRoundTripIsExact) {
+  const int nx = 24, ny = 20;
+  RoutingMaps maps;
+  maps.dmd_h = Map2D<double>(nx, ny);
+  maps.dmd_v = Map2D<double>(nx, ny);
+  Rng rng(99);
+  for (double& v : maps.dmd_h.raw()) v = quantize_demand(rng.uniform(0.0, 6.0));
+  for (double& v : maps.dmd_v.raw()) v = quantize_demand(rng.uniform(0.0, 6.0));
+  const std::uint64_t before = demand_checksum(maps);
+
+  // Random 4-connected walks (revisits allowed -- apply_path_demand
+  // counts every visit).
+  std::vector<std::vector<GcellIndex>> paths;
+  for (int p = 0; p < 60; ++p) {
+    std::vector<GcellIndex> path;
+    GcellIndex g{static_cast<int>(rng.uniform_int(0, nx - 1)),
+                 static_cast<int>(rng.uniform_int(0, ny - 1))};
+    path.push_back(g);
+    const int steps = static_cast<int>(rng.uniform_int(1, 30));
+    for (int s = 0; s < steps; ++s) {
+      GcellIndex n = path.back();
+      switch (rng.uniform_int(0, 3)) {
+        case 0: n.gx = std::min(nx - 1, n.gx + 1); break;
+        case 1: n.gx = std::max(0, n.gx - 1); break;
+        case 2: n.gy = std::min(ny - 1, n.gy + 1); break;
+        default: n.gy = std::max(0, n.gy - 1); break;
+      }
+      if (n.gx != path.back().gx || n.gy != path.back().gy) path.push_back(n);
+    }
+    paths.push_back(std::move(path));
+  }
+  for (const auto& p : paths) {
+    apply_path_demand(p, maps.dmd_h, maps.dmd_v, +1.0);
+  }
+  EXPECT_NE(demand_checksum(maps), before);
+  // Rip in a different order than the apply.
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    apply_path_demand(*it, maps.dmd_h, maps.dmd_v, -1.0);
+  }
+  EXPECT_EQ(demand_checksum(maps), before);
+}
+
+TEST(Maze, PathIsFourConnectedWithinWindow) {
+  MazeWindow w{3, 5, 14, 11};
+  MazeArena arena;
+  const auto uniform = [](int, int, std::int32_t& qch, std::int32_t& qcv) {
+    qch = kQCostScale;
+    qcv = kQCostScale;
+  };
+  const GcellIndex a{4, 6}, b{15, 14};
+  const auto path = maze_route(w, a, b, 13, arena, uniform);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front().gx, a.gx);
+  EXPECT_EQ(path.front().gy, a.gy);
+  EXPECT_EQ(path.back().gx, b.gx);
+  EXPECT_EQ(path.back().gy, b.gy);
+  for (const GcellIndex& g : path) {
+    EXPECT_TRUE(w.contains(g.gx, g.gy))
+        << "(" << g.gx << "," << g.gy << ") outside window";
+  }
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const int dx = std::abs(path[i].gx - path[i - 1].gx);
+    const int dy = std::abs(path[i].gy - path[i - 1].gy);
+    EXPECT_EQ(dx + dy, 1) << "step " << i << " is not a unit move";
+  }
+  // Uniform costs: the shortest path has exactly the Manhattan length.
+  EXPECT_EQ(static_cast<int>(path.size()) - 1,
+            std::abs(b.gx - a.gx) + std::abs(b.gy - a.gy));
+}
+
+TEST(Maze, AvoidsExpensiveWallAndReusesArena) {
+  MazeWindow w{0, 0, 15, 9};
+  MazeArena arena;
+  // A vertical wall at gx=7 except the top row.
+  const auto walled = [](int gx, int gy, std::int32_t& qch, std::int32_t& qcv) {
+    const bool wall = gx == 7 && gy < 8;
+    qch = wall ? kQCostMax : kQCostScale;
+    qcv = wall ? kQCostMax : kQCostScale;
+  };
+  const GcellIndex a{1, 1}, b{13, 1};
+  for (int rep = 0; rep < 3; ++rep) {  // arena reuse across searches
+    const auto path = maze_route(w, a, b, 13, arena, walled);
+    ASSERT_GE(path.size(), 2u);
+    for (const GcellIndex& g : path) {
+      EXPECT_FALSE(g.gx == 7 && g.gy < 8) << "path crosses the wall";
+    }
+    EXPECT_EQ(path.back().gx, b.gx);
+    EXPECT_EQ(path.back().gy, b.gy);
+  }
+}
+
+TEST(Maze, UnreachableGoalReturnsEmpty) {
+  MazeWindow w{0, 0, 5, 5};
+  MazeArena arena;
+  const auto uniform = [](int, int, std::int32_t& qch, std::int32_t& qcv) {
+    qch = kQCostScale;
+    qcv = kQCostScale;
+  };
+  // Goal outside the window.
+  EXPECT_TRUE(maze_route(w, {0, 0}, {9, 9}, 0, arena, uniform).empty());
+  // Degenerate start == goal.
+  const auto self = maze_route(w, {2, 2}, {2, 2}, 0, arena, uniform);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self.front().gx, 2);
+}
+
+TEST(Router, ConfigValidationClampsAndRejects) {
+  RouterConfig cfg;
+  cfg.rr_rounds = -3;
+  cfg.bbox_margin = -2;
+  cfg.turn_cost = -0.5;
+  const RouterConfig v = validate_router_config(cfg);
+  EXPECT_EQ(v.rr_rounds, 0);
+  EXPECT_EQ(v.bbox_margin, 0);
+  EXPECT_EQ(v.turn_cost, 0.0);
+
+  RouterConfig bad;
+  bad.rows_per_gcell = 0.0;
+  EXPECT_THROW(validate_router_config(bad), std::invalid_argument);
+  bad.rows_per_gcell = -2.0;
+  EXPECT_THROW(validate_router_config(bad), std::invalid_argument);
+
+  // The constructor validates too: clamped knobs route fine...
+  Design d = base_design();
+  add_two_pin_net(d, {12, 112}, {108, 112});
+  RouterConfig neg = quiet_config();
+  neg.rr_rounds = -5;
+  neg.bbox_margin = -1;
+  const RouteResult r = GlobalRouter(d, neg).route();
+  EXPECT_EQ(r.segments, 1);
+  EXPECT_EQ(r.rounds_used, 0);
+  // ...and irreparable ones throw.
+  RouterConfig bad2 = quiet_config();
+  bad2.rows_per_gcell = -1.0;
+  EXPECT_THROW(GlobalRouter(d, bad2), std::invalid_argument);
+}
+
+TEST(Router, ReportsStageMetrics) {
+  Design d = base_design();
+  for (int i = 0; i < 150; ++i) {
+    add_two_pin_net(d, {12, 112}, {228, 112});
+  }
+  RouterConfig cfg = quiet_config();
+  cfg.rr_rounds = 6;
+  const RouteResult r = GlobalRouter(d, cfg).route();
+  EXPECT_GT(r.rounds_used, 0);
+  EXPECT_LE(r.rounds_used, cfg.rr_rounds);
+  EXPECT_GT(r.route_time_s, 0.0);
+  EXPECT_GT(r.rrr_time_s, 0.0);
+  EXPECT_LE(r.rrr_time_s, r.route_time_s);
 }
 
 TEST(Router, WirelengthLowerBoundedByHpwl) {
