@@ -109,23 +109,23 @@ int main() {
       static_cast<unsigned long long>(stats.drift_count),
       identical ? "yes" : "NO");
 
-  bench::BenchRecord rec("incremental_estimation");
-  rec.add("scale", scale);
-  rec.add("num_cells", spec.num_cells);
-  rec.add("num_nets", static_cast<int>(d_incr.nets.size()));
-  rec.add("rounds", kRounds);
-  rec.add("window_frac", kWindowFrac);
-  rec.add("full_total_s", full_s);
-  rec.add("incremental_total_s", incr_s);
-  rec.add("full_repeat_s", full_repeat_s);
-  rec.add("incremental_repeat_s", incr_repeat_s);
-  rec.add("repeat_speedup", speedup);
-  rec.add("dirty_net_frac", stats.dirty_net_frac());
-  rec.add("full_rebuilds", stats.full_rebuilds);
-  rec.add("drift_count", static_cast<int>(stats.drift_count));
-  rec.add("checksum_full", std::to_string(checksum_full));
-  rec.add("checksum_incremental", std::to_string(checksum_incr));
-  rec.add("bit_identical", identical ? "yes" : "no");
+  bench::BenchReport rec("incremental_estimation");
+  rec.config("scale", scale);
+  rec.config("num_cells", spec.num_cells);
+  rec.config("num_nets", static_cast<int>(d_incr.nets.size()));
+  rec.config("rounds", kRounds);
+  rec.config("window_frac", kWindowFrac);
+  rec.baseline("full_total_s", full_s);
+  rec.baseline("full_repeat_s", full_repeat_s);
+  rec.result("incremental_total_s", incr_s);
+  rec.result("incremental_repeat_s", incr_repeat_s);
+  rec.result("dirty_net_frac", stats.dirty_net_frac());
+  rec.result("full_rebuilds", stats.full_rebuilds);
+  rec.result("drift_count", static_cast<int>(stats.drift_count));
+  rec.speedup("repeat", speedup);
+  rec.checksum("full", checksum_full);
+  rec.checksum("incremental", checksum_incr);
+  rec.bit_identical(identical);
   const std::string path = rec.write();
   std::printf("wrote %s\n", path.c_str());
   return identical ? 0 : 1;

@@ -10,6 +10,7 @@
 // worker count; default hardware concurrency).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -57,12 +58,13 @@ int main() {
   const int par_threads = par::num_threads();
   const int reps = 5;
 
-  bench::BenchRecord rec("parallel_hotpaths");
-  rec.add("design", spec.name);
-  rec.add("num_cells", static_cast<int>(design.cells.size()));
-  rec.add("num_nets", static_cast<int>(design.nets.size()));
-  rec.add("hardware_cores", hw);
-  rec.add("parallel_threads", par_threads);
+  bench::BenchReport rec("parallel_hotpaths");
+  rec.config("design", spec.name);
+  rec.config("scale", scale);
+  rec.config("num_cells", static_cast<int>(design.cells.size()));
+  rec.config("num_nets", static_cast<int>(design.nets.size()));
+  rec.config("hardware_cores", hw);
+  rec.config("parallel_threads", par_threads);
 
   // --- WaWirelength::evaluate ---------------------------------------
   {
@@ -80,9 +82,9 @@ int main() {
     par::set_num_threads(par_threads);
     const double t_par =
         time_best(reps, [&] { wl.evaluate(xc, yc, 4.0, gx, gy); });
-    rec.add("wirelength_eval_serial_s", t_serial);
-    rec.add("wirelength_eval_parallel_s", t_par);
-    rec.add("wirelength_eval_speedup", t_serial / t_par);
+    rec.baseline("wirelength_eval_s", t_serial);
+    rec.result("wirelength_eval_s", t_par);
+    rec.speedup("wirelength_eval", t_serial / t_par);
     std::printf("wirelength evaluate: %.4fs serial, %.4fs x%d (%.2fx)\n",
                 t_serial, t_par, par_threads, t_serial / t_par);
   }
@@ -96,15 +98,15 @@ int main() {
     const double t_serial = time_best(reps, [&] { cold.estimate(); });
     par::set_num_threads(par_threads);
     const double t_par = time_best(reps, [&] { cold.estimate(); });
-    rec.add("congestion_estimate_serial_s", t_serial);
-    rec.add("congestion_estimate_parallel_s", t_par);
-    rec.add("congestion_estimate_speedup", t_serial / t_par);
+    rec.baseline("congestion_estimate_s", t_serial);
+    rec.result("congestion_estimate_s", t_par);
+    rec.speedup("congestion_estimate", t_serial / t_par);
 
     CongestionEstimator cached(design, CongestionConfig{});
     cached.estimate();  // warm the cache
     const double t_hit = time_best(reps, [&] { cached.estimate(); });
-    rec.add("congestion_estimate_cache_hit_s", t_hit);
-    rec.add("rsmt_cache_hit_speedup", t_serial / t_hit);
+    rec.result("congestion_estimate_cache_hit_s", t_hit);
+    rec.speedup("rsmt_cache_hit", t_serial / t_hit);
     std::printf(
         "congestion estimate: %.4fs serial, %.4fs x%d (%.2fx), "
         "%.4fs cache-hit (%.2fx)\n",
@@ -132,13 +134,15 @@ int main() {
     const double t_par = seconds_since(t1);
 
     const RouteResult r2 = evaluate_routability(d2);
-    rec.add("flow_serial_s", t_serial);
-    rec.add("flow_parallel_cached_s", t_par);
-    rec.add("flow_speedup", t_serial / t_par);
-    rec.add("flow_hpwl_serial", m1.hpwl_legal);
-    rec.add("flow_hpwl_parallel", m2.hpwl_legal);
-    rec.add("flow_padding_rounds", m2.padding_rounds);
-    rec.add("flow_overflow_pct", r2.overflow.total_pct());
+    rec.baseline("flow_s", t_serial);
+    rec.result("flow_s", t_par);
+    rec.speedup("flow", t_serial / t_par);
+    rec.baseline("flow_hpwl", m1.hpwl_legal);
+    rec.result("flow_hpwl", m2.hpwl_legal);
+    rec.result("flow_padding_rounds", m2.padding_rounds);
+    rec.result("flow_overflow_pct", r2.overflow.total_pct());
+    rec.bit_identical(std::memcmp(&m1.hpwl_legal, &m2.hpwl_legal,
+                                  sizeof(double)) == 0);
     std::printf("padding flow: %.2fs serial, %.2fs x%d+cache (%.2fx), "
                 "hpwl %.4g == %.4g\n",
                 t_serial, t_par, par_threads, t_serial / t_par,

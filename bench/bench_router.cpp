@@ -432,40 +432,40 @@ int main() {
       thread_speedup, std::thread::hardware_concurrency(),
       identical ? "yes" : "NO");
 
-  bench::BenchRecord rec("router");
-  rec.add("scale", scale);
-  rec.add("num_cells", static_cast<int>(d.cells.size()));
-  rec.add("num_nets", static_cast<int>(d.nets.size()));
-  rec.add("segments", r1.segments);
-  rec.add("hardware_cores",
-          static_cast<int>(std::thread::hardware_concurrency()));
-  rec.add("rr_rounds_config", cfg.rr_rounds);
-  rec.add("seed_total_s", seed_total_s);
-  rec.add("seed_rrr_s", r_seed.rrr_time_s);
-  rec.add("seed_rerouted", r_seed.rerouted);
-  rec.add("seed_rounds", r_seed.rounds_used);
-  rec.add("batched_total_1t_s", total_1t);
-  rec.add("batched_rrr_1t_s", r1.rrr_time_s);
-  rec.add("batched_total_8t_s", total_8t);
-  rec.add("batched_rrr_8t_s", r8.rrr_time_s);
-  rec.add("batched_rerouted", r1.rerouted);
-  rec.add("batched_reroute_attempts", r1.reroute_attempts);
-  rec.add("batched_rounds", r1.rounds_used);
-  rec.add("maze_segments_per_s",
-          r1.rrr_time_s > 0.0 ? r1.reroute_attempts / r1.rrr_time_s : 0.0);
-  rec.add("rrr_speedup_vs_seed_8t", speedup_vs_seed);
-  rec.add("rrr_speedup_vs_seed_1t",
-          r1.rrr_time_s > 0.0 ? r_seed.rrr_time_s / r1.rrr_time_s : 0.0);
-  rec.add("rrr_thread_speedup_8t_vs_1t", thread_speedup);
-  rec.add("seed_hof_pct", r_seed.overflow.hof_pct);
-  rec.add("seed_vof_pct", r_seed.overflow.vof_pct);
-  rec.add("batched_hof_pct", r1.overflow.hof_pct);
-  rec.add("batched_vof_pct", r1.overflow.vof_pct);
-  rec.add("seed_wirelength", r_seed.wirelength);
-  rec.add("batched_wirelength", r1.wirelength);
-  rec.add("checksum_1t", std::to_string(demand_checksum(r1.maps)));
-  rec.add("checksum_8t", std::to_string(demand_checksum(r8.maps)));
-  rec.add("thread_bit_identical", identical ? "yes" : "no");
+  bench::BenchReport rec("router");
+  rec.config("scale", scale);
+  rec.config("num_cells", static_cast<int>(d.cells.size()));
+  rec.config("num_nets", static_cast<int>(d.nets.size()));
+  rec.config("segments", r1.segments);
+  rec.config("hardware_cores",
+             static_cast<int>(std::thread::hardware_concurrency()));
+  rec.config("rr_rounds", cfg.rr_rounds);
+  rec.baseline("total_s", seed_total_s);
+  rec.baseline("rrr_s", r_seed.rrr_time_s);
+  rec.baseline("rerouted", r_seed.rerouted);
+  rec.baseline("rounds", r_seed.rounds_used);
+  rec.baseline("hof_pct", r_seed.overflow.hof_pct);
+  rec.baseline("vof_pct", r_seed.overflow.vof_pct);
+  rec.baseline("wirelength", r_seed.wirelength);
+  rec.result("total_1t_s", total_1t);
+  rec.result("rrr_1t_s", r1.rrr_time_s);
+  rec.result("total_8t_s", total_8t);
+  rec.result("rrr_8t_s", r8.rrr_time_s);
+  rec.result("rerouted", r1.rerouted);
+  rec.result("reroute_attempts", r1.reroute_attempts);
+  rec.result("rounds", r1.rounds_used);
+  rec.result("maze_segments_per_s",
+             r1.rrr_time_s > 0.0 ? r1.reroute_attempts / r1.rrr_time_s : 0.0);
+  rec.result("hof_pct", r1.overflow.hof_pct);
+  rec.result("vof_pct", r1.overflow.vof_pct);
+  rec.result("wirelength", r1.wirelength);
+  rec.speedup("rrr_vs_seed_8t", speedup_vs_seed);
+  rec.speedup("rrr_vs_seed_1t",
+              r1.rrr_time_s > 0.0 ? r_seed.rrr_time_s / r1.rrr_time_s : 0.0);
+  rec.speedup("rrr_thread_8t_vs_1t", thread_speedup);
+  rec.checksum("demand_1t", demand_checksum(r1.maps));
+  rec.checksum("demand_8t", demand_checksum(r8.maps));
+  rec.bit_identical(identical);
   const std::string path = rec.write();
   std::printf("wrote %s\n", path.c_str());
   return identical ? 0 : 1;

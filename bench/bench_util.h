@@ -7,6 +7,7 @@
 // reproduction used in EXPERIMENTS.md, or larger values for quick runs.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -75,6 +76,55 @@ class BenchRecord {
  private:
   std::string name_;
   std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Shared per-bench JSON schema so BENCH_*.json files are machine-
+// comparable across PRs. Every bench emits the same five sections as
+// prefixed flat keys through one of these:
+//
+//   schema / name            identity ("puffer-bench-v1")
+//   config_*                 workload shape + knobs (scale, cells, threads)
+//   baseline_*               the in-bench seed/serial reference numbers
+//   result_*                 the optimized implementation's numbers
+//   speedup_*                baseline/result ratios (the headline claims)
+//   checksum_* + bit_identical   determinism evidence
+//
+// Keys stay insertion-ordered, so sections group visually in the file.
+class BenchReport {
+ public:
+  explicit BenchReport(const std::string& name) : rec_(name) {
+    rec_.add("schema", std::string("puffer-bench-v1"));
+    rec_.add("name", name);
+  }
+
+  template <typename T>
+  void config(const std::string& key, T value) {
+    rec_.add("config_" + key, value);
+  }
+  template <typename T>
+  void baseline(const std::string& key, T value) {
+    rec_.add("baseline_" + key, value);
+  }
+  template <typename T>
+  void result(const std::string& key, T value) {
+    rec_.add("result_" + key, value);
+  }
+  void speedup(const std::string& key, double value) {
+    rec_.add("speedup_" + key, value);
+  }
+  // Checksums are emitted as strings: uint64 values do not round-trip
+  // through JSON doubles.
+  void checksum(const std::string& key, std::uint64_t value) {
+    rec_.add("checksum_" + key, std::to_string(value));
+  }
+  void bit_identical(bool yes) {
+    rec_.add("bit_identical", std::string(yes ? "yes" : "no"));
+  }
+
+  std::string write() const { return rec_.write(); }
+
+ private:
+  BenchRecord rec_;
 };
 
 }  // namespace puffer::bench

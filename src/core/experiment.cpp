@@ -54,6 +54,29 @@ ExperimentResult run_experiment(Design& design, PlacerKind kind,
                   result.runtime_s(), result.route.route_time_s,
                   result.route.segments, result.route.rerouted,
                   result.route.rounds_used);
+  const LegalizeResult& lg = result.flow.legalize;
+  if (lg.placed > 0 || lg.failed_cells > 0) {
+    if (result.flow.dp.passes > 0) {
+      PUFFER_LOG_INFO("experiment",
+                      "%s / %s: legalize %s %.3fs (%d placed, %d failed, "
+                      "avg disp %.3g, %.0f%% rows rebuilt), dp %.3fs "
+                      "(%d moves, %.2f%% hpwl)",
+                      result.benchmark.c_str(), placer_name(kind),
+                      lg.incremental ? "incr" : "full", lg.time_s, lg.placed,
+                      lg.failed_cells, lg.avg_displacement(),
+                      100.0 * lg.dirty_row_frac(), result.flow.dp.time_s,
+                      result.flow.dp.accepted_moves,
+                      result.flow.dp.improvement_pct());
+    } else {
+      PUFFER_LOG_INFO("experiment",
+                      "%s / %s: legalize %s %.3fs (%d placed, %d failed, "
+                      "avg disp %.3g, %.0f%% rows rebuilt), dp off",
+                      result.benchmark.c_str(), placer_name(kind),
+                      lg.incremental ? "incr" : "full", lg.time_s, lg.placed,
+                      lg.failed_cells, lg.avg_displacement(),
+                      100.0 * lg.dirty_row_frac());
+    }
+  }
   return result;
 }
 

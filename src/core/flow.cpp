@@ -12,7 +12,7 @@ constexpr const char* kTag = "flow";
 }
 
 PufferFlow::PufferFlow(Design& design, PufferConfig config)
-    : design_(design), config_(config) {}
+    : design_(design), config_(config), legalizer_(config.legal) {}
 
 FlowMetrics PufferFlow::run() {
   FlowMetrics metrics;
@@ -87,7 +87,11 @@ FlowMetrics PufferFlow::run() {
           std::min(padder.peak_applied_area(),
                    config_.discrete.max_pad_area_frac * movable_area);
     }
-    legalize(design_, levels, config_.legal);
+    metrics.legalize = legalizer_.legalize(design_, levels);
+  }
+  if (config_.run_dp) {
+    ScopedStageTimer t(metrics.stages, "detailed_place");
+    metrics.dp = detailed_place(design_, config_.dp);
   }
   metrics.hpwl_legal = design_.total_hpwl();
   metrics.legality = check_legality(design_);
@@ -97,6 +101,23 @@ FlowMetrics PufferFlow::run() {
   PUFFER_LOG_INFO(kTag, "flow done in %.1fs: hpwl %.4g -> %.4g, %s",
                   metrics.runtime_s, metrics.hpwl_gp, metrics.hpwl_legal,
                   metrics.legality.summary().c_str());
+  PUFFER_LOG_INFO(
+      kTag,
+      "legalize: %s %.3fs, %d placed (%d failed), avg/max disp %.3g/%.3g, "
+      "%d/%d rows rebuilt",
+      metrics.legalize.incremental ? "incr" : "full", metrics.legalize.time_s,
+      metrics.legalize.placed, metrics.legalize.failed_cells,
+      metrics.legalize.avg_displacement(), metrics.legalize.max_displacement,
+      metrics.legalize.rows_rebuilt, metrics.legalize.rows_total);
+  if (config_.run_dp) {
+    PUFFER_LOG_INFO(kTag,
+                    "dp: %.3fs, %d/%d moves accepted in %d passes, hpwl "
+                    "%.4g -> %.4g (%.2f%%)",
+                    metrics.dp.time_s, metrics.dp.accepted_moves,
+                    metrics.dp.evaluated_moves, metrics.dp.passes,
+                    metrics.dp.hpwl_before, metrics.dp.hpwl_after,
+                    metrics.dp.improvement_pct());
+  }
   if (metrics.estimation.calls > 0) {
     PUFFER_LOG_INFO(
         kTag,

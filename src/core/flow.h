@@ -21,6 +21,7 @@
 
 #include "common/timer.h"
 #include "congestion/estimator.h"
+#include "dp/detailed_place.h"
 #include "gp/engine.h"
 #include "gp/initial_place.h"
 #include "legal/abacus.h"
@@ -39,6 +40,10 @@ struct PufferConfig {
   LegalizeConfig legal;
   DiscretePaddingConfig discrete;
   InitialPlaceConfig init;
+  DetailedPlaceConfig dp;
+  // Run wirelength-driven detailed placement after legalization (off by
+  // default: the paper's flow evaluates directly after legalization).
+  bool run_dp = false;
   double final_overflow = 0.10;  // GP convergence target after padding
   // Worker threads for the parallel kernels: 0 = keep the current global
   // setting (PUFFER_THREADS env / hardware), 1 = exact serial path.
@@ -70,6 +75,11 @@ struct FlowMetrics {
   IncrementalStats estimation;
   double rsmt_cache_hit_rate = 0.0;
   RouterStageMetrics router;
+  // Legalization / detailed-placement stage observability (wall time,
+  // dirty-row fraction, displacement — see LegalizeResult /
+  // DetailedPlaceResult). dp is all-zero unless run_dp is set.
+  LegalizeResult legalize;
+  DetailedPlaceResult dp;
 };
 
 class PufferFlow {
@@ -84,12 +94,18 @@ class PufferFlow {
   // topology cache instead of rebuilding every net's tree.
   CongestionEstimator* estimator() { return estimator_.get(); }
 
+  // The flow's legalizer. Its ledger persists across run() calls, so
+  // repeat invocations on a perturbed design (padding re-tuning, TPE
+  // trials re-running the flow) legalize incrementally.
+  IncrementalLegalizer& legalizer() { return legalizer_; }
+
  private:
   Design& design_;
   PufferConfig config_;
   // Owned by the flow so the demand ledger and topology cache persist
   // across padding rounds (and outlive run() for warm evaluation).
   std::unique_ptr<CongestionEstimator> estimator_;
+  IncrementalLegalizer legalizer_;
 };
 
 // Runs the evaluation router on the design's current placement. `warm`

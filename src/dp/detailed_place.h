@@ -9,9 +9,13 @@
 //     preserved in total, so inherited padding gaps survive);
 //   * cross-row swaps of identically-sized cells: positions are exchanged
 //     verbatim.
-// Moves are accepted only when they reduce the exact HPWL of the
-// affected nets; passes repeat until no move helps or the pass limit is
-// reached.
+//
+// Each pass is batched in the router's snapshot/commit shape: candidate
+// moves are generated and scored concurrently against the frozen
+// pass-start state, then committed serially in candidate order with
+// strictly-improving admission re-checked against the live state (a move
+// is skipped when either of its cells was already touched this phase).
+// The result is bit-identical for any PUFFER_THREADS value.
 #pragma once
 
 #include "netlist/design.h"
@@ -32,6 +36,9 @@ struct DetailedPlaceResult {
   int passes = 0;
   double hpwl_before = 0.0;
   double hpwl_after = 0.0;
+  // Stage observability (wired into FlowMetrics / the experiment log).
+  int evaluated_moves = 0;  // frozen-viable candidates reaching the commit loop
+  double time_s = 0.0;
   double improvement_pct() const {
     return hpwl_before > 0.0
                ? 100.0 * (hpwl_before - hpwl_after) / hpwl_before

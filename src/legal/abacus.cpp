@@ -2,276 +2,874 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "common/logger.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 
 namespace puffer {
 namespace {
 
 constexpr const char* kTag = "legal";
 
+// World -> site-index conversion tolerance, in *sites*. Conversions first
+// subtract the row origin, so the operand is O(num_sites) and an absolute
+// tolerance is meaningful at any core offset (the seed code compared
+// 1e7-DBU world coordinates against 1e-9/1e-12 absolute epsilons, which
+// is below double ULP at that magnitude). All arithmetic after the
+// conversion is exact int64.
+constexpr double kSiteSnap = 1e-6;
+
+// Guards the cluster-position division against degenerate weights
+// (weights are floored at 1.0 below, this is belt-and-braces for NaN /
+// denormal areas).
+constexpr double kMinWeight = 1e-12;
+
 struct SegCell {
-  CellId id;
-  double width;     // padded width (site multiple)
-  double target_x;  // desired slot left edge
-  double weight;    // Abacus weight (cell area)
+  CellId id = kInvalidId;
+  std::int64_t w = 0;   // padded width in sites (physical ceil, min 1, + pad)
+  std::int64_t lp = 0;  // left padding in sites (pad / 2)
+  std::int64_t t = 0;   // desired slot left edge, site units
+  double e = 0.0;       // Abacus weight (cell area, floored at 1.0)
+
+  bool same_as(const SegCell& o) const {
+    return w == o.w && lp == o.lp && t == o.t &&
+           std::memcmp(&e, &o.e, sizeof(double)) == 0;
+  }
 };
 
 struct Cluster {
-  double x = 0.0;  // left edge
-  double e = 0.0;  // total weight
-  double q = 0.0;  // sum of e_i * (target_i - offset_i)
-  double w = 0.0;  // total width
-  int first_cell = 0;  // index into segment cell list
+  std::int64_t x = 0;  // left edge (site units, clamped + rounded)
+  std::int64_t w = 0;  // total width
+  double e = 0.0;      // total weight
+  double q = 0.0;      // sum of e_i * (target_i - offset_i)
 };
 
 struct Segment {
-  double lo = 0.0;
-  double hi = 0.0;
-  std::vector<SegCell> cells;
+  std::int64_t lo = 0, hi = 0;  // static bounds, site units
+  std::int64_t used = 0;
+  std::vector<SegCell> cells;    // committed, in assignment order
   std::vector<Cluster> clusters;
-  double used = 0.0;
-
-  double free_width() const { return (hi - lo) - used; }
 };
 
 struct RowState {
-  double y = 0.0;
-  double site = 1.0;
   std::vector<Segment> segments;
 };
 
-// Simulates appending `cell` to the segment, returning the resulting slot
-// left edge; `ok` is false when the segment cannot hold the cell.
-double trial_or_commit(Segment& seg, const SegCell& cell, bool commit,
-                       bool& ok) {
-  ok = true;
-  if (cell.width > seg.free_width() + 1e-9) {
-    ok = false;
-    return 0.0;
+// Static per-row geometry: origin, site pitch and the macro-free
+// segment intervals in site units.
+struct RowGeom {
+  double y = 0.0;
+  double x0 = 0.0;
+  double site = 1.0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> segs;
+};
+
+// One cell's recorded assignment plus the candidate-row window whose
+// segment state the search actually read; the decision replays verbatim
+// while every row in [rmin, rmax] is clean (see the walk below).
+struct Decision {
+  std::int32_t row = -1;
+  std::int32_t seg = -1;
+  std::int32_t rmin = 0, rmax = -1;  // empty window when rmax < rmin
+  SegCell sc;
+
+  bool same_as(const Decision& o) const {
+    return row == o.row && seg == o.seg && sc.same_as(o.sc);
   }
-  // Accumulator cluster holding the new cell; merge backward while it
-  // overlaps its predecessor (the Abacus collapse recurrence).
-  double e = cell.weight;
-  double q = cell.weight * cell.target_x;
-  double w = cell.width;
-  double offset = 0.0;  // cell's offset inside the accumulated cluster
+};
+
+// Simulates appending `cell` to the segment (the Abacus collapse
+// recurrence); with `commit` the merge is applied. Returns false when
+// the segment cannot hold the cell — an exact integer capacity check.
+bool trial_or_commit(Segment& seg, const SegCell& cell, bool commit,
+                     std::int64_t& out_x) {
+  if (cell.w > (seg.hi - seg.lo) - seg.used) return false;
+  double e = std::max(cell.e, kMinWeight);
+  double q = e * static_cast<double>(cell.t);
+  std::int64_t w = cell.w;
+  std::int64_t offset = 0;  // cell's offset inside the accumulated cluster
   int i = static_cast<int>(seg.clusters.size()) - 1;
-  double x = 0.0;
+  std::int64_t x = 0;
   while (true) {
-    x = clamp(q / e, seg.lo, seg.hi - w);
+    const double xr = q / std::max(e, kMinWeight);
+    x = std::llround(xr);
+    if (x < seg.lo) x = seg.lo;
+    if (x > seg.hi - w) x = seg.hi - w;
     if (i < 0) break;
     const Cluster& prev = seg.clusters[static_cast<std::size_t>(i)];
-    if (prev.x + prev.w <= x + 1e-12) break;
+    if (prev.x + prev.w <= x) break;  // exact: site units, no epsilon
     // Merge prev in front of the accumulator.
-    q = prev.q + (q - e * prev.w);
+    q = prev.q + (q - e * static_cast<double>(prev.w));
     e += prev.e;
     w += prev.w;
     offset += prev.w;
     --i;
   }
-  const double cell_x = x + offset;
-  if (!commit) return cell_x;
+  out_x = x + offset;
+  if (!commit) return true;
 
   seg.clusters.resize(static_cast<std::size_t>(i + 1));
-  Cluster merged;
-  merged.x = x;
-  merged.e = e;
-  merged.q = q;
-  merged.w = w;
-  seg.clusters.push_back(merged);
+  seg.clusters.push_back({x, w, e, q});
   seg.cells.push_back(cell);
-  seg.used += cell.width;
-  return cell_x;
+  seg.used += cell.w;
+  return true;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_pod(std::uint64_t h, const T& v) {
+  return fnv1a(h, &v, sizeof(T));
+}
+
+// Everything the ledger's validity depends on besides cell positions /
+// widths / padding: row geometry, macro blockages, cell count and the
+// movable partition.
+std::uint64_t structure_key(const Design& design) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a_pod(h, design.rows.size());
+  for (const Row& r : design.rows) {
+    h = fnv1a_pod(h, r.y);
+    h = fnv1a_pod(h, r.x_lo);
+    h = fnv1a_pod(h, r.num_sites);
+    h = fnv1a_pod(h, r.site_width);
+    h = fnv1a_pod(h, r.height);
+  }
+  h = fnv1a_pod(h, design.cells.size());
+  for (const Cell& c : design.cells) {
+    h = fnv1a_pod(h, c.kind);
+    if (c.is_macro()) {
+      const Rect r = c.rect();
+      h = fnv1a_pod(h, r.xlo);
+      h = fnv1a_pod(h, r.ylo);
+      h = fnv1a_pod(h, r.xhi);
+      h = fnv1a_pod(h, r.yhi);
+    }
+  }
+  return h;
+}
+
+// Builds macro-aware row segments: macros are indexed once into per-row
+// blockage lists (O(macros x spanned rows), not the O(cells x rows) scan
+// of the seed code), then rows convert to site intervals concurrently.
+std::vector<RowGeom> build_geometry(const Design& design) {
+  const std::size_t nrows = design.rows.size();
+  const double row_h = design.rows.front().height;
+  const double row_y0 = design.rows.front().y;
+  std::vector<std::vector<std::pair<double, double>>> blocks(nrows);
+  for (const Cell& c : design.cells) {
+    if (!c.is_macro()) continue;
+    const Rect r = c.rect();
+    const int r0 = std::max(
+        0, static_cast<int>(std::floor((r.ylo - row_y0) / row_h)) - 1);
+    const int r1 = std::min(
+        static_cast<int>(nrows) - 1,
+        static_cast<int>(std::ceil((r.yhi - row_y0) / row_h)) + 1);
+    for (int ri = r0; ri <= r1; ++ri) {
+      const Row& row = design.rows[static_cast<std::size_t>(ri)];
+      if (r.ylo < row.y + row.height - 1e-9 && r.yhi > row.y + 1e-9) {
+        blocks[static_cast<std::size_t>(ri)].emplace_back(r.xlo, r.xhi);
+      }
+    }
+  }
+
+  std::vector<RowGeom> geom(nrows);
+  par::parallel_for(0, static_cast<std::int64_t>(nrows), 8,
+                    [&](std::int64_t b, std::int64_t e, int) {
+    for (std::int64_t ri = b; ri < e; ++ri) {
+      const Row& row = design.rows[static_cast<std::size_t>(ri)];
+      RowGeom& g = geom[static_cast<std::size_t>(ri)];
+      g.y = row.y;
+      g.x0 = row.x_lo;
+      g.site = row.site_width > 0.0 ? row.site_width : 1.0;
+      // Row::num_sites is authoritative — never re-derived from world
+      // coordinates (the seed's floor((x_hi-x_lo)/site + 1e-9) loses a
+      // site once the offset exceeds ~1e7 DBU).
+      const std::int64_t row_sites = row.num_sites;
+      auto& blist = blocks[static_cast<std::size_t>(ri)];
+      std::sort(blist.begin(), blist.end());
+      std::int64_t cursor = 0;
+      auto push_segment = [&](std::int64_t lo, std::int64_t hi) {
+        if (hi - lo >= 1) g.segs.emplace_back(lo, hi);
+      };
+      for (const auto& [blo, bhi] : blist) {
+        // Last fully-free site before the blockage / first after it.
+        std::int64_t blo_s = static_cast<std::int64_t>(
+            std::floor((blo - g.x0) / g.site + kSiteSnap));
+        std::int64_t bhi_s = static_cast<std::int64_t>(
+            std::ceil((bhi - g.x0) / g.site - kSiteSnap));
+        blo_s = std::clamp<std::int64_t>(blo_s, 0, row_sites);
+        bhi_s = std::clamp<std::int64_t>(bhi_s, 0, row_sites);
+        if (blo_s > cursor) push_segment(cursor, blo_s);
+        cursor = std::max(cursor, bhi_s);
+        if (cursor >= row_sites) break;
+      }
+      if (cursor < row_sites) push_segment(cursor, row_sites);
+    }
+  });
+  return geom;
+}
+
+// --- the run engine ------------------------------------------------------
+//
+// A run legalizes one input state (positions px/py + padding) over the
+// static geometry. The serial walk fixes every cell's (row, segment,
+// slot); rows finalize concurrently afterwards. In incremental mode rows
+// start *frozen* on their stored state and are materialized lazily, and
+// clean cells replay their recorded commit without a candidate search.
+struct Engine {
+  const Design& design;
+  const LegalizeConfig& config;
+  const std::vector<RowGeom>& geom;
+  const std::vector<double>& px;  // input positions (this call)
+  const std::vector<double>& py;
+  const std::vector<int>& pads;   // normalized per-cell padding (sites)
+
+  double row_h = 1.0, row_y0 = 0.0;
+  int nrows = 0;
+
+  std::vector<CellId> order;           // movable cells by (x, id)
+  std::vector<std::int32_t> order_pos; // cell -> order index, -1 otherwise
+
+  std::vector<RowState> rows;   // evolving state this run
+  std::vector<std::uint8_t> live;
+
+  // Incremental hooks (null/empty in full mode).
+  const std::vector<RowState>* stored = nullptr;
+  std::vector<std::uint32_t>* row_mark = nullptr;
+  std::uint32_t epoch = 0;
+
+  Engine(const Design& d, const LegalizeConfig& cfg,
+         const std::vector<RowGeom>& g, const std::vector<double>& x,
+         const std::vector<double>& y, const std::vector<int>& p)
+      : design(d), config(cfg), geom(g), px(x), py(y), pads(p) {
+    nrows = static_cast<int>(design.rows.size());
+    row_h = design.rows.front().height;
+    row_y0 = design.rows.front().y;
+    build_order();
+    rows.resize(static_cast<std::size_t>(nrows));
+    live.assign(static_cast<std::size_t>(nrows), 0);
+    for (int r = 0; r < nrows; ++r) {
+      auto& segs = rows[static_cast<std::size_t>(r)].segments;
+      segs.resize(geom[static_cast<std::size_t>(r)].segs.size());
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        segs[s].lo = geom[static_cast<std::size_t>(r)].segs[s].first;
+        segs[s].hi = geom[static_cast<std::size_t>(r)].segs[s].second;
+      }
+    }
+  }
+
+  void build_order() {
+    order.clear();
+    order_pos.assign(design.cells.size(), -1);
+    for (CellId c = 0; c < static_cast<CellId>(design.cells.size()); ++c) {
+      if (design.cells[static_cast<std::size_t>(c)].movable()) {
+        order.push_back(c);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+      const double ax = px[static_cast<std::size_t>(a)];
+      const double bx = px[static_cast<std::size_t>(b)];
+      if (ax != bx) return ax < bx;
+      return a < b;  // deterministic tie-break
+    });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      order_pos[static_cast<std::size_t>(order[k])] =
+          static_cast<std::int32_t>(k);
+    }
+  }
+
+  void mark(int r) {
+    if (row_mark) (*row_mark)[static_cast<std::size_t>(r)] = epoch;
+  }
+  bool marked(int r) const {
+    return row_mark && (*row_mark)[static_cast<std::size_t>(r)] == epoch;
+  }
+
+  // Rebuilds a frozen row's evolving state as of walk position `upto`
+  // (exclusive): replays the stored members' commits whose order index is
+  // below `upto`. Valid precisely while the row is frozen — every stored
+  // member below `upto` is clean and already made its identical decision.
+  void materialize(int r, std::int32_t upto) {
+    RowState& w = rows[static_cast<std::size_t>(r)];
+    const RowState& s = (*stored)[static_cast<std::size_t>(r)];
+    for (std::size_t si = 0; si < s.segments.size(); ++si) {
+      for (const SegCell& sc : s.segments[si].cells) {
+        const std::int32_t pos = order_pos[static_cast<std::size_t>(sc.id)];
+        if (pos < 0 || pos >= upto) continue;
+        std::int64_t x = 0;
+        trial_or_commit(w.segments[si], sc, /*commit=*/true, x);
+      }
+    }
+    live[static_cast<std::size_t>(r)] = 1;
+  }
+
+  void ensure_live(int r, std::int32_t upto) {
+    if (!live[static_cast<std::size_t>(r)]) {
+      if (stored) {
+        materialize(r, upto);
+      } else {
+        live[static_cast<std::size_t>(r)] = 1;
+      }
+    }
+  }
+
+  // Full candidate search for one cell. Reads row/segment state only
+  // after the static distance bounds pass, and records the window of
+  // rows actually read in rmin/rmax (the replay-validity window).
+  Decision search(CellId cid, std::int32_t k) {
+    const std::size_t ci = static_cast<std::size_t>(cid);
+    const Cell& cell = design.cells[ci];
+    const double cx = px[ci], cy = py[ci];
+    const int pad = pads[ci];
+
+    Decision d;
+    double best_cost = std::numeric_limits<double>::max();
+    int rmin = std::numeric_limits<int>::max();
+    int rmax = std::numeric_limits<int>::min();
+    const int home =
+        static_cast<int>(std::llround((cy - row_y0) / row_h));
+
+    for (int ks = 0; ks < config.max_row_search * 2; ++ks) {
+      const int r = home + ((ks % 2 == 0) ? ks / 2 : -(ks / 2 + 1));
+      if (r < 0 || r >= nrows) continue;
+      const RowGeom& g = geom[static_cast<std::size_t>(r)];
+      const double dy = g.y - cy;
+      if (dy * dy >= best_cost) {
+        // Rows are visited in increasing |dy|; once the vertical
+        // displacement alone exceeds the best cost on both sides, stop.
+        if (ks > config.max_row_search) break;
+        continue;
+      }
+      // Padded, site-quantized width for this row's pitch (physical part
+      // floored at one site so zero-area cells still own a slot).
+      const std::int64_t pw = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(cell.width / g.site - kSiteSnap)));
+      SegCell sc;
+      sc.id = cid;
+      sc.w = pw + pad;
+      sc.lp = pad / 2;
+      sc.e = std::max(cell.area(), 1.0);  // zero-weight guard
+      bool read_row = false;
+      for (std::size_t s = 0; s < g.segs.size(); ++s) {
+        const auto [lo, hi] = g.segs[s];
+        // Static lower bound on dx: achievable slot positions lie inside
+        // the segment, so the distance to the segment interval bounds the
+        // final displacement from below. No state is read when it prunes.
+        const double sx0 = g.x0 + static_cast<double>(lo) * g.site;
+        const double sx1 = g.x0 + static_cast<double>(hi) * g.site;
+        const double dxmin =
+            cx < sx0 ? sx0 - cx : (cx > sx1 ? cx - sx1 : 0.0);
+        if (dxmin * dxmin + dy * dy >= best_cost) continue;
+        if (!read_row) {
+          read_row = true;
+          ensure_live(r, k);
+        }
+        Segment& seg = rows[static_cast<std::size_t>(r)].segments[s];
+        const double raw =
+            (cx - static_cast<double>(pad) * g.site * 0.5 - g.x0) / g.site;
+        std::int64_t t = std::llround(raw);
+        const std::int64_t tmax = std::max(lo, hi - sc.w);
+        t = std::clamp(t, lo, tmax);
+        sc.t = t;
+        std::int64_t x = 0;
+        if (!trial_or_commit(seg, sc, /*commit=*/false, x)) continue;
+        const double dx = (g.x0 + static_cast<double>(x) * g.site +
+                           static_cast<double>(pad) * g.site * 0.5) -
+                          cx;
+        const double cost = dx * dx + dy * dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          d.row = r;
+          d.seg = static_cast<std::int32_t>(s);
+          d.sc = sc;
+        }
+      }
+      if (read_row) {
+        rmin = std::min(rmin, r);
+        rmax = std::max(rmax, r);
+      }
+    }
+    if (rmin <= rmax) {
+      d.rmin = rmin;
+      d.rmax = rmax;
+    } else {
+      d.rmin = 0;
+      d.rmax = -1;
+    }
+    return d;
+  }
+
+  bool window_clean(const Decision& rec) const {
+    for (int r = std::max(0, rec.rmin);
+         r <= std::min(nrows - 1, rec.rmax); ++r) {
+      if (marked(r)) return false;
+    }
+    return true;
+  }
+
+  // The serial assignment walk. `decisions` is read for replay (when a
+  // ledger round) and always updated; `dirty` flags input-changed cells
+  // (empty in full mode = everything re-decides). Returns false when a
+  // replayed commit violates capacity — a ledger invariant break that
+  // the caller must answer with a from-scratch run.
+  bool walk(std::vector<Decision>& decisions, const std::vector<char>& dirty,
+            bool ledger_round, int& failed, int& replayed, int& redecided) {
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const CellId cid = order[k];
+      const std::size_t ci = static_cast<std::size_t>(cid);
+      Decision& rec = decisions[ci];
+      if (ledger_round && !dirty[ci] && window_clean(rec)) {
+        ++replayed;
+        if (rec.row >= 0) {
+          if (live[static_cast<std::size_t>(rec.row)]) {
+            std::int64_t x = 0;
+            if (!trial_or_commit(
+                    rows[static_cast<std::size_t>(rec.row)]
+                        .segments[static_cast<std::size_t>(rec.seg)],
+                    rec.sc, /*commit=*/true, x)) {
+              return false;  // invariant break: caller falls back to full
+            }
+          }
+          // Frozen row: the stored state already contains this commit.
+        } else {
+          ++failed;  // replayed failure (nothing it read changed)
+        }
+        continue;
+      }
+      ++redecided;
+      Decision d = search(cid, static_cast<std::int32_t>(k));
+      if (d.row >= 0) {
+        std::int64_t x = 0;
+        trial_or_commit(rows[static_cast<std::size_t>(d.row)]
+                            .segments[static_cast<std::size_t>(d.seg)],
+                        d.sc, /*commit=*/true, x);
+      } else {
+        ++failed;
+      }
+      if (ledger_round && !d.same_as(rec)) {
+        if (rec.row >= 0 && !live[static_cast<std::size_t>(rec.row)]) {
+          materialize(rec.row, static_cast<std::int32_t>(k));
+        }
+        if (rec.row >= 0) mark(rec.row);
+        if (d.row >= 0) mark(d.row);
+      }
+      rec = d;
+    }
+    return true;
+  }
+
+  // Concurrent per-row finalization: recover slot positions from the
+  // settled clusters and write the output arrays. Rows own disjoint cell
+  // sets, so the parallel writes are race-free and the result is
+  // bit-identical for any thread count.
+  void finalize(std::vector<double>& ox, std::vector<double>& oy) const {
+    par::parallel_for(0, nrows, 4, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t r = b; r < e; ++r) {
+        if (!live[static_cast<std::size_t>(r)]) continue;
+        const RowGeom& g = geom[static_cast<std::size_t>(r)];
+        for (const Segment& seg : rows[static_cast<std::size_t>(r)].segments) {
+          std::size_t cell_idx = 0;
+          std::int64_t cursor = seg.lo;
+          for (const Cluster& cl : seg.clusters) {
+            std::int64_t x = cl.x;
+            if (x < cursor) x = cursor;
+            const std::int64_t xmax = std::max(cursor, seg.hi - cl.w);
+            if (x > xmax) x = xmax;
+            cursor = x + cl.w;
+            std::int64_t filled = 0;
+            while (cell_idx < seg.cells.size() && filled < cl.w) {
+              const SegCell& sc = seg.cells[cell_idx];
+              const std::size_t ci = static_cast<std::size_t>(sc.id);
+              ox[ci] = g.x0 +
+                       static_cast<double>(x + filled + sc.lp) * g.site;
+              oy[ci] = g.y;
+              filled += sc.w;
+              ++cell_idx;
+            }
+          }
+        }
+      }
+    });
+  }
+};
+
+LegalizeConfig checked(const LegalizeConfig& config) {
+  return validate_legalize_config(config);
+}
+
+std::vector<int> normalize_pads(const Design& design,
+                                const std::vector<int>& pad_sites) {
+  std::vector<int> pads(design.cells.size(), 0);
+  const std::size_t n = std::min(pads.size(), pad_sites.size());
+  for (std::size_t i = 0; i < n; ++i) pads[i] = std::max(0, pad_sites[i]);
+  return pads;
+}
+
+struct Displacement {
+  double sum = 0.0;
+  double mx = 0.0;
+  int placed = 0;
+  Displacement& operator+=(const Displacement& o) {
+    sum += o.sum;
+    mx = std::max(mx, o.mx);
+    placed += o.placed;
+    return *this;
+  }
+};
+
+// Writes outputs into the design and folds the displacement metrics in
+// deterministic chunk order.
+void write_back(Design& design, const std::vector<Decision>& decisions,
+                const std::vector<double>& px, const std::vector<double>& py,
+                std::vector<double>& ox, std::vector<double>& oy,
+                LegalizeResult& result) {
+  const std::int64_t n = static_cast<std::int64_t>(design.cells.size());
+  const Displacement d = par::parallel_reduce(
+      0, n, 4096, Displacement{}, [&](std::int64_t b, std::int64_t e) {
+        Displacement part;
+        for (std::int64_t i = b; i < e; ++i) {
+          const std::size_t ci = static_cast<std::size_t>(i);
+          Cell& cell = design.cells[ci];
+          if (!cell.movable()) continue;
+          if (decisions[ci].row < 0) {
+            ox[ci] = px[ci];  // failed: left at the input position
+            oy[ci] = py[ci];
+            cell.x = px[ci];
+            cell.y = py[ci];
+            continue;
+          }
+          cell.x = ox[ci];
+          cell.y = oy[ci];
+          const double disp =
+              std::abs(ox[ci] - px[ci]) + std::abs(oy[ci] - py[ci]);
+          part.sum += disp;
+          part.mx = std::max(part.mx, disp);
+          ++part.placed;
+        }
+        return part;
+      });
+  result.total_displacement = d.sum;
+  result.max_displacement = d.mx;
+  result.placed = d.placed;
 }
 
 }  // namespace
 
+LegalizeConfig validate_legalize_config(LegalizeConfig config) {
+  if (config.max_row_search <= 0) {
+    throw std::invalid_argument(
+        "LegalizeConfig.max_row_search must be positive");
+  }
+  if (!(config.max_dirty_frac == config.max_dirty_frac)) {  // NaN check
+    throw std::invalid_argument(
+        "LegalizeConfig.max_dirty_frac must not be NaN");
+  }
+  if (config.full_rebuild_interval < 1) config.full_rebuild_interval = 1;
+  config.max_dirty_frac = clamp(config.max_dirty_frac, 0.0, 1.0);
+  return config;
+}
+
+// --- free from-scratch legalization --------------------------------------
+
 LegalizeResult legalize(Design& design, const std::vector<int>& pad_sites,
                         const LegalizeConfig& config) {
+  const LegalizeConfig cfg = checked(config);
   LegalizeResult result;
+  Timer timer;
   if (design.rows.empty()) {
     result.success = false;
     return result;
   }
-
-  // --- build macro-aware row segments -----------------------------------
-  std::vector<RowState> rows;
-  rows.reserve(design.rows.size());
-  for (const Row& row : design.rows) {
-    RowState rs;
-    rs.y = row.y;
-    rs.site = row.site_width;
-    // Collect macro x-blockages intersecting this row.
-    std::vector<std::pair<double, double>> blocks;
-    for (const Cell& c : design.cells) {
-      if (!c.is_macro()) continue;
-      const Rect r = c.rect();
-      if (r.ylo < row.y + row.height - 1e-9 && r.yhi > row.y + 1e-9) {
-        blocks.emplace_back(r.xlo, r.xhi);
-      }
-    }
-    std::sort(blocks.begin(), blocks.end());
-    double cursor = row.x_lo;
-    const double row_end = row.x_hi();
-    auto push_segment = [&](double lo, double hi) {
-      // Snap inward to the site grid.
-      const double slo = row.x_lo +
-          std::ceil((lo - row.x_lo) / rs.site - 1e-9) * rs.site;
-      const double shi = row.x_lo +
-          std::floor((hi - row.x_lo) / rs.site + 1e-9) * rs.site;
-      if (shi - slo >= rs.site - 1e-9) {
-        Segment seg;
-        seg.lo = slo;
-        seg.hi = shi;
-        rs.segments.push_back(seg);
-      }
-    };
-    for (const auto& [blo, bhi] : blocks) {
-      if (blo > cursor) push_segment(cursor, std::min(blo, row_end));
-      cursor = std::max(cursor, bhi);
-      if (cursor >= row_end) break;
-    }
-    if (cursor < row_end) push_segment(cursor, row_end);
-    rows.push_back(std::move(rs));
+  const std::vector<RowGeom> geom = build_geometry(design);
+  std::vector<double> px(design.cells.size()), py(design.cells.size());
+  for (std::size_t i = 0; i < design.cells.size(); ++i) {
+    px[i] = design.cells[i].x;
+    py[i] = design.cells[i].y;
   }
+  const std::vector<int> pads = normalize_pads(design, pad_sites);
 
-  const double row_h = design.rows.front().height;
-  const double row_y0 = design.rows.front().y;
+  Engine eng(design, cfg, geom, px, py, pads);
+  std::fill(eng.live.begin(), eng.live.end(), 1);
+  std::vector<Decision> decisions(design.cells.size());
+  const std::vector<char> no_dirty;
+  int replayed = 0, redecided = 0;
+  eng.walk(decisions, no_dirty, /*ledger_round=*/false, result.failed_cells,
+           replayed, redecided);
+  result.redecided_cells = redecided;
+  result.rows_total = eng.nrows;
+  result.rows_rebuilt = eng.nrows;
 
-  // --- order movable cells by x ------------------------------------------
-  std::vector<CellId> order;
-  for (CellId c = 0; c < static_cast<CellId>(design.cells.size()); ++c) {
-    if (design.cells[static_cast<std::size_t>(c)].movable()) order.push_back(c);
-  }
-  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
-    return design.cells[static_cast<std::size_t>(a)].x <
-           design.cells[static_cast<std::size_t>(b)].x;
-  });
-
-  // Remember where each cell ended up so positions can be written back
-  // after all clusters settle.
-  struct Placement {
-    int row = -1;
-    int seg = -1;
-    int slot = -1;  // index within segment cell list
-  };
-  std::vector<Placement> placement(design.cells.size());
-
-  for (CellId cid : order) {
-    const Cell& cell = design.cells[static_cast<std::size_t>(cid)];
-    const int pad =
-        static_cast<std::size_t>(cid) < pad_sites.size()
-            ? pad_sites[static_cast<std::size_t>(cid)]
-            : 0;
-
-    // Candidate rows sorted by vertical displacement from the GP result.
-    const int home = static_cast<int>(
-        std::round((cell.y - row_y0) / row_h));
-    double best_cost = std::numeric_limits<double>::max();
-    int best_row = -1, best_seg = -1;
-    SegCell best_sc;
-
-    for (int k = 0; k < config.max_row_search * 2; ++k) {
-      const int r = home + ((k % 2 == 0) ? k / 2 : -(k / 2 + 1));
-      if (r < 0 || r >= static_cast<int>(rows.size())) continue;
-      RowState& rs = rows[static_cast<std::size_t>(r)];
-      const double dy = rs.y - cell.y;
-      if (dy * dy >= best_cost) {
-        // Rows are visited in increasing |dy|; once even the vertical
-        // displacement alone exceeds the best cost on both sides, stop.
-        if (k > 2 * config.max_row_search / 2) break;
-        continue;
-      }
-      // Padded, site-quantized width.
-      const double width =
-          std::ceil(cell.width / rs.site - 1e-9) * rs.site + pad * rs.site;
-      SegCell sc;
-      sc.id = cid;
-      sc.width = width;
-      sc.weight = std::max(cell.area(), 1.0);
-      // Try segments nearest to the target x first.
-      for (std::size_t s = 0; s < rs.segments.size(); ++s) {
-        Segment& seg = rs.segments[s];
-        const double raw_tx = clamp(cell.x - pad * rs.site * 0.5, seg.lo,
-                                    std::max(seg.lo, seg.hi - width));
-        // Site-quantized target so settled clusters sit on the site grid.
-        const double tx =
-            seg.lo + std::round((raw_tx - seg.lo) / rs.site) * rs.site;
-        sc.target_x = tx;
-        bool ok = false;
-        const double x = trial_or_commit(seg, sc, /*commit=*/false, ok);
-        if (!ok) continue;
-        const double dx = (x + pad * rs.site * 0.5) - cell.x;
-        const double cost = dx * dx + dy * dy;
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_row = r;
-          best_seg = static_cast<int>(s);
-          best_sc = sc;
-        }
-      }
-    }
-
-    if (best_row < 0) {
-      ++result.failed_cells;
-      result.success = false;
-      continue;
-    }
-    RowState& rs = rows[static_cast<std::size_t>(best_row)];
-    Segment& seg = rs.segments[static_cast<std::size_t>(best_seg)];
-    bool ok = false;
-    trial_or_commit(seg, best_sc, /*commit=*/true, ok);
-    placement[static_cast<std::size_t>(cid)] = {best_row, best_seg,
-                                                static_cast<int>(seg.cells.size()) - 1};
-  }
-
-  // --- write back final positions ----------------------------------------
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    RowState& rs = rows[r];
-    for (Segment& seg : rs.segments) {
-      // Recover per-cell slot positions: clusters hold merged runs in
-      // order; walk clusters and lay cells sequentially. Cluster positions
-      // are continuous (weighted averages), so snap each onto the site
-      // grid left-to-right, never overlapping the previous cluster.
-      std::size_t cell_idx = 0;
-      double cursor = seg.lo;
-      for (const Cluster& cl : seg.clusters) {
-        double x = seg.lo + std::round((cl.x - seg.lo) / rs.site) * rs.site;
-        x = clamp(x, cursor, std::max(cursor, seg.hi - cl.w));
-        cursor = x + cl.w;
-        // Cells belonging to this cluster occupy cl.w in total; they were
-        // appended in order, so consume cells until the width is filled.
-        double filled = 0.0;
-        while (cell_idx < seg.cells.size() && filled + 1e-9 < cl.w) {
-          const SegCell& sc = seg.cells[cell_idx];
-          Cell& cell = design.cells[static_cast<std::size_t>(sc.id)];
-          const int pad =
-              static_cast<std::size_t>(sc.id) < pad_sites.size()
-                  ? pad_sites[static_cast<std::size_t>(sc.id)]
-                  : 0;
-          // Center the physical cell inside its padded slot, snapped to
-          // the site grid (left-biased for odd padding).
-          const double slot_x = x + filled;
-          const double left_pad = (pad / 2) * rs.site;
-          const double old_x = cell.x, old_y = cell.y;
-          cell.x = slot_x + left_pad;
-          cell.y = rs.y;
-          const double disp =
-              std::abs(cell.x - old_x) + std::abs(cell.y - old_y);
-          result.total_displacement += disp;
-          result.max_displacement = std::max(result.max_displacement, disp);
-          ++result.placed;
-          filled += sc.width;
-          ++cell_idx;
-        }
-      }
-    }
-  }
-
+  std::vector<double> ox(design.cells.size(), 0.0);
+  std::vector<double> oy(design.cells.size(), 0.0);
+  eng.finalize(ox, oy);
+  write_back(design, decisions, px, py, ox, oy, result);
+  result.success = result.failed_cells == 0 && !design.rows.empty();
+  result.time_s = timer.elapsed_seconds();
   if (result.failed_cells > 0) {
-    PUFFER_LOG_WARN(kTag, "%d cells could not be legalized", result.failed_cells);
+    PUFFER_LOG_WARN(kTag, "%d cells could not be legalized",
+                    result.failed_cells);
+  }
+  return result;
+}
+
+// --- incremental legalizer -----------------------------------------------
+
+struct IncrementalLegalizer::Impl {
+  LegalizeConfig config;
+  IncrementalLegalStats stats;
+
+  bool valid = false;
+  std::uint64_t key = 0;
+  std::vector<RowGeom> geom;
+  // Input snapshot from the last applied call (bit-compared).
+  std::vector<double> in_x, in_y, in_w;
+  std::vector<int> in_pad;
+  // Last applied decisions + per-row final state + outputs.
+  std::vector<Decision> decisions;
+  std::vector<RowState> rows_store;
+  std::vector<double> out_x, out_y;
+
+  std::vector<std::uint32_t> row_mark;
+  std::uint32_t epoch = 0;
+
+  explicit Impl(LegalizeConfig cfg) : config(validate_legalize_config(cfg)) {}
+
+  // From-scratch run that (re)records the ledger into the given buffers.
+  LegalizeResult run_full(Design& design, const std::vector<double>& px,
+                          const std::vector<double>& py,
+                          const std::vector<int>& pads,
+                          std::vector<Decision>& dec,
+                          std::vector<RowState>& rows_out,
+                          std::vector<double>& ox, std::vector<double>& oy) {
+    LegalizeResult result;
+    Engine eng(design, config, geom, px, py, pads);
+    std::fill(eng.live.begin(), eng.live.end(), 1);
+    dec.assign(design.cells.size(), Decision{});
+    const std::vector<char> no_dirty;
+    int replayed = 0, redecided = 0;
+    eng.walk(dec, no_dirty, /*ledger_round=*/false, result.failed_cells,
+             replayed, redecided);
+    result.redecided_cells = redecided;
+    result.rows_total = eng.nrows;
+    result.rows_rebuilt = eng.nrows;
+    ox.assign(design.cells.size(), 0.0);
+    oy.assign(design.cells.size(), 0.0);
+    eng.finalize(ox, oy);
+    rows_out = std::move(eng.rows);
+    return result;
+  }
+
+  void snapshot_inputs(const Design& design, const std::vector<double>& px,
+                       const std::vector<double>& py,
+                       const std::vector<int>& pads) {
+    in_x = px;
+    in_y = py;
+    in_pad = pads;
+    in_w.resize(design.cells.size());
+    for (std::size_t i = 0; i < design.cells.size(); ++i) {
+      in_w[i] = design.cells[i].width;
+    }
+  }
+};
+
+IncrementalLegalizer::IncrementalLegalizer(LegalizeConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+IncrementalLegalizer::~IncrementalLegalizer() = default;
+
+void IncrementalLegalizer::invalidate() { impl_->valid = false; }
+
+const IncrementalLegalStats& IncrementalLegalizer::stats() const {
+  return impl_->stats;
+}
+
+LegalizeResult IncrementalLegalizer::legalize(
+    Design& design, const std::vector<int>& pad_sites) {
+  Impl& im = *impl_;
+  Timer timer;
+  LegalizeResult result;
+  ++im.stats.calls;
+  if (design.rows.empty()) {
+    result.success = false;
+    im.valid = false;
+    return result;
+  }
+
+  const std::uint64_t key = structure_key(design);
+  std::vector<double> px(design.cells.size()), py(design.cells.size());
+  for (std::size_t i = 0; i < design.cells.size(); ++i) {
+    px[i] = design.cells[i].x;
+    py[i] = design.cells[i].y;
+  }
+  const std::vector<int> pads = normalize_pads(design, pad_sites);
+
+  bool full = !im.valid || key != im.key;
+  if (full) {
+    im.geom = build_geometry(design);
+    im.key = key;
+  }
+
+  // Bitwise dirty detection against the previous call's *inputs*.
+  std::vector<char> dirty;
+  std::size_t num_dirty = 0, num_movable = 0;
+  if (!full) {
+    dirty.assign(design.cells.size(), 0);
+    for (std::size_t i = 0; i < design.cells.size(); ++i) {
+      const Cell& c = design.cells[i];
+      if (!c.movable()) continue;
+      ++num_movable;
+      const bool moved =
+          std::memcmp(&px[i], &im.in_x[i], sizeof(double)) != 0 ||
+          std::memcmp(&py[i], &im.in_y[i], sizeof(double)) != 0 ||
+          std::memcmp(&c.width, &im.in_w[i], sizeof(double)) != 0 ||
+          pads[i] != im.in_pad[i];
+      if (moved) {
+        dirty[i] = 1;
+        ++num_dirty;
+      }
+    }
+    if (num_movable > 0 &&
+        static_cast<double>(num_dirty) >
+            im.config.max_dirty_frac * static_cast<double>(num_movable)) {
+      full = true;
+    }
+  }
+
+  const bool verify =
+      !full && im.config.full_rebuild_interval > 0 &&
+      (im.stats.calls % im.config.full_rebuild_interval) == 0;
+
+  if (full) {
+    result = im.run_full(design, px, py, pads, im.decisions, im.rows_store,
+                         im.out_x, im.out_y);
+    write_back(design, im.decisions, px, py, im.out_x, im.out_y, result);
+    ++im.stats.full_runs;
+    im.stats.redecided_cells += result.redecided_cells;
+    result.success = result.failed_cells == 0;
+    result.time_s = timer.elapsed_seconds();
+    im.stats.full_time_s += result.time_s;
+    im.snapshot_inputs(design, px, py, pads);
+    im.valid = true;
+    if (result.failed_cells > 0) {
+      PUFFER_LOG_WARN(kTag, "%d cells could not be legalized",
+                      result.failed_cells);
+    }
+    return result;
+  }
+
+  // --- ledger round ------------------------------------------------------
+  result.incremental = true;
+  Engine eng(design, im.config, im.geom, px, py, pads);
+  eng.stored = &im.rows_store;
+  im.row_mark.assign(static_cast<std::size_t>(eng.nrows), 0);
+  ++im.epoch;
+  eng.row_mark = &im.row_mark;
+  eng.epoch = im.epoch;
+
+  // Pre-mark the recorded rows of dirty cells: their old commit is gone
+  // this round, so every reader of those rows must re-decide. The rows
+  // start live and empty; their surviving members rebuild them in order.
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    if (!dirty[i]) continue;
+    const Decision& rec = im.decisions[i];
+    if (rec.row >= 0) {
+      eng.mark(rec.row);
+      eng.live[static_cast<std::size_t>(rec.row)] = 1;
+    }
+  }
+
+  std::vector<Decision> decisions = im.decisions;
+  int replayed = 0, redecided = 0;
+  const bool ok = eng.walk(decisions, dirty, /*ledger_round=*/true,
+                           result.failed_cells, replayed, redecided);
+  if (!ok) {
+    // Ledger invariant break (should be impossible): recover with a
+    // verified full rebuild and count the drift.
+    ++im.stats.drift_count;
+    im.valid = false;
+    result = im.run_full(design, px, py, pads, im.decisions, im.rows_store,
+                         im.out_x, im.out_y);
+    write_back(design, im.decisions, px, py, im.out_x, im.out_y, result);
+    ++im.stats.full_runs;
+    result.success = result.failed_cells == 0;
+    result.time_s = timer.elapsed_seconds();
+    im.stats.full_time_s += result.time_s;
+    im.snapshot_inputs(design, px, py, pads);
+    im.valid = true;
+    return result;
+  }
+
+  result.replayed_cells = replayed;
+  result.redecided_cells = redecided;
+  result.rows_total = eng.nrows;
+  for (std::uint8_t l : eng.live) result.rows_rebuilt += l;
+
+  // Frozen rows keep their stored outputs; live rows finalize (the
+  // arrays persist per cell, so only live-row members are overwritten).
+  eng.finalize(im.out_x, im.out_y);
+  write_back(design, decisions, px, py, im.out_x, im.out_y, result);
+  for (int r = 0; r < eng.nrows; ++r) {
+    if (eng.live[static_cast<std::size_t>(r)]) {
+      im.rows_store[static_cast<std::size_t>(r)] =
+          std::move(eng.rows[static_cast<std::size_t>(r)]);
+    }
+  }
+  im.decisions = std::move(decisions);
+  im.snapshot_inputs(design, px, py, pads);
+
+  result.success = result.failed_cells == 0;
+  im.stats.replayed_cells += replayed;
+  im.stats.redecided_cells += redecided;
+
+  if (verify) {
+    // Periodic verified rebuild: run from scratch on the same inputs and
+    // compare the outputs bitwise (the demand-ledger contract).
+    ++im.stats.verified_rebuilds;
+    std::vector<Decision> dec2;
+    std::vector<RowState> rows2;
+    std::vector<double> ox2, oy2;
+    LegalizeResult full_result =
+        im.run_full(design, px, py, pads, dec2, rows2, ox2, oy2);
+    bool drift = full_result.failed_cells != result.failed_cells;
+    for (std::size_t i = 0; !drift && i < design.cells.size(); ++i) {
+      if (!design.cells[i].movable() || dec2[i].row < 0) continue;
+      drift = std::memcmp(&ox2[i], &im.out_x[i], sizeof(double)) != 0 ||
+              std::memcmp(&oy2[i], &im.out_y[i], sizeof(double)) != 0;
+    }
+    if (drift) {
+      ++im.stats.drift_count;
+      PUFFER_LOG_WARN(kTag,
+                      "incremental legalization drifted from the full "
+                      "rebuild; adopting the rebuild");
+      im.decisions = std::move(dec2);
+      im.rows_store = std::move(rows2);
+      im.out_x = std::move(ox2);
+      im.out_y = std::move(oy2);
+      result.failed_cells = full_result.failed_cells;
+      write_back(design, im.decisions, px, py, im.out_x, im.out_y, result);
+      result.success = result.failed_cells == 0;
+    }
+  }
+
+  result.time_s = timer.elapsed_seconds();
+  im.stats.incremental_time_s += result.time_s;
+  if (result.failed_cells > 0) {
+    PUFFER_LOG_WARN(kTag, "%d cells could not be legalized",
+                    result.failed_cells);
   }
   return result;
 }
