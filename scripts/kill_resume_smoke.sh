@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the trial orchestrator.
+#
+# Runs a reference exploration to completion, then the same exploration
+# again -- SIGKILLed as soon as its crash-safe journal records the first
+# completed trial -- and finally resumes it. The resumed run must replay
+# the journaled trials instead of re-evaluating them and print a
+# best_checksum identical to the uninterrupted reference: the journal +
+# checkpoint contract survives a hard kill at an arbitrary point.
+#
+# Usage: scripts/kill_resume_smoke.sh  [BUILD_DIR=build]
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/tools/puffer_explore"
+if [ ! -x "$BIN" ]; then
+  echo "missing $BIN -- build the repo first" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(--bench OR1200 --scale 256 --trials 4 --batch 2 --concurrency 2
+      --seed 77 --quiet)
+
+echo "== reference (uninterrupted) run =="
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$WORK/ref_ck" \
+    --journal "$WORK/ref.jsonl" | tee "$WORK/ref.out"
+REF=$(awk '/^best_checksum:/ {print $2}' "$WORK/ref.out")
+[ -n "$REF" ] || { echo "FAIL: reference run printed no checksum"; exit 1; }
+
+echo "== run to be killed =="
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$WORK/ck" \
+    --journal "$WORK/trials.jsonl" > "$WORK/killed.out" 2>&1 &
+PID=$!
+for _ in $(seq 1 600); do
+  kill -0 "$PID" 2>/dev/null || break
+  if grep -q trial_complete "$WORK/trials.jsonl" 2>/dev/null; then
+    kill -9 "$PID" 2>/dev/null || true
+    echo "SIGKILLed mid-exploration (first completed trial in journal)"
+    break
+  fi
+  sleep 0.1
+done
+wait "$PID" 2>/dev/null || true
+
+COMPLETED=$(grep -c trial_complete "$WORK/trials.jsonl" || true)
+echo "journal holds $COMPLETED completed trial(s) after the kill"
+[ "$COMPLETED" -ge 1 ] || { echo "FAIL: nothing journaled before kill"; exit 1; }
+
+echo "== resumed run =="
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$WORK/ck" \
+    --journal "$WORK/trials.jsonl" --resume | tee "$WORK/resume.out"
+RES=$(awk '/^best_checksum:/ {print $2}' "$WORK/resume.out")
+RESUMED=$(grep -oE '[0-9]+ resumed' "$WORK/resume.out" | awk '{print $1}')
+
+if [ "${RESUMED:-0}" -lt 1 ]; then
+  echo "FAIL: resumed run replayed no journaled trials"
+  exit 1
+fi
+if [ "$REF" != "$RES" ]; then
+  echo "FAIL: resumed best_checksum $RES != reference $REF"
+  exit 1
+fi
+echo "PASS: $RESUMED trial(s) replayed; best_checksum matches reference ($REF)"

@@ -102,6 +102,15 @@ std::mutex g_cfg_mutex;
 int g_threads = 0;  // 0 = not yet resolved
 std::unique_ptr<Pool> g_pool;
 
+// Worker budget still open to leases; -1 = not yet derived from g_threads.
+int g_lease_available = -1;
+
+// Private pool of the lease (if any) held by this thread. Checked by
+// parallel_for before the shared pool so a leased session's kernels run on
+// its own granted workers.
+thread_local Pool* t_lease_pool = nullptr;
+thread_local bool t_lease_held = false;
+
 int resolve_default_threads() {
   if (const char* env = std::getenv("PUFFER_THREADS")) {
     const int v = std::atoi(env);
@@ -117,6 +126,7 @@ void configure_locked(int n) {
   if (g_threads > 1) {
     g_pool = std::make_unique<Pool>(g_threads - 1);
   }
+  g_lease_available = g_threads;
 }
 
 }  // namespace
@@ -130,6 +140,38 @@ int num_threads() {
 void set_num_threads(int n) {
   std::lock_guard<std::mutex> lock(g_cfg_mutex);
   configure_locked(n);
+}
+
+WorkerLease::WorkerLease(int want) {
+  want = std::max(want, 1);
+  {
+    std::lock_guard<std::mutex> lock(g_cfg_mutex);
+    if (g_threads == 0) configure_locked(0);
+    // The owning thread always counts as one worker even when the budget
+    // is exhausted (it cannot be un-spawned); extra workers only come out
+    // of what is still unclaimed.
+    granted_ = 1 + std::clamp(want - 1, 0, std::max(g_lease_available - 1, 0));
+    g_lease_available = std::max(g_lease_available - granted_, 0);
+  }
+  if (granted_ > 1) {
+    pool_ = static_cast<void*>(new Pool(granted_ - 1));
+  }
+  t_lease_pool = static_cast<Pool*>(pool_);
+  t_lease_held = true;
+}
+
+WorkerLease::~WorkerLease() {
+  t_lease_held = false;
+  t_lease_pool = nullptr;
+  delete static_cast<Pool*>(pool_);
+  std::lock_guard<std::mutex> lock(g_cfg_mutex);
+  g_lease_available = std::min(g_lease_available + granted_, g_threads);
+}
+
+int lease_budget_available() {
+  std::lock_guard<std::mutex> lock(g_cfg_mutex);
+  if (g_threads == 0) configure_locked(0);
+  return g_lease_available;
 }
 
 int chunk_count(std::int64_t n, std::int64_t grain, int max_chunks) {
@@ -156,7 +198,12 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   const int nchunks = chunk_count(n, grain, max_chunks);
 
   Pool* pool = nullptr;
-  {
+  if (t_lease_held) {
+    // Leased session: use the lease's private pool (possibly none -- a
+    // one-worker grant runs inline). Never touch the shared pool, which
+    // other sessions' leases may be using concurrently.
+    pool = t_lease_pool;
+  } else {
     std::lock_guard<std::mutex> lock(g_cfg_mutex);
     if (g_threads == 0) configure_locked(0);
     pool = g_pool.get();

@@ -50,6 +50,40 @@ using ChunkFn = std::function<void(std::int64_t, std::int64_t, int)>;
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const ChunkFn& fn, int max_chunks = 64);
 
+// Thread-budget lease for concurrent sessions (trial orchestration).
+//
+// A lease carves `want` workers -- including the calling thread itself --
+// out of the process-wide budget (num_threads()). While the lease is
+// alive, parallel_for calls issued *from the owning thread* dispatch onto
+// a private pool of (granted - 1) helper threads instead of the shared
+// pool, so K concurrent sessions holding leases never run more than
+// num_threads() workers in total (K trials x N threads can't
+// oversubscribe). The grant is clamped to the budget still available and
+// is always >= 1 (the calling thread cannot be un-spawned).
+//
+// Leases never change results: the chunk decomposition is independent of
+// the worker count, so a lease only moves where chunks execute. One lease
+// per thread at a time; do not call set_num_threads() while any lease is
+// alive (the budget is re-derived from the new worker count).
+class WorkerLease {
+ public:
+  explicit WorkerLease(int want);
+  ~WorkerLease();
+  WorkerLease(const WorkerLease&) = delete;
+  WorkerLease& operator=(const WorkerLease&) = delete;
+
+  // Workers granted, counting the owning thread (1 = run inline).
+  int workers() const { return granted_; }
+
+ private:
+  int granted_ = 1;
+  void* pool_ = nullptr;  // opaque private pool (parallel.cpp)
+};
+
+// Budget (in workers) still available to new leases; num_threads() when
+// none are held. Exposed for tests and scheduler metrics.
+int lease_budget_available();
+
 // Maps each chunk to a partial value and folds the partials with += in
 // ascending chunk order. MapFn: T(std::int64_t chunk_begin, chunk_end).
 template <typename T, typename MapFn>

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "io/checkpoint.h"
+
 namespace puffer {
+
+namespace {
+
+constexpr std::uint32_t kLedgerVersion = 1;
+
+void put_map(BinaryWriter& w, const Map2D<double>& m) {
+  w.put_i32(m.nx());
+  w.put_i32(m.ny());
+  w.put_f64_vec(m.raw());
+}
+
+Map2D<double> get_map(BinaryReader& r) {
+  const int nx = r.get_i32();
+  const int ny = r.get_i32();
+  std::vector<double> data = r.get_f64_vec();
+  if (nx < 0 || ny < 0 ||
+      data.size() != static_cast<std::size_t>(nx) *
+                         static_cast<std::size_t>(ny)) {
+    throw CheckpointError("ledger: map dimensions disagree with payload");
+  }
+  Map2D<double> m(nx, ny);
+  m.raw() = std::move(data);
+  return m;
+}
+
+}  // namespace
 
 void DemandLedger::reset(std::size_t num_nets, std::size_t num_pins,
                          std::size_t num_cells, const GcellGrid& grid) {
@@ -64,6 +92,147 @@ bool DemandLedger::box_dirty(int x0, int x1, int y0, int y1) const {
     }
   }
   return false;
+}
+
+void DemandLedger::save(BinaryWriter& w) const {
+  w.put_u32(kLedgerVersion);
+  w.put_u8(initialized_ ? 1 : 0);
+  if (!initialized_) return;
+  w.put_u64(entries_.size());
+  for (const NetEntry& e : entries_) {
+    w.put_u64(e.key);
+    w.put_u64(e.spans.size());
+    for (const LedgerSpan& s : e.spans) {
+      w.put_i32(s.x0);
+      w.put_i32(s.x1);
+      w.put_i32(s.y0);
+      w.put_i32(s.y1);
+      w.put_f64(s.qh);
+      w.put_f64(s.qv);
+    }
+    w.put_u64(e.moves.size());
+    for (const ExpansionMove& m : e.moves) {
+      w.put_u8(m.moved ? 1 : 0);
+      w.put_u8(m.horizontal ? 1 : 0);
+      w.put_i32(m.lo);
+      w.put_i32(m.hi);
+      w.put_i32(m.src);
+      w.put_i32(m.dst);
+      w.put_i32(m.conn_a);
+      w.put_i32(m.conn_b);
+    }
+  }
+  w.put_u64(trees_.size());
+  for (const RsmtTree& t : trees_) {
+    w.put_u64(t.points.size());
+    for (const RsmtPoint& p : t.points) {
+      w.put_f64(p.pos.x);
+      w.put_f64(p.pos.y);
+      w.put_i32(p.pin);
+    }
+    w.put_u64(t.segments.size());
+    for (const RsmtSegment& s : t.segments) {
+      w.put_i32(s.a);
+      w.put_i32(s.b);
+    }
+    w.put_u64(t.pin_point.size());
+    for (int pp : t.pin_point) w.put_i32(pp);
+  }
+  put_map(w, base_h_);
+  put_map(w, base_v_);
+  w.put_u64(pin_cell_.size());
+  for (std::int32_t pc : pin_cell_) w.put_i32(pc);
+  put_map(w, pin_count_);
+  put_map(w, applied_penalty_);
+  w.put_f64_vec(cell_x_);
+  w.put_f64_vec(cell_y_);
+}
+
+void DemandLedger::load(BinaryReader& r, const GcellGrid& grid) {
+  const std::uint32_t version = r.get_u32();
+  if (version != kLedgerVersion) {
+    throw CheckpointError("ledger: unsupported version " +
+                          std::to_string(version));
+  }
+  if (r.get_u8() == 0) {
+    initialized_ = false;
+    return;
+  }
+  const std::uint64_t n_nets = r.get_u64();
+  entries_.assign(static_cast<std::size_t>(n_nets), NetEntry{});
+  for (NetEntry& e : entries_) {
+    e.key = r.get_u64();
+    const std::uint64_t n_spans = r.get_u64();
+    e.spans.resize(static_cast<std::size_t>(n_spans));
+    for (LedgerSpan& s : e.spans) {
+      s.x0 = r.get_i32();
+      s.x1 = r.get_i32();
+      s.y0 = r.get_i32();
+      s.y1 = r.get_i32();
+      s.qh = r.get_f64();
+      s.qv = r.get_f64();
+    }
+    const std::uint64_t n_moves = r.get_u64();
+    e.moves.resize(static_cast<std::size_t>(n_moves));
+    for (ExpansionMove& m : e.moves) {
+      m.moved = r.get_u8() != 0;
+      m.horizontal = r.get_u8() != 0;
+      m.lo = r.get_i32();
+      m.hi = r.get_i32();
+      m.src = r.get_i32();
+      m.dst = r.get_i32();
+      m.conn_a = r.get_i32();
+      m.conn_b = r.get_i32();
+    }
+  }
+  const std::uint64_t n_trees = r.get_u64();
+  if (n_trees != n_nets) {
+    throw CheckpointError("ledger: tree/entry count mismatch");
+  }
+  trees_.assign(static_cast<std::size_t>(n_trees), RsmtTree{});
+  for (RsmtTree& t : trees_) {
+    const std::uint64_t n_points = r.get_u64();
+    t.points.resize(static_cast<std::size_t>(n_points));
+    for (RsmtPoint& p : t.points) {
+      p.pos.x = r.get_f64();
+      p.pos.y = r.get_f64();
+      p.pin = r.get_i32();
+    }
+    const std::uint64_t n_segs = r.get_u64();
+    t.segments.resize(static_cast<std::size_t>(n_segs));
+    for (RsmtSegment& s : t.segments) {
+      s.a = r.get_i32();
+      s.b = r.get_i32();
+    }
+    const std::uint64_t n_pp = r.get_u64();
+    t.pin_point.resize(static_cast<std::size_t>(n_pp));
+    for (int& pp : t.pin_point) pp = r.get_i32();
+  }
+  base_h_ = get_map(r);
+  base_v_ = get_map(r);
+  const std::uint64_t n_pins = r.get_u64();
+  pin_cell_.resize(static_cast<std::size_t>(n_pins));
+  for (std::int32_t& pc : pin_cell_) pc = r.get_i32();
+  pin_count_ = get_map(r);
+  applied_penalty_ = get_map(r);
+  cell_x_ = r.get_f64_vec();
+  cell_y_ = r.get_f64_vec();
+  if (base_h_.nx() != grid.nx() || base_h_.ny() != grid.ny() ||
+      base_v_.nx() != grid.nx() || base_v_.ny() != grid.ny() ||
+      pin_count_.nx() != grid.nx() || pin_count_.ny() != grid.ny() ||
+      applied_penalty_.nx() != grid.nx() ||
+      applied_penalty_.ny() != grid.ny()) {
+    throw CheckpointError("ledger: grid dimensions disagree with estimator");
+  }
+  if (cell_x_.size() != cell_y_.size()) {
+    throw CheckpointError("ledger: cell snapshot arrays disagree");
+  }
+  // Fresh transient round state (see save() comment).
+  dirty_ = Map2D<std::uint32_t>(grid.nx(), grid.ny());
+  row_dirty_.assign(static_cast<std::size_t>(grid.ny()), 0);
+  col_dirty_.assign(static_cast<std::size_t>(grid.nx()), 0);
+  epoch_ = 0;
+  initialized_ = true;
 }
 
 void DemandLedger::apply_span(const LedgerSpan& s, Map2D<double>& dmd_h,

@@ -37,6 +37,9 @@
 
 namespace puffer {
 
+class BinaryWriter;  // io/checkpoint.h
+class BinaryReader;
+
 // All demand contributions are multiples of this quantum (2^-40) so that
 // map arithmetic is exact (see file comment).
 constexpr double kDemandQuantum = 1.0 / (1024.0 * 1024.0 * 1024.0 * 1024.0);
@@ -132,6 +135,17 @@ class DemandLedger {
   // True when [x0,x1] x [y0,y1] (clamped by the caller) holds a cell
   // marked this round. Row/column summaries reject clean boxes in O(extent).
   bool box_dirty(int x0, int x1, int y0, int y1) const;
+
+  // --- serialization (trial-orchestration checkpoints) -------------------
+  // Writes the full applied state: entries (keys/spans/moves), trees, base
+  // maps, pin layer and the cell-position snapshot. Dirty stamps are
+  // transient round state and are NOT serialized; load() resets them, so
+  // the first post-restore round sees an all-clean grid -- exactly the
+  // state an uninterrupted flow has after its last applied round.
+  void save(BinaryWriter& w) const;
+  // Restores state saved by save(); throws CheckpointError when the blob
+  // is malformed or its grid dimensions disagree with `grid`.
+  void load(BinaryReader& r, const GcellGrid& grid);
 
   // --- exact replay helpers ----------------------------------------------
   static void apply_span(const LedgerSpan& s, Map2D<double>& dmd_h,

@@ -6,6 +6,7 @@
 #include "common/logger.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "io/checkpoint.h"
 
 namespace puffer {
 
@@ -567,6 +568,47 @@ CongestionResult CongestionEstimator::incremental_pass(int& dirty_nets,
 
   result.trees = ledger_.trees();
   return result;
+}
+
+std::string CongestionEstimator::save_incremental_state() const {
+  BinaryWriter w;
+  ledger_.save(w);
+  w.put_i32(calls_since_rebuild_);
+  return w.take();
+}
+
+bool CongestionEstimator::restore_incremental_state(const std::string& blob) {
+  if (blob.empty()) {
+    ledger_.invalidate();
+    calls_since_rebuild_ = 0;
+    return false;
+  }
+  BinaryReader r(blob);
+  ledger_.load(r, grid_);
+  calls_since_rebuild_ = r.get_i32();
+  if (ledger_.initialized() &&
+      !ledger_.matches(design_.nets.size(), design_.pins.size(),
+                       design_.cells.size())) {
+    throw CheckpointError("ledger: restored sizes disagree with design");
+  }
+  return ledger_.initialized();
+}
+
+std::uint64_t CongestionEstimator::config_fingerprint() const {
+  BinaryWriter w;
+  w.put_f64(config_.rows_per_gcell);
+  w.put_f64(config_.pin_penalty);
+  w.put_f64(config_.pins_per_site);
+  w.put_f64(config_.pin_crowding);
+  w.put_u8(config_.enable_rsmt_cache ? 1 : 0);
+  w.put_f64(config_.cache_quantum);
+  w.put_i32(config_.expand_radius);
+  w.put_u8(config_.enable_detour_expansion ? 1 : 0);
+  w.put_f64(config_.congested_ratio);
+  w.put_u8(config_.enable_incremental ? 1 : 0);
+  w.put_i32(config_.full_rebuild_interval);
+  w.put_u8(config_.verify_rebuild ? 1 : 0);
+  return fnv1a_bytes(w.buffer().data(), w.buffer().size());
 }
 
 CongestionResult CongestionEstimator::estimate_incremental() {

@@ -137,6 +137,20 @@ class CongestionEstimator {
 
   const IncrementalStats& incremental_stats() const { return incr_stats_; }
 
+  // --- checkpoint support (trial orchestration) ------------------------
+  // Serializes the incremental-estimation state: the demand ledger plus
+  // the rebuild-cadence counter. The RSMT topology cache is NOT included
+  // (the ledger carries the trees it needs; dirty nets simply rebuild).
+  std::string save_incremental_state() const;
+  // Restores state saved by save_incremental_state(). Returns false (and
+  // leaves the estimator cold, next call = full rebuild) when the blob is
+  // empty; throws CheckpointError on a malformed blob or a grid mismatch.
+  bool restore_incremental_state(const std::string& blob);
+  // Hash of every congestion-config field that shapes the ledger's
+  // contents. A snapshot's ledger may only warm-start an estimator whose
+  // fingerprint matches (a cold start is always correct regardless).
+  std::uint64_t config_fingerprint() const;
+
  private:
   struct SpanBuild;  // trees + quantized spans (+ keys) for all nets
 

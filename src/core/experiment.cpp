@@ -54,30 +54,48 @@ ExperimentResult run_experiment(Design& design, PlacerKind kind,
                   result.runtime_s(), result.route.route_time_s,
                   result.route.segments, result.route.rerouted,
                   result.route.rounds_used);
-  const LegalizeResult& lg = result.flow.legalize;
+  log_flow_stage_metrics(result.benchmark, placer_name(kind), result.flow);
+  return result;
+}
+
+void log_flow_stage_metrics(const std::string& benchmark,
+                            const char* placer_label,
+                            const FlowMetrics& flow) {
+  const LegalizeResult& lg = flow.legalize;
   if (lg.placed > 0 || lg.failed_cells > 0) {
-    if (result.flow.dp.passes > 0) {
+    if (flow.dp.passes > 0) {
       PUFFER_LOG_INFO("experiment",
                       "%s / %s: legalize %s %.3fs (%d placed, %d failed, "
                       "avg disp %.3g, %.0f%% rows rebuilt), dp %.3fs "
                       "(%d moves, %.2f%% hpwl)",
-                      result.benchmark.c_str(), placer_name(kind),
+                      benchmark.c_str(), placer_label,
                       lg.incremental ? "incr" : "full", lg.time_s, lg.placed,
                       lg.failed_cells, lg.avg_displacement(),
-                      100.0 * lg.dirty_row_frac(), result.flow.dp.time_s,
-                      result.flow.dp.accepted_moves,
-                      result.flow.dp.improvement_pct());
+                      100.0 * lg.dirty_row_frac(), flow.dp.time_s,
+                      flow.dp.accepted_moves, flow.dp.improvement_pct());
     } else {
       PUFFER_LOG_INFO("experiment",
                       "%s / %s: legalize %s %.3fs (%d placed, %d failed, "
                       "avg disp %.3g, %.0f%% rows rebuilt), dp off",
-                      result.benchmark.c_str(), placer_name(kind),
+                      benchmark.c_str(), placer_label,
                       lg.incremental ? "incr" : "full", lg.time_s, lg.placed,
                       lg.failed_cells, lg.avg_displacement(),
                       100.0 * lg.dirty_row_frac());
     }
   }
-  return result;
+  const OrchestratorStageMetrics& orch = flow.orchestrator;
+  if (orch.trials_run > 0 || orch.trials_resumed > 0 ||
+      orch.trials_pruned > 0) {
+    PUFFER_LOG_INFO("experiment",
+                    "%s / %s: orchestrator %d run / %d pruned / %d resumed, "
+                    "prefix %.2fs, trials %.2fs, ckpt save %.0fms restore "
+                    "%.0fms, utilization %.0f%%",
+                    benchmark.c_str(), placer_label, orch.trials_run,
+                    orch.trials_pruned, orch.trials_resumed, orch.prefix_s,
+                    orch.trials_s, 1000.0 * orch.checkpoint_save_s,
+                    1000.0 * orch.checkpoint_restore_s,
+                    100.0 * orch.scheduler_utilization);
+  }
 }
 
 ExperimentResult run_benchmark(const SyntheticSpec& spec, PlacerKind kind,

@@ -37,6 +37,13 @@ struct ExperimentConfig {
   RouterConfig eval_router;            // identical neutral evaluator
 };
 
+// Logs the per-stage observability lines (legalization, detailed
+// placement, orchestrator) for a finished flow. run_experiment calls it;
+// the trial orchestrator calls it on the best trial's FlowMetrics so
+// orchestrated runs report stage metrics through the same channel.
+void log_flow_stage_metrics(const std::string& benchmark,
+                            const char* placer_label, const FlowMetrics& flow);
+
 // Places `design` in-place with the chosen placer and evaluates it.
 ExperimentResult run_experiment(Design& design, PlacerKind kind,
                                 const ExperimentConfig& config = {});

@@ -14,7 +14,30 @@ constexpr const char* kTag = "flow";
 PufferFlow::PufferFlow(Design& design, PufferConfig config)
     : design_(design), config_(config), legalizer_(config.legal) {}
 
-FlowMetrics PufferFlow::run() {
+FlowMetrics PufferFlow::run() { return run_internal(nullptr, nullptr); }
+
+std::uint64_t PufferFlow::prefix_key(double fork_overflow) const {
+  BinaryWriter w;
+  w.put_u8(config_.init.keep_existing ? 1 : 0);
+  w.put_i32(config_.init.sweeps);
+  w.put_f64(config_.init.jitter_frac);
+  w.put_u64(config_.init.seed);
+  w.put_i32(config_.gp.bin_dim);
+  w.put_f64(config_.gp.target_density);
+  w.put_f64(config_.gp.stop_overflow);
+  w.put_i32(config_.gp.max_iters);
+  w.put_u8(config_.gp.use_fillers ? 1 : 0);
+  w.put_u64(config_.gp.seed);
+  w.put_f64(config_.gp.mu_max);
+  w.put_f64(config_.gp.mu_min);
+  w.put_f64(config_.gp.hpwl_ref_frac);
+  w.put_f64(config_.gp.lambda_freeze_overflow);
+  w.put_f64(fork_overflow);
+  return fnv1a_bytes(w.buffer().data(), w.buffer().size());
+}
+
+FlowMetrics PufferFlow::run_prefix(double fork_overflow, const RngStream& rng,
+                                   FlowSnapshot* out) {
   FlowMetrics metrics;
   Timer total;
   if (config_.num_threads > 0) par::set_num_threads(config_.num_threads);
@@ -23,14 +46,99 @@ FlowMetrics PufferFlow::run() {
     ScopedStageTimer t(metrics.stages, "initial_place");
     initial_place(design_, config_.init);
   }
+  EPlaceEngine engine(design_, config_.gp);
+  estimator_ =
+      std::make_unique<CongestionEstimator>(design_, config_.congestion);
+  {
+    ScopedStageTimer t(metrics.stages, "global_place");
+    engine.run_to_overflow(fork_overflow);
+  }
+  // Warm the demand ledger at the fork: every continuation's first
+  // padding round is then incremental over the fork state.
+  {
+    ScopedStageTimer t(metrics.stages, "routability_opt");
+    estimator_->estimate_incremental();
+  }
+  metrics.hpwl_gp = design_.total_hpwl();
+  metrics.estimation = estimator_->incremental_stats();
+  metrics.runtime_s = total.elapsed_seconds();
+  PUFFER_LOG_INFO(kTag,
+                  "prefix done in %.1fs at overflow %.3f (iter %d), hpwl %.4g",
+                  metrics.runtime_s, engine.density_overflow(),
+                  engine.iteration(), metrics.hpwl_gp);
 
+  if (out) {
+    out->design_key = design_structure_key(design_);
+    out->prefix_key = prefix_key(fork_overflow);
+    out->fork_overflow = fork_overflow;
+    const std::size_t n = design_.cells.size();
+    out->x.resize(n);
+    out->y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out->x[i] = design_.cells[i].x;
+      out->y[i] = design_.cells[i].y;
+    }
+    out->padding.clear();  // the fork precedes every padding round
+    out->rng_key = rng.key();
+    out->rng_counter = rng.counter();
+    out->congestion_fingerprint = estimator_->config_fingerprint();
+    out->ledger_blob = estimator_->save_incremental_state();
+  }
+  return metrics;
+}
+
+FlowMetrics PufferFlow::run_from(const FlowSnapshot& snapshot,
+                                 const RoundCallback& cb) {
+  return run_internal(&snapshot, cb);
+}
+
+FlowMetrics PufferFlow::run_internal(const FlowSnapshot* snapshot,
+                                     const RoundCallback& cb) {
+  FlowMetrics metrics;
+  Timer total;
+  if (config_.num_threads > 0) par::set_num_threads(config_.num_threads);
+
+  if (snapshot == nullptr) {
+    ScopedStageTimer t(metrics.stages, "initial_place");
+    initial_place(design_, config_.init);
+  } else {
+    ScopedStageTimer t(metrics.stages, "restore");
+    if (snapshot->design_key != design_structure_key(design_)) {
+      throw CheckpointError("flow: snapshot was taken from a different design");
+    }
+    if (snapshot->x.size() != design_.cells.size()) {
+      throw CheckpointError("flow: snapshot cell count disagrees with design");
+    }
+    for (std::size_t i = 0; i < design_.cells.size(); ++i) {
+      design_.cells[i].x = snapshot->x[i];
+      design_.cells[i].y = snapshot->y[i];
+    }
+  }
+
+  // The placement engine reads the design's (restored) positions at
+  // construction, so the Nesterov state restarts at the fork boundary —
+  // identically for an in-memory and an on-disk snapshot.
   EPlaceEngine engine(design_, config_.gp);
   PaddingEngine padder(design_, engine.movable_cells(), config_.padding);
   // One estimator for all padding rounds: its demand ledger and topology
   // cache carry over, so each round pays only for the nets that moved.
   estimator_ = std::make_unique<CongestionEstimator>(design_, config_.congestion);
+  if (snapshot != nullptr) {
+    ScopedStageTimer t(metrics.stages, "restore");
+    if (!snapshot->padding.empty()) {
+      engine.set_padding(snapshot->padding);
+    }
+    // The ledger is a pure warm start: restore it only when it was built
+    // under this flow's congestion config, else stay cold (full rebuild on
+    // the first round — bit-identical results either way, see PR-2).
+    if (!snapshot->ledger_blob.empty() &&
+        snapshot->congestion_fingerprint == estimator_->config_fingerprint()) {
+      estimator_->restore_incremental_state(snapshot->ledger_blob);
+    }
+  }
 
   // Global placement with interleaved routability optimization.
+  int round = 0;
   {
     ScopedStageTimer t(metrics.stages, "global_place");
     while (true) {
@@ -38,6 +146,13 @@ FlowMetrics PufferFlow::run() {
       if (!padder.should_trigger(engine.density_overflow())) break;
       ScopedStageTimer t2(metrics.stages, "routability_opt");
       const CongestionResult congestion = estimator_->estimate_incremental();
+      const OverflowStats est_of = compute_overflow(congestion.maps);
+      metrics.round_est_overflow.push_back(est_of.total_pct());
+      if (cb && !cb(round, est_of)) {
+        metrics.aborted_early = true;
+        break;
+      }
+      ++round;
       const IncrementalStats& est = estimator_->incremental_stats();
       const std::vector<double>& pad = padder.update(congestion);
       engine.set_padding(pad);
@@ -56,10 +171,24 @@ FlowMetrics PufferFlow::run() {
       }
       engine.sync_to_design();
     }
-    engine.run_to_overflow(config_.final_overflow);
+    if (!metrics.aborted_early) {
+      engine.run_to_overflow(config_.final_overflow);
+    }
   }
   metrics.hpwl_gp = design_.total_hpwl();
   metrics.padding_rounds = padder.rounds();
+
+  if (metrics.aborted_early) {
+    // Pruned session: no final convergence, no legalization. The design
+    // holds the mid-flow positions; the orchestrator only reads the
+    // per-round overflow trail and the deterministic penalty loss.
+    metrics.runtime_s = total.elapsed_seconds();
+    metrics.estimation = estimator_->incremental_stats();
+    metrics.rsmt_cache_hit_rate = estimator_->tree_cache().hit_rate();
+    PUFFER_LOG_INFO(kTag, "flow aborted by round callback after round %d",
+                    round);
+    return metrics;
+  }
 
   // White-space-assisted legalization: inherit the GP padding.
   {

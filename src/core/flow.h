@@ -17,13 +17,17 @@
 // a neutral evaluator.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "congestion/estimator.h"
 #include "dp/detailed_place.h"
 #include "gp/engine.h"
 #include "gp/initial_place.h"
+#include "io/checkpoint.h"
 #include "legal/abacus.h"
 #include "legal/discrete_padding.h"
 #include "legal/legality.h"
@@ -62,6 +66,23 @@ struct RouterStageMetrics {
   int rounds_used = 0;
 };
 
+// Orchestration-stage metrics: filled by the trial orchestrator
+// (src/orchestrate/) on the best trial's FlowMetrics so the experiment
+// CSV carries exploration observability next to the router/legalization
+// stage numbers. All-zero for a plain (non-orchestrated) flow.
+struct OrchestratorStageMetrics {
+  int trials_run = 0;      // sessions evaluated to completion
+  int trials_pruned = 0;   // sessions stopped by the early-stop rule
+  int trials_resumed = 0;  // completed trials replayed from the journal
+  double checkpoint_save_s = 0.0;     // snapshot encode+write wall time
+  double checkpoint_restore_s = 0.0;  // snapshot read+decode (summed)
+  // Busy-worker fraction of the trial phase: sum of session wall times /
+  // (elapsed wall time x concurrency).
+  double scheduler_utilization = 0.0;
+  double prefix_s = 0.0;  // shared-prefix wall time (or restore time)
+  double trials_s = 0.0;  // wall time of the concurrent trial phase
+};
+
 struct FlowMetrics {
   double hpwl_gp = 0.0;      // after global placement
   double hpwl_legal = 0.0;   // after legalization
@@ -80,7 +101,22 @@ struct FlowMetrics {
   // DetailedPlaceResult). dp is all-zero unless run_dp is set.
   LegalizeResult legalize;
   DetailedPlaceResult dp;
+  // Estimated total overflow (%) after each padding-round congestion
+  // estimate, in round order — the rung metrics the early-stop pruner
+  // reads.
+  std::vector<double> round_est_overflow;
+  // True when a round callback stopped the flow before final convergence
+  // (the session was pruned; legalization was skipped).
+  bool aborted_early = false;
+  OrchestratorStageMetrics orchestrator;
 };
+
+// Per-padding-round progress hook for run_from(): called after each
+// round's congestion estimate with the round index (0-based) and the
+// estimated overflow. Returning false aborts the flow (skipping final
+// convergence and legalization) — the early-stop pruning mechanism.
+using RoundCallback =
+    std::function<bool(int round, const OverflowStats& est)>;
 
 class PufferFlow {
  public:
@@ -88,6 +124,36 @@ class PufferFlow {
 
   // Runs the full flow; the design's cell positions are the result.
   FlowMetrics run();
+
+  // --- staged flow (trial orchestration; see docs/architecture.md) ----
+  //
+  // run_prefix() executes the trial-invariant part of the flow — initial
+  // placement plus global placement down to `fork_overflow` — and then
+  // warms the congestion ledger with one estimate. It captures the fork
+  // state (positions, RNG stream, serialized ledger) into *out.
+  // `fork_overflow` must be >= the largest padding trigger tau any
+  // continuation will use, so no padding round ever lands in the prefix.
+  //
+  // run_from() restores the fork state and runs the rest of the flow:
+  // a fresh placement engine (the Nesterov state restarts from the
+  // restored positions at the boundary — the staged contract), the
+  // padding loop, final convergence and legalization. `cb` (optional)
+  // is the per-round pruning hook.
+  //
+  // Bit-identity contract: run_from(s) produces identical results
+  // whether `s` came from run_prefix() in the same process or through
+  // save_snapshot()/load_snapshot() on disk — the codec is bit-exact and
+  // the restore path is the same either way. Identical across
+  // PUFFER_THREADS like every other kernel.
+  FlowMetrics run_prefix(double fork_overflow, const RngStream& rng,
+                         FlowSnapshot* out);
+  FlowMetrics run_from(const FlowSnapshot& snapshot,
+                       const RoundCallback& cb = nullptr);
+
+  // Hash of the prefix-relevant configuration (initial placement, GP,
+  // fork point). Trials may only fork from a snapshot whose prefix_key
+  // matches their own flow config.
+  std::uint64_t prefix_key(double fork_overflow) const;
 
   // The flow's congestion estimator (valid after run(); null before).
   // Exposed so the evaluation router can warm-start from the flow's RSMT
@@ -100,6 +166,11 @@ class PufferFlow {
   IncrementalLegalizer& legalizer() { return legalizer_; }
 
  private:
+  // Shared body of run() / run_from(): `snapshot` non-null restores the
+  // fork state instead of running initial placement.
+  FlowMetrics run_internal(const FlowSnapshot* snapshot,
+                           const RoundCallback& cb);
+
   Design& design_;
   PufferConfig config_;
   // Owned by the flow so the demand ledger and topology cache persist

@@ -1,7 +1,9 @@
 #include "explore/strategy_explorer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "common/logger.h"
 #include "common/parallel.h"
@@ -12,9 +14,40 @@ namespace {
 constexpr const char* kTag = "explore";
 }
 
+ExploreConfig validate_explore_config(ExploreConfig config) {
+  if (config.time_limit < 1) {
+    throw std::invalid_argument(
+        "ExploreConfig.time_limit must be a positive trial count");
+  }
+  if (config.early_stop < 1) {
+    throw std::invalid_argument("ExploreConfig.early_stop must be positive");
+  }
+  if (config.outer_rounds < 1) {
+    throw std::invalid_argument("ExploreConfig.outer_rounds must be positive");
+  }
+  if (config.batch_size < 1) {
+    throw std::invalid_argument("ExploreConfig.batch_size must be >= 1");
+  }
+  if (!std::isfinite(config.tpe.gamma) || config.tpe.gamma <= 0.0 ||
+      config.tpe.gamma >= 1.0) {
+    throw std::invalid_argument(
+        "ExploreConfig.tpe.gamma (good-set quantile) must lie in (0, 1)");
+  }
+  if (config.tpe.n_candidates < 1) {
+    throw std::invalid_argument(
+        "ExploreConfig.tpe.n_candidates must be positive");
+  }
+  if (config.tpe.n_startup < 0) {
+    throw std::invalid_argument(
+        "ExploreConfig.tpe.n_startup must be non-negative");
+  }
+  return config;
+}
+
 ParamExplorationOutcome explore_parameters(const std::vector<ParamSpec>& specs,
                                            const EvalFn& eval,
-                                           const ExploreConfig& config) {
+                                           const ExploreConfig& raw_config) {
+  const ExploreConfig config = validate_explore_config(raw_config);
   ParamExplorationOutcome out;
   out.best_loss = std::numeric_limits<double>::max();
   TpeSampler sampler(specs, config.tpe, config.seed);
@@ -71,7 +104,7 @@ StrategyExplorer::StrategyExplorer(std::vector<ParamSpec> specs,
     : specs_(std::move(specs)),
       groups_(std::move(groups)),
       eval_(std::move(eval)),
-      config_(config) {
+      config_(validate_explore_config(config)) {
   best_.loss = std::numeric_limits<double>::max();
   // Complete the grouping with singleton groups for uncovered indices.
   std::vector<bool> covered(specs_.size(), false);

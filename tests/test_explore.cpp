@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -299,6 +300,69 @@ TEST(Algorithm3, SingletonGroupsAddedForUncoveredParams) {
                             [](const Assignment& a) { return a[0] + a[1]; }, cfg);
   explorer.run();
   EXPECT_GE(explorer.history().size(), 8u);
+}
+
+TEST(ValidateExploreConfig, AcceptsDefaultsAndReturnsThemUnchanged) {
+  const ExploreConfig def;
+  const ExploreConfig v = validate_explore_config(def);
+  EXPECT_EQ(v.time_limit, def.time_limit);
+  EXPECT_EQ(v.early_stop, def.early_stop);
+  EXPECT_EQ(v.batch_size, def.batch_size);
+  EXPECT_DOUBLE_EQ(v.tpe.gamma, def.tpe.gamma);
+}
+
+TEST(ValidateExploreConfig, RejectsNonPositiveTimeLimit) {
+  ExploreConfig cfg;
+  cfg.time_limit = 0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+  cfg.time_limit = -3;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateExploreConfig, RejectsNonPositiveEarlyStop) {
+  ExploreConfig cfg;
+  cfg.early_stop = 0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateExploreConfig, RejectsNonPositiveOuterRounds) {
+  ExploreConfig cfg;
+  cfg.outer_rounds = 0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateExploreConfig, RejectsBatchSizeBelowOne) {
+  ExploreConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateExploreConfig, RejectsGammaOutsideOpenUnitInterval) {
+  ExploreConfig cfg;
+  cfg.tpe.gamma = 0.0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+  cfg.tpe.gamma = 1.0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+  cfg.tpe.gamma = std::nan("");
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateExploreConfig, RejectsBadCandidateCounts) {
+  ExploreConfig cfg;
+  cfg.tpe.n_candidates = 0;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+  cfg.tpe.n_candidates = 24;
+  cfg.tpe.n_startup = -1;
+  EXPECT_THROW(validate_explore_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateExploreConfig, ExplorerEntryPointsValidate) {
+  const std::vector<ParamSpec> specs{{"a", ParamKind::kContinuous, 0.0, 1.0}};
+  const EvalFn eval = [](const Assignment& a) { return a[0]; };
+  ExploreConfig bad;
+  bad.batch_size = -1;
+  EXPECT_THROW(explore_parameters(specs, eval, bad), std::invalid_argument);
+  EXPECT_THROW(StrategyExplorer(specs, {}, eval, bad), std::invalid_argument);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -306,6 +308,88 @@ TEST_F(ParallelTest, DisabledCacheAlwaysRebuilds) {
   est.estimate();
   est.estimate();
   EXPECT_EQ(est.tree_cache().hits(), 0u);
+}
+
+TEST_F(ParallelTest, WorkerLeaseRespectsBudget) {
+  par::set_num_threads(4);
+  EXPECT_EQ(par::lease_budget_available(), 4);
+  {
+    par::WorkerLease a(3);
+    EXPECT_EQ(a.workers(), 3);
+    EXPECT_EQ(par::lease_budget_available(), 1);
+    {
+      // The budget is exhausted down to the owning thread: a second lease
+      // on this thread's remaining budget gets only itself.
+      par::WorkerLease b(3);
+      EXPECT_EQ(b.workers(), 1);
+      EXPECT_EQ(par::lease_budget_available(), 0);
+    }
+    EXPECT_EQ(par::lease_budget_available(), 1);
+  }
+  EXPECT_EQ(par::lease_budget_available(), 4);
+
+  // A lease can never be granted less than the owning thread itself,
+  // even from an empty budget.
+  par::set_num_threads(1);
+  par::WorkerLease c(8);
+  EXPECT_EQ(c.workers(), 1);
+}
+
+TEST_F(ParallelTest, WorkerLeaseDoesNotChangeResults) {
+  // Identical fold result with and without a lease, for several grants:
+  // the lease only moves where chunks execute.
+  const std::int64_t n = 10007;
+  const auto fold = [&] {
+    return par::parallel_reduce(
+        0, n, 64, 0.0,
+        [](std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i) {
+            s += std::sin(static_cast<double>(i)) * 1e-3;
+          }
+          return s;
+        });
+  };
+  par::set_num_threads(4);
+  const double base = fold();
+  for (const int want : {1, 2, 4}) {
+    par::WorkerLease lease(want);
+    const double leased = fold();
+    EXPECT_EQ(leased, base);
+  }
+}
+
+TEST_F(ParallelTest, ConcurrentLeasedSessionsMatchSerial) {
+  // K threads, each holding a lease and running the same deterministic
+  // kernel, produce exactly the serial result.
+  par::set_num_threads(4);
+  const std::int64_t n = 4096;
+  const auto kernel = [&](std::uint64_t salt) {
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(n), 0);
+    par::parallel_for(0, n, 32, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t i = b; i < e; ++i) {
+        std::uint64_t h = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+        h ^= salt + (h >> 29);
+        out[static_cast<std::size_t>(i)] = h * 0xbf58476d1ce4e5b9ULL;
+      }
+    });
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : out) sum += v;
+    return sum;
+  };
+  std::vector<std::uint64_t> serial(4);
+  for (std::uint64_t s = 0; s < 4; ++s) serial[s] = kernel(s);
+
+  std::vector<std::uint64_t> concurrent(4);
+  std::vector<std::thread> threads;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    threads.emplace_back([&, s] {
+      par::WorkerLease lease(2);
+      concurrent[s] = kernel(s);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(concurrent, serial);
 }
 
 }  // namespace
