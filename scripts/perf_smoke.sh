@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf-smoke gate for the SoA global-placement core.
+#
+# Runs bench_parallel_hotpaths at a small PUFFER_SCALE and checks the
+# determinism evidence it emits:
+#
+#   1. bit_identical must be "yes" -- the final placement checksum agrees
+#      across PUFFER_THREADS 1/2/8, with PUFFER_SIMD off, and with the
+#      legacy scalar kernels, all within this run (machine-independent).
+#   2. Every checksum_* field must equal the committed reference, so a
+#      placement-changing regression cannot land silently even if it
+#      changes all configurations consistently. The reference is tied to
+#      the CI toolchain (x86-64, gcc/glibc): libm differences move the
+#      bits legitimately. After an intentional numeric change, or a
+#      toolchain bump, regenerate with:
+#
+#        PUFFER_SCALE=512 PUFFER_THREADS=8 ./build/bench/bench_parallel_hotpaths
+#        grep -E '"(checksum_|bit_identical)' \
+#            bench_results/BENCH_parallel_hotpaths.json \
+#            > bench_results/REFERENCE_perf_smoke_checksums.txt
+#
+# Timings in the JSON are informational at smoke scale (CI machines are
+# noisy); the full-scale numbers live in the committed BENCH_*.json.
+#
+# Usage: scripts/perf_smoke.sh  [BUILD_DIR=build] [PUFFER_SCALE=512]
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SCALE="${PUFFER_SCALE:-512}"
+BIN="$BUILD_DIR/bench/bench_parallel_hotpaths"
+OUT="bench_results/BENCH_parallel_hotpaths.json"
+REF="bench_results/REFERENCE_perf_smoke_checksums.txt"
+
+if [ ! -x "$BIN" ]; then
+  echo "missing $BIN -- build the repo first" >&2
+  exit 2
+fi
+if [ ! -f "$REF" ]; then
+  echo "missing reference $REF -- see the regeneration command above" >&2
+  exit 2
+fi
+
+# The bench overwrites the committed full-scale JSON; keep a copy so the
+# smoke run leaves the checkout clean.
+SAVED=""
+if [ -f "$OUT" ]; then
+  SAVED="$(mktemp)"
+  cp "$OUT" "$SAVED"
+fi
+restore() { [ -n "$SAVED" ] && mv "$SAVED" "$OUT" || true; }
+
+echo "== bench_parallel_hotpaths (PUFFER_SCALE=$SCALE, PUFFER_THREADS=8) =="
+PUFFER_SCALE="$SCALE" PUFFER_THREADS=8 "$BIN"
+
+GOT="$(mktemp)"
+grep -E '"(checksum_|bit_identical)' "$OUT" > "$GOT"
+mkdir -p bench_results
+cp "$GOT" bench_results/perf_smoke_checksums.txt  # CI artifact
+restore
+
+if ! grep -q '"bit_identical": "yes"' "$GOT"; then
+  echo "FAIL: run is not bit-identical across threads/SIMD/kernel paths:"
+  cat "$GOT"
+  exit 1
+fi
+if ! diff -u "$REF" "$GOT"; then
+  echo "FAIL: checksum_* fields differ from the committed reference $REF."
+  echo "If the numeric change is intentional, regenerate the reference"
+  echo "(command in the header of this script) and commit it."
+  exit 1
+fi
+echo "PASS: bit-identical run, checksums match the committed reference"

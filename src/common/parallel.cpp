@@ -16,6 +16,18 @@ namespace {
 // that are busy running its parent.
 thread_local bool t_in_parallel = false;
 
+// Warm-spin budget: -1 = auto policy (see set_warm_spin_iters).
+std::atomic<int> g_warm_spin_iters{-1};
+constexpr int kDefaultWarmSpinIters = 4000;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 // One dispatch: workers claim chunk indices with fetch_add on `next` and
 // signal completion through `done`. The job is published via shared_ptr
 // so a late-waking worker can never apply a stale counter to a new job.
@@ -31,7 +43,7 @@ struct Job {
 
 class Pool {
  public:
-  explicit Pool(int workers) {
+  explicit Pool(int workers) : workers_(workers) {
     threads_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
       threads_.emplace_back([this] { worker_loop(); });
@@ -43,6 +55,7 @@ class Pool {
       std::lock_guard<std::mutex> lock(m_);
       stop_ = true;
     }
+    seq_.fetch_add(1, std::memory_order_release);  // break warm spins
     cv_work_.notify_all();
     for (std::thread& t : threads_) t.join();
   }
@@ -52,6 +65,7 @@ class Pool {
       std::lock_guard<std::mutex> lock(m_);
       job_ = job;
     }
+    seq_.fetch_add(1, std::memory_order_release);
     cv_work_.notify_all();
     exec(*job);
     std::unique_lock<std::mutex> lock(m_);
@@ -59,7 +73,24 @@ class Pool {
     job_.reset();
   }
 
+  // Keep-warm counter (see KeepWarmScope). Relaxed is fine: the spin is
+  // an optimization; missing an increment only means one extra park.
+  void warm_enter() { warm_.fetch_add(1, std::memory_order_relaxed); }
+  void warm_exit() { warm_.fetch_sub(1, std::memory_order_relaxed); }
+
+  int workers() const { return workers_; }
+
  private:
+  // Effective spin budget for this pool under the current policy.
+  int warm_spin_budget() const {
+    const int pinned = g_warm_spin_iters.load(std::memory_order_relaxed);
+    if (pinned >= 0) return pinned;
+    const unsigned hw = std::thread::hardware_concurrency();
+    // workers_ pool threads + the dispatching caller must all fit on the
+    // hardware, else spinning steals cycles from whoever has real work.
+    if (hw != 0 && static_cast<unsigned>(workers_) + 1 > hw) return 0;
+    return kDefaultWarmSpinIters;
+  }
   void exec(Job& j) {
     for (;;) {
       const int c = j.next.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +107,18 @@ class Pool {
   }
 
   void worker_loop() {
+    std::uint64_t seen = 0;
     for (;;) {
+      // Warm spin: watch the job sequence counter for a bounded number of
+      // pause iterations before falling back to the parked cv wait. The
+      // counter also bumps on shutdown, so the spin always terminates.
+      if (warm_.load(std::memory_order_relaxed) > 0) {
+        const int budget = warm_spin_budget();
+        for (int i = 0; i < budget; ++i) {
+          if (seq_.load(std::memory_order_acquire) != seen) break;
+          cpu_pause();
+        }
+      }
       std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock(m_);
@@ -85,6 +127,7 @@ class Pool {
         });
         if (stop_) return;
         job = job_;
+        seen = seq_.load(std::memory_order_relaxed);
       }
       if (job) exec(*job);
     }
@@ -96,6 +139,9 @@ class Pool {
   std::shared_ptr<Job> job_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  const int workers_;
+  std::atomic<int> warm_{0};
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 std::mutex g_cfg_mutex;
@@ -172,6 +218,29 @@ int lease_budget_available() {
   std::lock_guard<std::mutex> lock(g_cfg_mutex);
   if (g_threads == 0) configure_locked(0);
   return g_lease_available;
+}
+
+KeepWarmScope::KeepWarmScope() {
+  // Warm the pool this thread's parallel_for calls dispatch to: the
+  // lease's private pool when a lease is held, else the shared pool.
+  Pool* pool = nullptr;
+  if (t_lease_held) {
+    pool = t_lease_pool;
+  } else {
+    std::lock_guard<std::mutex> lock(g_cfg_mutex);
+    if (g_threads == 0) configure_locked(0);
+    pool = g_pool.get();
+  }
+  if (pool) pool->warm_enter();
+  pool_ = static_cast<void*>(pool);
+}
+
+KeepWarmScope::~KeepWarmScope() {
+  if (pool_) static_cast<Pool*>(pool_)->warm_exit();
+}
+
+void set_warm_spin_iters(int n) {
+  g_warm_spin_iters.store(n < 0 ? -1 : n, std::memory_order_relaxed);
 }
 
 int chunk_count(std::int64_t n, std::int64_t grain, int max_chunks) {

@@ -84,6 +84,39 @@ class WorkerLease {
 // none are held. Exposed for tests and scheduler metrics.
 int lease_budget_available();
 
+// Scoped keep-warm region (spin-then-park) for kernel-dense loops.
+//
+// Between two parallel_for calls the pool workers normally park on a
+// condition variable; a tight kernel sequence (the Nesterov iteration
+// runs half a dozen kernels back to back) then pays a futex wake per
+// kernel. While a KeepWarmScope is alive, idle workers of the pool that
+// dispatched the last job spin for a bounded number of pause iterations
+// watching the job sequence counter before parking, so back-to-back
+// kernels usually find them already running. Scopes nest (a counter);
+// they never change results -- the chunk decomposition and fold orders
+// are unaffected -- and the spin auto-disables when the pool is
+// oversubscribed (more workers than hardware cores), where spinning
+// would steal cycles from the thread doing the serial glue work.
+// Do not call set_num_threads() while a scope is alive (same rule as
+// WorkerLease: the scope pins the pool it warmed).
+class KeepWarmScope {
+ public:
+  KeepWarmScope();
+  ~KeepWarmScope();
+  KeepWarmScope(const KeepWarmScope&) = delete;
+  KeepWarmScope& operator=(const KeepWarmScope&) = delete;
+
+ private:
+  void* pool_ = nullptr;  // pool whose warm counter we hold (may be null)
+};
+
+// Spin budget (pause iterations) an idle warm worker burns before
+// parking. n >= 0 pins the budget (0 disables spinning even inside a
+// KeepWarmScope); n < 0 restores the default policy: a few thousand
+// iterations, or 0 when the pool oversubscribes the hardware. Tests use
+// this to force the spin path under TSAN regardless of core count.
+void set_warm_spin_iters(int n);
+
 // Maps each chunk to a partial value and folds the partials with += in
 // ascending chunk order. MapFn: T(std::int64_t chunk_begin, chunk_end).
 template <typename T, typename MapFn>

@@ -1,0 +1,44 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace puffer::simd {
+namespace {
+
+#ifndef PUFFER_SIMD_DEFAULT
+#define PUFFER_SIMD_DEFAULT 1
+#endif
+
+bool initial_enabled() {
+  if (const char* env = std::getenv("PUFFER_SIMD")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+      return false;
+    }
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) {
+      return true;
+    }
+  }
+  return PUFFER_SIMD_DEFAULT != 0;
+}
+
+std::atomic<bool> g_enabled{initial_enabled()};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const char* active_isa() {
+#if PUFFER_SIMD_SSE2
+  return enabled() ? "sse2" : "scalar";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace puffer::simd

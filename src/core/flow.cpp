@@ -60,6 +60,7 @@ FlowMetrics PufferFlow::run_prefix(double fork_overflow, const RngStream& rng,
     estimator_->estimate_incremental();
   }
   metrics.hpwl_gp = design_.total_hpwl();
+  metrics.gp_kernels.add(engine.kernel_times());
   metrics.estimation = estimator_->incremental_stats();
   metrics.runtime_s = total.elapsed_seconds();
   PUFFER_LOG_INFO(kTag,
@@ -177,6 +178,15 @@ FlowMetrics PufferFlow::run_internal(const FlowSnapshot* snapshot,
   }
   metrics.hpwl_gp = design_.total_hpwl();
   metrics.padding_rounds = padder.rounds();
+  metrics.gp_kernels.add(engine.kernel_times());
+  {
+    const GpKernelTimes& k = metrics.gp_kernels;
+    PUFFER_LOG_INFO(kTag,
+                    "gp kernels: wl %.2fs density %.2fs poisson %.2fs "
+                    "assemble %.2fs nesterov %.2fs (%d evals, %d iters)",
+                    k.wirelength_s, k.density_s, k.poisson_s, k.assemble_s,
+                    k.nesterov_s, k.gradient_evals, k.iterations);
+  }
 
   if (metrics.aborted_early) {
     // Pruned session: no final convergence, no legalization. The design

@@ -109,6 +109,10 @@ struct FlowMetrics {
   // (the session was pruned; legalization was skipped).
   bool aborted_early = false;
   OrchestratorStageMetrics orchestrator;
+  // Per-kernel wall-time breakdown of the global-placement Nesterov loop
+  // (wirelength gradient, density rasterization, Poisson solve, gradient
+  // assembly, step updates).
+  GpKernelTimes gp_kernels;
 };
 
 // Per-padding-round progress hook for run_from(): called after each

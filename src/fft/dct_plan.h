@@ -1,0 +1,92 @@
+// Preplanned, allocation-free 2D cosine/sine transforms.
+//
+// The free functions in dct.h recompute twiddle factors and allocate
+// several vectors per line transform; fine for one-off use, but the
+// electrostatic solver runs three 2D inverse evaluations plus a forward
+// spectrum per Nesterov gradient -- thousands of times per flow. A
+// DctPlan2D hoists everything reusable out of the loop:
+//
+//   * bit-reversal permutations and per-stage FFT twiddle tables (built
+//     with the same recurrence the free fft() uses, so every transform
+//     is bit-identical to its dct.h counterpart);
+//   * the DCT-II / DCT-III boundary rotations exp(+-i*pi*k/(2N));
+//   * per-chunk line scratch, the row-major intermediate, and the tiled
+//     transpose buffers -- so a transform performs no heap allocation
+//     after the first call.
+//
+// The column pass runs on a blocked transpose of the row-pass output
+// (contiguous lines instead of stride-nx gathers), then transposes back.
+// Both passes fan out per line with the deterministic chunk
+// decomposition; chunk c writes only its own lines and scratch, so
+// results are worker-count independent.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace puffer {
+
+class DctPlan2D {
+ public:
+  // nx, ny: grid sizes, powers of two. Throws std::invalid_argument
+  // otherwise (same contract as the free transforms).
+  DctPlan2D(std::size_t nx, std::size_t ny);
+
+  // Each transform reads `in` (size nx*ny, row-major, x fastest) and
+  // writes `out` (resized to nx*ny). `in` and `out` may alias.
+  // Semantics match the same-named free functions in dct.h bit-for-bit.
+  void dct2_2d(const std::vector<double>& in, std::vector<double>& out) const;
+  void dct3_raw_2d(const std::vector<double>& in,
+                   std::vector<double>& out) const;
+  void idxst_dct3_2d(const std::vector<double>& in,
+                     std::vector<double>& out) const;
+  void dct3_idxst_2d(const std::vector<double>& in,
+                     std::vector<double>& out) const;
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+ private:
+  using cd = std::complex<double>;
+
+  // 1D machinery for one line length.
+  struct LinePlan {
+    std::size_t n = 0;
+    std::vector<std::uint32_t> bitrev;
+    std::vector<cd> tw_fwd, tw_inv;  // per-stage twiddles, concatenated
+    std::vector<cd> rot_fwd;         // exp(-i*pi*k/(2N)) (DCT-II output)
+    std::vector<cd> rot_inv;         // exp(+i*pi*k/(2N)) (IDCT input)
+  };
+
+  // Per-chunk line scratch (complex workspace + a staging line).
+  struct Scratch {
+    std::vector<cd> v;
+    std::vector<double> line;
+  };
+
+  enum class LineOp { kDct2, kDct3, kIdxst };
+
+  static LinePlan make_line_plan(std::size_t n);
+  static void fft_line(cd* a, const LinePlan& p, bool invert);
+  static void dct2_line(const double* x, double* out, const LinePlan& p,
+                        Scratch& s);
+  static void dct3_line(const double* X, double* out, const LinePlan& p,
+                        Scratch& s);
+  static void idxst_line(const double* X, double* out, const LinePlan& p,
+                         Scratch& s);
+
+  // Applies `op_x` along x then `op_y` along y (via transpose).
+  void apply(const std::vector<double>& in, std::vector<double>& out,
+             LineOp op_x, LineOp op_y) const;
+  void run_lines(const double* in, double* out, std::size_t n_lines,
+                 const LinePlan& p, LineOp op) const;
+
+  std::size_t nx_, ny_;
+  LinePlan px_, py_;
+  mutable std::vector<Scratch> scratch_;  // indexed by chunk id
+  mutable std::vector<double> tmp_, tr_, tr2_;
+};
+
+}  // namespace puffer

@@ -3,6 +3,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "fft/dct.h"
 #include "fft/fft.h"
 
@@ -10,16 +11,43 @@ namespace puffer {
 
 ElectrostaticSystem::ElectrostaticSystem(int nx, int ny, double w, double h)
     : nx_(nx), ny_(ny),
-      wx_scale_(std::numbers::pi / w),
-      wy_scale_(std::numbers::pi / h),
+      plan_(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny)),
       psi_(nx, ny), ex_(nx, ny), ey_(nx, ny) {
-  if (!is_pow2(static_cast<std::size_t>(nx)) ||
-      !is_pow2(static_cast<std::size_t>(ny))) {
-    throw std::invalid_argument("ElectrostaticSystem: bins must be powers of 2");
-  }
   if (w <= 0.0 || h <= 0.0) {
     throw std::invalid_argument("ElectrostaticSystem: bad extents");
   }
+  const std::size_t snx = static_cast<std::size_t>(nx_);
+  const std::size_t sny = static_cast<std::size_t>(ny_);
+  const double wx_scale = std::numbers::pi / w;
+  const double wy_scale = std::numbers::pi / h;
+
+  // Orthogonality scale for the inverse evaluation: (2/M)(2/N) c_u c_v,
+  // with c_0 = 1/2, folded together with 1/(wu^2+wv^2) into one
+  // per-mode weight so the raw inverse transforms apply no weights.
+  const double base = 4.0 / (static_cast<double>(nx_) * static_cast<double>(ny_));
+  w_psi_.assign(snx * sny, 0.0);
+  wu_.resize(snx);
+  wv_.resize(sny);
+  for (std::size_t u = 0; u < snx; ++u) {
+    wu_[u] = wx_scale * static_cast<double>(u);
+  }
+  for (std::size_t v = 0; v < sny; ++v) {
+    wv_[v] = wy_scale * static_cast<double>(v);
+  }
+  for (std::size_t v = 0; v < sny; ++v) {
+    for (std::size_t u = 0; u < snx; ++u) {
+      if (u == 0 && v == 0) continue;  // DC mode carries no force
+      const double w2 = wu_[u] * wu_[u] + wv_[v] * wv_[v];
+      double s = base;
+      if (u == 0) s *= 0.5;
+      if (v == 0) s *= 0.5;
+      w_psi_[v * snx + u] = s / w2;
+    }
+  }
+  a_.resize(snx * sny);
+  c_psi_.resize(snx * sny);
+  c_ex_.resize(snx * sny);
+  c_ey_.resize(snx * sny);
 }
 
 void ElectrostaticSystem::solve(const Map2D<double>& density) {
@@ -30,39 +58,51 @@ void ElectrostaticSystem::solve(const Map2D<double>& density) {
   const std::size_t sny = static_cast<std::size_t>(ny_);
 
   // Forward spectrum of the density.
-  const std::vector<double> a = dct2_2d(density.raw(), snx, sny);
-
-  // Orthogonality scale for the inverse evaluation: (2/M)(2/N) c_u c_v,
-  // with c_0 = 1/2 (folded into the coefficient arrays so the raw
-  // inverse transforms apply no weights).
-  const double base = 4.0 / (static_cast<double>(nx_) * static_cast<double>(ny_));
-  std::vector<double> c_psi(snx * sny, 0.0);
-  std::vector<double> c_ex(snx * sny, 0.0);
-  std::vector<double> c_ey(snx * sny, 0.0);
-  for (std::size_t v = 0; v < sny; ++v) {
-    const double wv = wy_scale_ * static_cast<double>(v);
-    for (std::size_t u = 0; u < snx; ++u) {
-      if (u == 0 && v == 0) continue;  // DC mode carries no force
-      const double wu = wx_scale_ * static_cast<double>(u);
-      const double w2 = wu * wu + wv * wv;
-      double s = base;
-      if (u == 0) s *= 0.5;
-      if (v == 0) s *= 0.5;
-      const double coeff = s * a[v * snx + u] / w2;
-      c_psi[v * snx + u] = coeff;
-      c_ex[v * snx + u] = coeff * wu;
-      c_ey[v * snx + u] = coeff * wv;
-    }
+  if (legacy_) {
+    a_ = puffer::dct2_2d(density.raw(), snx, sny);
+  } else {
+    plan_.dct2_2d(density.raw(), a_);
   }
 
-  psi_.raw() = dct3_raw_2d(c_psi, snx, sny);
-  ex_.raw() = idxst_dct3_2d(c_ex, snx, sny);
-  ey_.raw() = dct3_idxst_2d(c_ey, snx, sny);
+  // Weight the spectrum for the three inverse evaluations. Rows are
+  // independent (disjoint writes), so the loop fans out over v.
+  par::parallel_for(
+      0, static_cast<std::int64_t>(sny), 8,
+      [&](std::int64_t vb, std::int64_t ve, int) {
+        for (std::int64_t vi = vb; vi < ve; ++vi) {
+          const std::size_t v = static_cast<std::size_t>(vi);
+          const double wvv = wv_[v];
+          const std::size_t row = v * snx;
+          for (std::size_t u = 0; u < snx; ++u) {
+            const double coeff = w_psi_[row + u] * a_[row + u];
+            c_psi_[row + u] = coeff;
+            c_ex_[row + u] = coeff * wu_[u];
+            c_ey_[row + u] = coeff * wvv;
+          }
+        }
+      });
 
-  energy_ = 0.0;
-  for (std::size_t i = 0; i < snx * sny; ++i) {
-    energy_ += density.raw()[i] * psi_.raw()[i];
+  if (legacy_) {
+    psi_.raw() = puffer::dct3_raw_2d(c_psi_, snx, sny);
+    ex_.raw() = puffer::idxst_dct3_2d(c_ex_, snx, sny);
+    ey_.raw() = puffer::dct3_idxst_2d(c_ey_, snx, sny);
+  } else {
+    plan_.dct3_raw_2d(c_psi_, psi_.raw());
+    plan_.idxst_dct3_2d(c_ex_, ex_.raw());
+    plan_.dct3_idxst_2d(c_ey_, ey_.raw());
   }
+
+  // Chunk-ordered fold keeps the energy worker-count independent.
+  energy_ = par::parallel_reduce(
+      0, static_cast<std::int64_t>(snx * sny), 4096, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
+        double s = 0.0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const std::size_t si = static_cast<std::size_t>(i);
+          s += density.raw()[si] * psi_.raw()[si];
+        }
+        return s;
+      });
 }
 
 }  // namespace puffer

@@ -13,11 +13,19 @@
 // with wu = pi*u/W, wv = pi*v/H (W, H the die extents) and the DC mode
 // dropped. The density penalty is D = sum_i q_i psi(b_i) and its gradient
 // w.r.t. a cell position is -q_i * xi(b_i).
+//
+// The transforms run through a preplanned DctPlan2D (precomputed twiddle
+// tables, no per-solve allocation) and the spectral weights
+// s*c_u*c_v/(wu^2+wv^2), s*.../(...)*wu, ... are baked into per-mode
+// tables at construction, so solve() is three multiplies per mode plus
+// the four 2D transforms.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "fft/dct_plan.h"
 #include "grid/map2d.h"
 
 namespace puffer {
@@ -29,6 +37,13 @@ class ElectrostaticSystem {
 
   // Solves for the given density map (size nx*ny, row-major, x fastest).
   void solve(const Map2D<double>& density);
+
+  // Test/bench hook (one-PR lifetime): route the four 2D transforms
+  // through the allocating free functions in fft/dct.h instead of the
+  // preplanned DctPlan2D. The plan is bit-identical to the free
+  // functions by construction, so only speed changes; the hook lets the
+  // benchmark baseline replicate the pre-plan pipeline faithfully.
+  void use_legacy_pipeline(bool on) { legacy_ = on; }
 
   const Map2D<double>& potential() const { return psi_; }
   const Map2D<double>& field_x() const { return ex_; }
@@ -42,7 +57,13 @@ class ElectrostaticSystem {
 
  private:
   int nx_, ny_;
-  double wx_scale_, wy_scale_;  // pi / extent
+  DctPlan2D plan_;
+  bool legacy_ = false;
+  // Per-mode spectral weights (DC entry zero): coeff = w_psi * a_uv,
+  // then c_ex = coeff * wu, c_ey = coeff * wv.
+  std::vector<double> w_psi_, wu_, wv_;
+  // Preallocated spectra (forward + three weighted coefficient arrays).
+  std::vector<double> a_, c_psi_, c_ex_, c_ey_;
   Map2D<double> psi_, ex_, ey_;
   double energy_ = 0.0;
 };

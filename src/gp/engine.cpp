@@ -6,17 +6,28 @@
 #include "common/logger.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
 #include "fft/fft.h"
 
 namespace puffer {
 
 namespace {
 constexpr const char* kTag = "gp";
+
+std::shared_ptr<GpSoA> make_soa(const Design& design) {
+  auto soa = std::make_shared<GpSoA>();
+  soa->build(design);
+  return soa;
 }
 
+}  // namespace
+
 EPlaceEngine::EPlaceEngine(Design& design, GpConfig config)
-    : design_(design), config_(config), wirelength_(design) {
-  const std::size_t n_mov = wirelength_.movable_cells().size();
+    : design_(design), config_(config), soa_(make_soa(design)),
+      wirelength_(soa_) {
+  wirelength_.use_legacy_kernels(config_.legacy_kernels);
+  const std::size_t n_mov = soa_->num_movable();
   if (config_.bin_dim <= 0) {
     // Aim for a couple of cells per bin, within [32, 128] bins per axis.
     const std::size_t want = next_pow2(static_cast<std::size_t>(
@@ -29,28 +40,39 @@ EPlaceEngine::EPlaceEngine(Design& design, GpConfig config)
   bin_h_ = design.die.height() / bins_;
   es_ = std::make_unique<ElectrostaticSystem>(bins_, bins_, design.die.width(),
                                               design.die.height());
+  es_->use_legacy_pipeline(config_.legacy_kernels);
   rho_fixed_ = Map2D<double>(bins_, bins_);
   bin_free_cap_ = Map2D<double>(bins_, bins_);
   rho_move_ = Map2D<double>(bins_, bins_);
   rho_real_ = Map2D<double>(bins_, bins_);
+  rho_total_ = Map2D<double>(bins_, bins_);
 
-  elems_.reserve(n_mov);
-  xu_.reserve(n_mov);
-  yu_.reserve(n_mov);
-  for (CellId cid : wirelength_.movable_cells()) {
-    const Cell& c = design.cells[static_cast<std::size_t>(cid)];
-    Element e;
-    e.w = c.width;
-    e.h = c.height;
-    elems_.push_back(e);
-    xu_.push_back(c.x + c.width * 0.5);
-    yu_.push_back(c.y + c.height * 0.5);
-    total_real_area_ += c.area();
+  // Row bands of the density scatter: one band per chunk of the same
+  // fixed decomposition rasterize() fans out with.
+  nbands_ = par::chunk_count(bins_, std::max(1, bins_ / 8), 8);
+  band_of_row_.resize(static_cast<std::size_t>(bins_));
+  for (int b = 0; b < nbands_; ++b) {
+    const auto [lo, hi] = par::chunk_range(bins_, nbands_, b);
+    for (std::int64_t r = lo; r < hi; ++r) {
+      band_of_row_[static_cast<std::size_t>(r)] = b;
+    }
   }
-  num_movable_ = elems_.size();
+  band_start_.resize(static_cast<std::size_t>(nbands_) + 1);
+  band_fill_.resize(static_cast<std::size_t>(nbands_));
+
+  num_movable_ = n_mov;
+  elem_w_ = soa_->cw;
+  elem_h_ = soa_->chh;
+  elem_pad_.assign(n_mov, 0.0);
+  xu_ = soa_->cx;
+  yu_ = soa_->cy;
+  for (std::size_t i = 0; i < n_mov; ++i) {
+    total_real_area_ += elem_w_[i] * elem_h_[i];
+  }
 
   rasterize_fixed();
   if (config_.use_fillers) build_fillers();
+  update_raster_params();
   xv_ = xu_;
   yv_ = yu_;
   clamp_positions(xu_, yu_);
@@ -62,12 +84,53 @@ EPlaceEngine::~EPlaceEngine() = default;
 void EPlaceEngine::set_padding(const std::vector<double>& pad_width) {
   const std::size_t n = std::min(pad_width.size(), num_movable_);
   for (std::size_t i = 0; i < n; ++i) {
-    elems_[i].pad = std::max(0.0, pad_width[i]);
+    elem_pad_[i] = std::max(0.0, pad_width[i]);
   }
+  update_raster_params();
   // New areas change the equilibrium; resume optimizing.
   converged_ = false;
   best_overflow_ = 2.0;
   stall_ = 0;
+}
+
+void EPlaceEngine::update_raster_params() {
+  const std::size_t n = elem_w_.size();
+  ras_hw_.resize(n);
+  ras_hh_.resize(n);
+  ras_scale_.resize(n);
+  xlo_b_.resize(n);
+  xhi_b_.resize(n);
+  ylo_b_.resize(n);
+  yhi_b_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // ePlace local smoothing: a cell narrower than a bin is widened to
+    // one bin with its charge density scaled down to preserve area.
+    double w = elem_w_[i] + elem_pad_[i];
+    double h = elem_h_[i];
+    double scale = 1.0;
+    if (w < bin_w_) {
+      scale *= w / bin_w_;
+      w = bin_w_;
+    }
+    if (h < bin_h_) {
+      scale *= h / bin_h_;
+      h = bin_h_;
+    }
+    ras_hw_[i] = w * 0.5;
+    ras_hh_[i] = h * 0.5;
+    ras_scale_[i] = scale;
+    // Die clamp bounds use the physical (unsmoothed) padded extents.
+    const double hw = (elem_w_[i] + elem_pad_[i]) * 0.5;
+    const double hh = elem_h_[i] * 0.5;
+    xlo_b_[i] = design_.die.xlo + hw;
+    xhi_b_[i] = design_.die.xhi - hw;
+    ylo_b_[i] = design_.die.ylo + hh;
+    yhi_b_[i] = design_.die.yhi - hh;
+  }
+  ebx0_.resize(n);
+  ebx1_.resize(n);
+  eby0_.resize(n);
+  eby1_.resize(n);
 }
 
 void EPlaceEngine::build_fillers() {
@@ -91,11 +154,9 @@ void EPlaceEngine::build_fillers() {
 
   Rng rng(config_.seed);
   for (std::size_t i = 0; i < count; ++i) {
-    Element e;
-    e.w = w;
-    e.h = side_h;
-    e.filler = true;
-    elems_.push_back(e);
+    elem_w_.push_back(w);
+    elem_h_.push_back(side_h);
+    elem_pad_.push_back(0.0);
     xu_.push_back(rng.uniform(design_.die.xlo + w, design_.die.xhi - w));
     yu_.push_back(rng.uniform(design_.die.ylo + side_h, design_.die.yhi - side_h));
   }
@@ -136,6 +197,98 @@ void EPlaceEngine::rasterize_fixed() {
 
 void EPlaceEngine::rasterize(const std::vector<double>& x,
                              const std::vector<double>& y) {
+  if (config_.legacy_kernels) {
+    rasterize_legacy(x, y);
+  } else {
+    rasterize_soa(x, y);
+  }
+}
+
+void EPlaceEngine::rasterize_soa(const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+  rho_move_.fill(0.0);
+  rho_real_.fill(0.0);
+  const double die_x = design_.die.xlo;
+  const double die_y = design_.die.ylo;
+  const std::size_t n = elem_w_.size();
+
+  // Bucket pass: bin-index ranges per element, then a counting sort of
+  // the elements into the row bands they overlap (ascending element
+  // order within each band, the serial scatter order).
+  std::fill(band_start_.begin(), band_start_.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xlo = x[i] - ras_hw_[i], xhi = x[i] + ras_hw_[i];
+    const double ylo = y[i] - ras_hh_[i], yhi = y[i] + ras_hh_[i];
+    const int bx0 = std::clamp(static_cast<int>((xlo - die_x) / bin_w_), 0, bins_ - 1);
+    const int bx1 = std::clamp(static_cast<int>((xhi - die_x) / bin_w_), 0, bins_ - 1);
+    const int by0 = std::clamp(static_cast<int>((ylo - die_y) / bin_h_), 0, bins_ - 1);
+    const int by1 = std::clamp(static_cast<int>((yhi - die_y) / bin_h_), 0, bins_ - 1);
+    ebx0_[i] = bx0;
+    ebx1_[i] = bx1;
+    eby0_[i] = by0;
+    eby1_[i] = by1;
+    const int b0 = band_of_row_[static_cast<std::size_t>(by0)];
+    const int b1 = band_of_row_[static_cast<std::size_t>(by1)];
+    for (int b = b0; b <= b1; ++b) {
+      ++band_start_[static_cast<std::size_t>(b) + 1];
+    }
+  }
+  for (int b = 0; b < nbands_; ++b) {
+    band_start_[static_cast<std::size_t>(b) + 1] +=
+        band_start_[static_cast<std::size_t>(b)];
+    band_fill_[static_cast<std::size_t>(b)] =
+        band_start_[static_cast<std::size_t>(b)];
+  }
+  band_elems_.resize(static_cast<std::size_t>(band_start_.back()));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int b0 = band_of_row_[static_cast<std::size_t>(eby0_[i])];
+    const int b1 = band_of_row_[static_cast<std::size_t>(eby1_[i])];
+    for (int b = b0; b <= b1; ++b) {
+      band_elems_[static_cast<std::size_t>(band_fill_[static_cast<std::size_t>(b)]++)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  // Scatter pass: band b adds its bucket's elements in ascending order,
+  // restricted to its own bin rows -- the same per-bin addition order as
+  // a serial full scan, independent of the worker count.
+  par::parallel_for(
+      0, bins_, std::max(1, bins_ / 8),
+      [&](std::int64_t band_lo, std::int64_t band_hi_excl, int c) {
+        const int lo = static_cast<int>(band_lo);
+        const int hi = static_cast<int>(band_hi_excl) - 1;
+        const std::int64_t e0 = band_start_[static_cast<std::size_t>(c)];
+        const std::int64_t e1 = band_start_[static_cast<std::size_t>(c) + 1];
+        for (std::int64_t k = e0; k < e1; ++k) {
+          const std::size_t i =
+              static_cast<std::size_t>(band_elems_[static_cast<std::size_t>(k)]);
+          const double scale = ras_scale_[i];
+          const double xlo = x[i] - ras_hw_[i], xhi = x[i] + ras_hw_[i];
+          const double ylo = y[i] - ras_hh_[i], yhi = y[i] + ras_hh_[i];
+          const int bx0 = ebx0_[i], bx1 = ebx1_[i];
+          const int by0 = std::max(lo, static_cast<int>(eby0_[i]));
+          const int by1 = std::min(hi, static_cast<int>(eby1_[i]));
+          const bool filler = i >= num_movable_;
+          for (int by = by0; by <= by1; ++by) {
+            const double b_ylo = die_y + by * bin_h_;
+            const double oy = std::min(yhi, b_ylo + bin_h_) - std::max(ylo, b_ylo);
+            if (oy <= 0.0) continue;
+            for (int bx = bx0; bx <= bx1; ++bx) {
+              const double b_xlo = die_x + bx * bin_w_;
+              const double ox = std::min(xhi, b_xlo + bin_w_) - std::max(xlo, b_xlo);
+              if (ox <= 0.0) continue;
+              const double a = ox * oy * scale;
+              rho_move_.at(bx, by) += a;
+              if (!filler) rho_real_.at(bx, by) += a;
+            }
+          }
+        }
+      },
+      8);
+}
+
+void EPlaceEngine::rasterize_legacy(const std::vector<double>& x,
+                                    const std::vector<double>& y) {
   rho_move_.fill(0.0);
   rho_real_.fill(0.0);
   const double die_x = design_.die.xlo;
@@ -148,13 +301,9 @@ void EPlaceEngine::rasterize(const std::vector<double>& x,
       [&](std::int64_t band_lo, std::int64_t band_hi_excl, int) {
         const int lo = static_cast<int>(band_lo);
         const int hi = static_cast<int>(band_hi_excl) - 1;
-        for (std::size_t i = 0; i < elems_.size(); ++i) {
-          const Element& e = elems_[i];
-          // ePlace local smoothing: a cell narrower than a bin is widened
-          // to one bin with its charge density scaled down to preserve
-          // area.
-          double w = e.w + e.pad;
-          double h = e.h;
+        for (std::size_t i = 0; i < elem_w_.size(); ++i) {
+          double w = elem_w_[i] + elem_pad_[i];
+          double h = elem_h_[i];
           double scale = 1.0;
           if (w < bin_w_) {
             scale *= w / bin_w_;
@@ -172,6 +321,7 @@ void EPlaceEngine::rasterize(const std::vector<double>& x,
               lo, std::clamp(static_cast<int>((ylo - die_y) / bin_h_), 0, bins_ - 1));
           const int by1 = std::min(
               hi, std::clamp(static_cast<int>((yhi - die_y) / bin_h_), 0, bins_ - 1));
+          const bool filler = i >= num_movable_;
           for (int by = by0; by <= by1; ++by) {
             const double b_ylo = die_y + by * bin_h_;
             const double oy = std::min(yhi, b_ylo + bin_h_) - std::max(ylo, b_ylo);
@@ -182,12 +332,18 @@ void EPlaceEngine::rasterize(const std::vector<double>& x,
               if (ox <= 0.0) continue;
               const double a = ox * oy * scale;
               rho_move_.at(bx, by) += a;
-              if (!e.filler) rho_real_.at(bx, by) += a;
+              if (!filler) rho_real_.at(bx, by) += a;
             }
           }
         }
       },
       8);
+}
+
+const Map2D<double>& EPlaceEngine::rasterize_probe(
+    const std::vector<double>& x, const std::vector<double>& y) {
+  rasterize(x, y);
+  return rho_move_;
 }
 
 double EPlaceEngine::gamma() const {
@@ -199,18 +355,16 @@ double EPlaceEngine::gamma() const {
 void EPlaceEngine::gradient(const std::vector<double>& x,
                             const std::vector<double>& y,
                             std::vector<double>& gx, std::vector<double>& gy) {
-  // Wirelength part (movables only). The scratch vectors are thread_local
-  // (engines on different threads must not share them), but the parallel
-  // lambdas below must see the *caller's* instances: thread_local names
-  // are not captured, each worker would resolve them to its own empty
-  // vector. Bind ordinary references so the capture is by caller address.
-  static thread_local std::vector<double> gwx_tls, gwy_tls;
-  std::vector<double>& gwx = gwx_tls;
-  std::vector<double>& gwy = gwy_tls;
-  const std::vector<double> xm(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(num_movable_));
-  const std::vector<double> ym(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(num_movable_));
-  wirelength_.evaluate(xm, ym, gamma(), gwx, gwy);
-  hpwl_ = wirelength_.hpwl(xm, ym);
+  Timer t;
+  // Wirelength part (movables only; the SoA gradient ignores the filler
+  // entries past the movable count, so x/y pass through uncopied).
+  wirelength_.evaluate(x, y, gamma(), gwx_, gwy_);
+  // The SoA kernel derives the exact HPWL from pass A's per-net min/max;
+  // the legacy path recomputes it the way the retired engine did.
+  hpwl_ = config_.legacy_kernels ? wirelength_.hpwl(x, y)
+                                 : wirelength_.last_hpwl();
+  times_.wirelength_s += t.elapsed_seconds();
+  t.reset();
 
   // Density part.
   rasterize(x, y);
@@ -228,26 +382,24 @@ void EPlaceEngine::gradient(const std::vector<double>& x,
       });
   overflow_ = over / total_real_area_;
 
-  Map2D<double> rho = rho_move_;
-  par::parallel_for(0, static_cast<std::int64_t>(rho.raw().size()), 4096,
-                    [&](std::int64_t b, std::int64_t e, int) {
-                      for (std::int64_t i = b; i < e; ++i) {
-                        rho.raw()[static_cast<std::size_t>(i)] +=
-                            rho_fixed_.raw()[static_cast<std::size_t>(i)];
-                      }
-                    });
-  es_->solve(rho);
+  simd::add(rho_move_.raw().data(), rho_fixed_.raw().data(),
+            rho_total_.raw().data(), rho_total_.raw().size());
+  times_.density_s += t.elapsed_seconds();
+  t.reset();
+  es_->solve(rho_total_);
+  times_.poisson_s += t.elapsed_seconds();
+  t.reset();
 
   if (!initialized_) {
     // lambda0 = |grad W|_1 / |q xi|_1 so both terms start balanced.
     double wl_l1 = 0.0, d_l1 = 0.0;
     for (std::size_t i = 0; i < num_movable_; ++i) {
-      wl_l1 += std::abs(gwx[i]) + std::abs(gwy[i]);
+      wl_l1 += std::abs(gwx_[i]) + std::abs(gwy_[i]);
     }
-    for (std::size_t i = 0; i < elems_.size(); ++i) {
+    for (std::size_t i = 0; i < elem_w_.size(); ++i) {
       const int bx = std::clamp(static_cast<int>((x[i] - design_.die.xlo) / bin_w_), 0, bins_ - 1);
       const int by = std::clamp(static_cast<int>((y[i] - design_.die.ylo) / bin_h_), 0, bins_ - 1);
-      const double q = elems_[i].area();
+      const double q = elem_area(i);
       d_l1 += q * (std::abs(es_->field_x().at(bx, by)) +
                    std::abs(es_->field_y().at(bx, by)));
     }
@@ -256,29 +408,30 @@ void EPlaceEngine::gradient(const std::vector<double>& x,
     PUFFER_LOG_DEBUG(kTag, "lambda0 = %.4g", lambda_);
   }
 
-  gx.assign(elems_.size(), 0.0);
-  gy.assign(elems_.size(), 0.0);
+  const std::size_t n_elems = elem_w_.size();
+  gx.resize(n_elems);
+  gy.resize(n_elems);
   wl_grad_l1_ = par::parallel_reduce(
       0, static_cast<std::int64_t>(num_movable_), 4096, 0.0,
       [&](std::int64_t b, std::int64_t e) {
         double s = 0.0;
         for (std::int64_t i = b; i < e; ++i) {
-          s += std::abs(gwx[static_cast<std::size_t>(i)]) +
-               std::abs(gwy[static_cast<std::size_t>(i)]);
+          s += std::abs(gwx_[static_cast<std::size_t>(i)]) +
+               std::abs(gwy_[static_cast<std::size_t>(i)]);
         }
         return s;
       });
   // Gradient assembly: each chunk writes its own gx/gy slice and a
   // per-chunk density-L1 partial, folded in chunk order below.
-  const std::int64_t n_elems = static_cast<std::int64_t>(elems_.size());
   density_grad_l1_ = par::parallel_reduce(
-      0, n_elems, 2048, 0.0, [&](std::int64_t b, std::int64_t e) {
+      0, static_cast<std::int64_t>(n_elems), 2048, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
         double d_l1 = 0.0;
         for (std::int64_t ii = b; ii < e; ++ii) {
           const std::size_t i = static_cast<std::size_t>(ii);
           const int bx = std::clamp(static_cast<int>((x[i] - design_.die.xlo) / bin_w_), 0, bins_ - 1);
           const int by = std::clamp(static_cast<int>((y[i] - design_.die.ylo) / bin_h_), 0, bins_ - 1);
-          const double q = elems_[i].area();
+          const double q = elem_area(i);
           // dD/dx = -q * xi_x (field points away from charge
           // accumulations).
           double dx = -lambda_ * q * es_->field_x().at(bx, by);
@@ -286,9 +439,9 @@ void EPlaceEngine::gradient(const std::vector<double>& x,
           d_l1 += std::abs(dx) + std::abs(dy);
           double pins = 0.0;
           if (i < num_movable_) {
-            dx += gwx[i];
-            dy += gwy[i];
-            pins = wirelength_.pin_counts()[i];
+            dx += gwx_[i];
+            dy += gwy_[i];
+            pins = soa_->pin_count[i];
           }
           const double precond = std::max(1.0, pins + lambda_ * q);
           gx[i] = dx / precond;
@@ -296,21 +449,25 @@ void EPlaceEngine::gradient(const std::vector<double>& x,
         }
         return d_l1;
       });
+  times_.assemble_s += t.elapsed_seconds();
+  ++times_.gradient_evals;
 }
 
 void EPlaceEngine::clamp_positions(std::vector<double>& x,
                                    std::vector<double>& y) const {
-  for (std::size_t i = 0; i < elems_.size(); ++i) {
-    const double hw = (elems_[i].w + elems_[i].pad) * 0.5;
-    const double hh = elems_[i].h * 0.5;
-    x[i] = clamp(x[i], design_.die.xlo + hw, design_.die.xhi - hw);
-    y[i] = clamp(y[i], design_.die.ylo + hh, design_.die.yhi - hh);
-  }
+  simd::clamp_to(x.data(), xlo_b_.data(), xhi_b_.data(), x.size());
+  simd::clamp_to(y.data(), ylo_b_.data(), yhi_b_.data(), y.size());
 }
 
 bool EPlaceEngine::step() {
   if (iter_ >= config_.max_iters || converged_) return false;
-  const std::size_t n = elems_.size();
+  Timer tstep;
+  const auto grad_time = [this] {
+    return times_.wirelength_s + times_.density_s + times_.poisson_s +
+           times_.assemble_s;
+  };
+  const double grad_before = grad_time();
+  const std::size_t n = elem_w_.size();
 
   if (iter_ == 0 && gxv_.empty()) {
     gradient(xv_, yv_, gxv_, gyv_);
@@ -325,19 +482,18 @@ bool EPlaceEngine::step() {
   const double hpwl_prev = hpwl_;
 
   // Backtracking on the Lipschitz estimate.
-  std::vector<double> xu_new(n), yu_new(n), gxu(n), gyu(n);
+  xu_new_.resize(n);
+  yu_new_.resize(n);
   double alpha = step_ * 1.1;  // allow mild growth between iterations
   for (int bt = 0; bt < 2; ++bt) {
-    for (std::size_t i = 0; i < n; ++i) {
-      xu_new[i] = xv_[i] - alpha * gxv_[i];
-      yu_new[i] = yv_[i] - alpha * gyv_[i];
-    }
-    clamp_positions(xu_new, yu_new);
-    gradient(xu_new, yu_new, gxu, gyu);
+    simd::sub_scaled(xv_.data(), gxv_.data(), alpha, xu_new_.data(), n);
+    simd::sub_scaled(yv_.data(), gyv_.data(), alpha, yu_new_.data(), n);
+    clamp_positions(xu_new_, yu_new_);
+    gradient(xu_new_, yu_new_, gxu_, gyu_);
     double dp = 0.0, dg = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double px = xu_new[i] - xv_[i], py = yu_new[i] - yv_[i];
-      const double qx = gxu[i] - gxv_[i], qy = gyu[i] - gyv_[i];
+      const double px = xu_new_[i] - xv_[i], py = yu_new_[i] - yv_[i];
+      const double qx = gxu_[i] - gxv_[i], qy = gyu_[i] - gyv_[i];
       dp += px * px + py * py;
       dg += qx * qx + qy * qy;
     }
@@ -353,17 +509,16 @@ bool EPlaceEngine::step() {
   // Nesterov extrapolation.
   const double a_next = (1.0 + std::sqrt(4.0 * ak_ * ak_ + 1.0)) * 0.5;
   const double coef = (ak_ - 1.0) / a_next;
-  std::vector<double> xv_new(n), yv_new(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    xv_new[i] = xu_new[i] + coef * (xu_new[i] - xu_[i]);
-    yv_new[i] = yu_new[i] + coef * (yu_new[i] - yu_[i]);
-  }
-  clamp_positions(xv_new, yv_new);
+  xv_new_.resize(n);
+  yv_new_.resize(n);
+  simd::extrapolate(xu_new_.data(), xu_.data(), coef, xv_new_.data(), n);
+  simd::extrapolate(yu_new_.data(), yu_.data(), coef, yv_new_.data(), n);
+  clamp_positions(xv_new_, yv_new_);
 
-  xu_.swap(xu_new);
-  yu_.swap(yu_new);
-  xv_.swap(xv_new);
-  yv_.swap(yv_new);
+  xu_.swap(xu_new_);
+  yu_.swap(yu_new_);
+  xv_.swap(xv_new_);
+  yv_.swap(yv_new_);
   ak_ = a_next;
   gradient(xv_, yv_, gxv_, gyv_);
 
@@ -398,10 +553,15 @@ bool EPlaceEngine::step() {
     PUFFER_LOG_DEBUG(kTag, "iter %d overflow %.4f hpwl %.4g lambda %.3g",
                      iter_, overflow_, hpwl_, lambda_);
   }
+  ++times_.iterations;
+  times_.nesterov_s += tstep.elapsed_seconds() - (grad_time() - grad_before);
   return true;
 }
 
 double EPlaceEngine::run_to_overflow(double overflow_target) {
+  // Keep pool workers spinning between the back-to-back kernels of the
+  // Nesterov loop (see KeepWarmScope; no effect on results).
+  par::KeepWarmScope warm;
   // Always take at least one step so callers make progress even when the
   // initial (clustered) state momentarily reads as low overflow. The
   // engine's converged() plateau guard stops the loop when the target is
@@ -415,12 +575,12 @@ double EPlaceEngine::run_to_overflow(double overflow_target) {
 }
 
 void EPlaceEngine::sync_to_design() {
-  const auto& ids = wirelength_.movable_cells();
-  for (std::size_t i = 0; i < num_movable_; ++i) {
-    Cell& c = design_.cells[static_cast<std::size_t>(ids[i])];
-    c.x = xu_[i] - c.width * 0.5;
-    c.y = yu_[i] - c.height * 0.5;
-  }
+  // Commit through the mirror: solver centers -> SoA -> Design.
+  std::copy(xu_.begin(), xu_.begin() + static_cast<std::ptrdiff_t>(num_movable_),
+            soa_->cx.begin());
+  std::copy(yu_.begin(), yu_.begin() + static_cast<std::ptrdiff_t>(num_movable_),
+            soa_->cy.begin());
+  soa_->push_positions(design_);
 }
 
 }  // namespace puffer

@@ -17,6 +17,17 @@
 // engine's charge of a movable cell is its padded area, so padded cells
 // claim more room and their neighbourhood spreads in subsequent
 // iterations. Padding is supplied per movable ordinal via set_padding().
+//
+// Hot state lives in flat arrays: the engine owns the GpSoA netlist
+// mirror (shared with WaWirelength) plus element arrays (movables first,
+// then fillers) holding sizes, padding, and the derived rasterization /
+// clamp parameters. The density scatter buckets elements into the fixed
+// row bands of the parallel decomposition so each band touches only the
+// elements overlapping it; the Nesterov vector updates go through the
+// simd:: helpers. Every kernel keeps the deterministic contract: results
+// are bit-identical across PUFFER_THREADS and PUFFER_SIMD, and the
+// retired scalar kernels (GpConfig::legacy_kernels, one-PR lifetime)
+// reproduce the SoA results bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,7 @@
 #include <vector>
 
 #include "gp/electrostatics.h"
+#include "gp/soa.h"
 #include "gp/wirelength.h"
 #include "grid/map2d.h"
 #include "netlist/design.h"
@@ -44,6 +56,34 @@ struct GpConfig {
   double hpwl_ref_frac = 0.008;  // reference HPWL delta as fraction of HPWL0
   // Lambda latches (stops growing) once overflow first drops below this.
   double lambda_freeze_overflow = 0.15;
+
+  // Test/bench hook (one-PR lifetime): route the WA gradient and the
+  // density rasterization through the retired scalar kernels. Both
+  // paths are bit-identical; the hook exists to prove it and to serve
+  // as the benchmark baseline replica.
+  bool legacy_kernels = false;
+};
+
+// Accumulated wall time per kernel family of the Nesterov loop
+// (surfaced through FlowMetrics::gp_kernels).
+struct GpKernelTimes {
+  double wirelength_s = 0.0;  // WA gradient + HPWL
+  double density_s = 0.0;     // rasterize + overflow fold + map merge
+  double poisson_s = 0.0;     // spectral solve (DCT pipeline)
+  double assemble_s = 0.0;    // preconditioned gradient assembly
+  double nesterov_s = 0.0;    // step updates outside gradient evals
+  int gradient_evals = 0;
+  int iterations = 0;
+
+  void add(const GpKernelTimes& o) {
+    wirelength_s += o.wirelength_s;
+    density_s += o.density_s;
+    poisson_s += o.poisson_s;
+    assemble_s += o.assemble_s;
+    nesterov_s += o.nesterov_s;
+    gradient_evals += o.gradient_evals;
+    iterations += o.iterations;
+  }
 };
 
 class EPlaceEngine {
@@ -71,9 +111,7 @@ class EPlaceEngine {
   bool converged() const { return converged_; }
 
   // Movable-cell ordinal order shared with WaWirelength.
-  const std::vector<CellId>& movable_cells() const {
-    return wirelength_.movable_cells();
-  }
+  const std::vector<CellId>& movable_cells() const { return soa_->cell_ids; }
 
   double density_overflow() const { return overflow_; }
   double last_hpwl() const { return hpwl_; }
@@ -85,45 +123,83 @@ class EPlaceEngine {
   int bin_dim() const { return bins_; }
   double bin_w() const { return bin_w_; }
 
+  // Per-kernel wall-time breakdown accumulated since construction.
+  const GpKernelTimes& kernel_times() const { return times_; }
+
   // Writes current solution centers back into the design (lower-left
-  // coordinates; padding does not shift the stored position).
+  // coordinates; padding does not shift the stored position) via the
+  // SoA mirror, which stays in sync as a side effect.
   void sync_to_design();
 
- private:
-  struct Element {  // movable cell or filler, in solver order
-    double w, h;    // physical size (fillers: synthetic square)
-    double pad = 0.0;  // extra width (movables only)
-    bool filler = false;
-    double area() const { return (w + pad) * h; }
-  };
+  // The shared netlist mirror (positions valid at commit points).
+  const GpSoA& soa() const { return *soa_; }
 
+  // --- test/bench probes ----------------------------------------------
+  // Rasterizes the given element centers with the configured kernel and
+  // returns the movable+filler density map.
+  const Map2D<double>& rasterize_probe(const std::vector<double>& x,
+                                       const std::vector<double>& y);
+  // Current solver positions (element centers, movables then fillers).
+  const std::vector<double>& solver_x() const { return xu_; }
+  const std::vector<double>& solver_y() const { return yu_; }
+  std::size_t num_elements() const { return elem_w_.size(); }
+
+ private:
   void build_fillers();
   void rasterize_fixed();
+  // Recomputes the derived per-element arrays (smoothed raster extents,
+  // charge scale, clamp bounds) after sizes or padding change.
+  void update_raster_params();
   void rasterize(const std::vector<double>& x, const std::vector<double>& y);
+  void rasterize_soa(const std::vector<double>& x,
+                     const std::vector<double>& y);
+  void rasterize_legacy(const std::vector<double>& x,
+                        const std::vector<double>& y);
   // Evaluates the preconditioned gradient at (x, y); updates overflow_,
   // hpwl_ and, on the first call, lambda_.
   void gradient(const std::vector<double>& x, const std::vector<double>& y,
                 std::vector<double>& gx, std::vector<double>& gy);
   void clamp_positions(std::vector<double>& x, std::vector<double>& y) const;
   double gamma() const;
+  double elem_area(std::size_t i) const {
+    return (elem_w_[i] + elem_pad_[i]) * elem_h_[i];
+  }
 
   Design& design_;
   GpConfig config_;
+  std::shared_ptr<GpSoA> soa_;
   WaWirelength wirelength_;
   int bins_ = 0;
   double bin_w_ = 1.0, bin_h_ = 1.0;
 
-  std::vector<Element> elems_;  // movables first, then fillers
+  // Element arrays: movables (ordinal order) first, then fillers.
+  std::vector<double> elem_w_, elem_h_, elem_pad_;
   std::size_t num_movable_ = 0;
+  // Derived (update_raster_params): smoothed half extents, charge scale,
+  // and the per-element die clamp bounds.
+  std::vector<double> ras_hw_, ras_hh_, ras_scale_;
+  std::vector<double> xlo_b_, xhi_b_, ylo_b_, yhi_b_;
+
+  // Row-band buckets for the density scatter (rebuilt per rasterize):
+  // band b owns the bin rows of parallel chunk b; band_elems_ lists the
+  // elements overlapping each band in ascending order.
+  int nbands_ = 1;
+  std::vector<std::int32_t> band_of_row_;
+  std::vector<std::int64_t> band_start_, band_fill_;
+  std::vector<std::int32_t> band_elems_;
+  std::vector<std::int32_t> ebx0_, ebx1_, eby0_, eby1_;
 
   std::unique_ptr<ElectrostaticSystem> es_;
-  Map2D<double> rho_fixed_;    // target-scaled static macro charge
+  Map2D<double> rho_fixed_;     // target-scaled static macro charge
   Map2D<double> bin_free_cap_;  // target_density * free bin area
-  Map2D<double> rho_move_;     // scratch: movable + filler charge
-  Map2D<double> rho_real_;     // scratch: real movables only (overflow)
+  Map2D<double> rho_move_;      // scratch: movable + filler charge
+  Map2D<double> rho_real_;      // scratch: real movables only (overflow)
+  Map2D<double> rho_total_;     // scratch: movable + filler + fixed
 
-  // Nesterov state.
+  // Nesterov state and preallocated step scratch.
   std::vector<double> xu_, yu_, xv_, yv_, gxv_, gyv_;
+  std::vector<double> gwx_, gwy_;  // WA gradient (movables)
+  std::vector<double> xu_new_, yu_new_, gxu_, gyu_, xv_new_, yv_new_;
   double ak_ = 1.0;
   double step_ = 0.0;
   int iter_ = 0;
@@ -140,6 +216,8 @@ class EPlaceEngine {
   double total_real_area_ = 1.0;
   double wl_grad_l1_ = 0.0;
   double density_grad_l1_ = 0.0;
+
+  GpKernelTimes times_;
 };
 
 }  // namespace puffer

@@ -7,52 +7,220 @@
 
 namespace puffer {
 
-namespace {
-// Nets per chunk / chunk cap for the parallel net fan-out. The chunk
-// decomposition (not the worker count) fixes the floating-point fold
-// order, so these constants are part of the numeric contract.
-constexpr std::int64_t kNetGrain = 128;
-constexpr int kMaxNetChunks = 16;
-}  // namespace
-
 WaWirelength::WaWirelength(const Design& design) {
-  ordinal_.assign(design.cells.size(), -1);
-  for (CellId c = 0; c < static_cast<CellId>(design.cells.size()); ++c) {
-    if (design.cells[static_cast<std::size_t>(c)].movable()) {
-      ordinal_[static_cast<std::size_t>(c)] =
-          static_cast<std::int32_t>(movable_.size());
-      movable_.push_back(c);
-    }
-  }
-  pin_count_.assign(movable_.size(), 0.0);
-
-  nets_.reserve(design.nets.size());
-  for (const Net& net : design.nets) {
-    if (net.pins.size() < 2) continue;
-    CompiledNet cn;
-    cn.weight = net.weight;
-    cn.pins.reserve(net.pins.size());
-    for (PinId pid : net.pins) {
-      const Pin& pin = design.pins[static_cast<std::size_t>(pid)];
-      const Cell& cell = design.cells[static_cast<std::size_t>(pin.cell)];
-      NetPin np;
-      np.ordinal = ordinal_[static_cast<std::size_t>(pin.cell)];
-      if (np.ordinal >= 0) {
-        // Offset from cell center: pins ride with the center coordinate.
-        np.ox = pin.dx - cell.width * 0.5;
-        np.oy = pin.dy - cell.height * 0.5;
-        np.fx = np.fy = 0.0;
-        pin_count_[static_cast<std::size_t>(np.ordinal)] += 1.0;
-      } else {
-        np.ox = np.oy = 0.0;
-        np.fx = cell.x + pin.dx;
-        np.fy = cell.y + pin.dy;
-      }
-      cn.pins.push_back(np);
-    }
-    nets_.push_back(std::move(cn));
-  }
+  auto soa = std::make_shared<GpSoA>();
+  soa->build(design);
+  soa_ = std::move(soa);
 }
+
+WaWirelength::WaWirelength(std::shared_ptr<const GpSoA> soa)
+    : soa_(std::move(soa)) {}
+
+double WaWirelength::evaluate(const std::vector<double>& xc,
+                              const std::vector<double>& yc, double gamma,
+                              std::vector<double>& grad_x,
+                              std::vector<double>& grad_y) const {
+  return legacy_ ? evaluate_legacy(xc, yc, gamma, grad_x, grad_y)
+                 : evaluate_soa(xc, yc, gamma, grad_x, grad_y);
+}
+
+// --- SoA two-pass kernel ------------------------------------------------
+
+double WaWirelength::evaluate_soa(const std::vector<double>& xc,
+                                  const std::vector<double>& yc, double gamma,
+                                  std::vector<double>& grad_x,
+                                  std::vector<double>& grad_y) const {
+  const GpSoA& s = *soa_;
+  const std::size_t n_mov = s.num_movable();
+  grad_x.assign(n_mov, 0.0);
+  grad_y.assign(n_mov, 0.0);
+  const std::int64_t n_nets = static_cast<std::int64_t>(s.num_nets());
+  if (n_nets == 0) {
+    hpwl_last_ = 0.0;
+    return 0.0;
+  }
+
+  const std::size_t n_slots = s.num_slots();
+  dw_.resize(2 * n_slots);
+
+  const int nchunks = s.num_net_chunks();
+  chunk_total_.assign(static_cast<std::size_t>(nchunks), 0.0);
+  chunk_hpwl_.assign(static_cast<std::size_t>(nchunks), 0.0);
+  net_scratch_.resize(static_cast<std::size_t>(nchunks));
+
+  const double* xp = xc.data();
+  const double* yp = yc.data();
+  const std::int32_t* ords = s.pin_ord.data();
+  const double* oxs = s.pin_ox.data();
+  const double* oys = s.pin_oy.data();
+  const std::size_t max_deg = static_cast<std::size_t>(s.max_net_degree());
+
+  // Pass A: per net, gather both dimensions' slot coordinates into
+  // L1-resident per-net buffers, compute the shifted exponentials and
+  // accumulator sums, and emit one finished gradient term per movable
+  // slot and dimension (x/y interleaved in dw_). The per-dimension
+  // accumulation sequences are exactly the scalar kernel's (independent
+  // accumulators, same slot order), so fusing the x and y walks into one
+  // loop changes no bits. Chunk c owns a contiguous net (and therefore
+  // slot) range, so the dw_ writes are disjoint; the wirelength total
+  // folds in chunk order. The per-net min/max already computed here also
+  // yields the exact HPWL of hpwl() at these positions, accumulated into
+  // chunk_hpwl_ with the same per-chunk/ascending-fold association as
+  // the parallel_reduce in hpwl().
+  par::parallel_for(
+      0, n_nets, kNetGrain,
+      [&](std::int64_t nb, std::int64_t ne, int chunk) {
+        NetScratch& ns = net_scratch_[static_cast<std::size_t>(chunk)];
+        ns.cx.resize(max_deg);
+        ns.cy.resize(max_deg);
+        ns.epx.resize(max_deg);
+        ns.emx.resize(max_deg);
+        ns.epy.resize(max_deg);
+        ns.emy.resize(max_deg);
+        double* cbx = ns.cx.data();
+        double* cby = ns.cy.data();
+        double* epbx = ns.epx.data();
+        double* embx = ns.emx.data();
+        double* epby = ns.epy.data();
+        double* emby = ns.emy.data();
+        double* dw = dw_.data();
+        double total = 0.0;
+        double hp = 0.0;
+        for (std::int64_t ni = nb; ni < ne; ++ni) {
+          const std::size_t un = static_cast<std::size_t>(ni);
+          const std::int64_t s0 = s.net_start[un];
+          const std::int64_t s1 = s.net_start[un + 1];
+          const std::size_t deg = static_cast<std::size_t>(s1 - s0);
+          const double w = s.net_weight[un];
+
+          double cmax_x = -std::numeric_limits<double>::max();
+          double cmin_x = std::numeric_limits<double>::max();
+          double cmax_y = cmax_x, cmin_y = cmin_x;
+          for (std::size_t k = 0; k < deg; ++k) {
+            const std::size_t us = static_cast<std::size_t>(s0) + k;
+            const std::int32_t ord = ords[us];
+            const double cvx = ord >= 0 ? xp[ord] + oxs[us] : oxs[us];
+            const double cvy = ord >= 0 ? yp[ord] + oys[us] : oys[us];
+            cbx[k] = cvx;
+            cby[k] = cvy;
+            cmax_x = std::max(cmax_x, cvx);
+            cmin_x = std::min(cmin_x, cvx);
+            cmax_y = std::max(cmax_y, cvy);
+            cmin_y = std::min(cmin_y, cvy);
+          }
+          double se_px = 0.0, sxe_px = 0.0, se_mx = 0.0, sxe_mx = 0.0;
+          double se_py = 0.0, sxe_py = 0.0, se_my = 0.0, sxe_my = 0.0;
+          for (std::size_t k = 0; k < deg; ++k) {
+            const double cvx = cbx[k];
+            const double epx = std::exp((cvx - cmax_x) / gamma);
+            const double emx = std::exp((cmin_x - cvx) / gamma);
+            epbx[k] = epx;
+            embx[k] = emx;
+            se_px += epx;
+            sxe_px += cvx * epx;
+            se_mx += emx;
+            sxe_mx += cvx * emx;
+            const double cvy = cby[k];
+            const double epy = std::exp((cvy - cmax_y) / gamma);
+            const double emy = std::exp((cmin_y - cvy) / gamma);
+            epby[k] = epy;
+            emby[k] = emy;
+            se_py += epy;
+            sxe_py += cvy * epy;
+            se_my += emy;
+            sxe_my += cvy * emy;
+          }
+          total += w * (sxe_px / se_px - sxe_mx / se_mx);
+          total += w * (sxe_py / se_py - sxe_my / se_my);
+          hp += w * ((cmax_x - cmin_x) + (cmax_y - cmin_y));
+          for (std::size_t k = 0; k < deg; ++k) {
+            const std::size_t us = static_cast<std::size_t>(s0) + k;
+            if (ords[us] < 0) continue;  // never read by pass B
+            const double cvx = cbx[k];
+            const double dpx =
+                epbx[k] * (se_px * (1.0 + cvx / gamma) - sxe_px / gamma) /
+                (se_px * se_px);
+            const double dmx =
+                embx[k] * (se_mx * (1.0 - cvx / gamma) + sxe_mx / gamma) /
+                (se_mx * se_mx);
+            dw[2 * us] = w * (dpx - dmx);
+            const double cvy = cby[k];
+            const double dpy =
+                epby[k] * (se_py * (1.0 + cvy / gamma) - sxe_py / gamma) /
+                (se_py * se_py);
+            const double dmy =
+                emby[k] * (se_my * (1.0 - cvy / gamma) + sxe_my / gamma) /
+                (se_my * se_my);
+            dw[2 * us + 1] = w * (dpy - dmy);
+          }
+        }
+        chunk_total_[static_cast<std::size_t>(chunk)] = total;
+        chunk_hpwl_[static_cast<std::size_t>(chunk)] = hp;
+      },
+      kMaxNetChunks);
+
+  // Pass B: per-cell gather of the stored terms through the transposed
+  // CSR. A cell's slots ascend, and slots ascend net-major, so its terms
+  // arrive already grouped by net chunk; folding one partial per chunk
+  // (empty chunks contribute +0.0) in chunk order reproduces exactly the
+  // association of the legacy per-chunk-buffer merge, bit for bit. Runs
+  // of k >= 1 empty chunks collapse to a single `+= 0.0`: the first add
+  // normalizes a possible -0.0 partial sum to +0.0 and every further
+  // zero add is then a bitwise no-op. No shared writes: cell i is owned
+  // by exactly one chunk.
+  const std::int64_t* cstart = s.cell_start.data();
+  const std::int64_t* cslots = s.cell_slots.data();
+  const std::int32_t* schunk = s.slot_chunk.data();
+  const double* dw = dw_.data();
+  par::parallel_for(
+      0, static_cast<std::int64_t>(n_mov), 4096,
+      [&](std::int64_t b, std::int64_t e, int) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const std::size_t ui = static_cast<std::size_t>(i);
+          const std::int64_t k1 = cstart[ui + 1];
+          double gx_sum = 0.0, gy_sum = 0.0;
+          double part_x = 0.0, part_y = 0.0;
+          int cur = 0;
+          for (std::int64_t k = cstart[ui]; k < k1; ++k) {
+            const std::size_t us = static_cast<std::size_t>(cslots[k]);
+            const int c = schunk[us];
+            if (cur < c) {
+              gx_sum += part_x;
+              gy_sum += part_y;
+              if (c - cur > 1) {
+                gx_sum += 0.0;
+                gy_sum += 0.0;
+              }
+              part_x = 0.0;
+              part_y = 0.0;
+              cur = c;
+            }
+            part_x += dw[2 * us];
+            part_y += dw[2 * us + 1];
+          }
+          if (cur < nchunks) {
+            gx_sum += part_x;
+            gy_sum += part_y;
+            if (nchunks - cur > 1) {
+              gx_sum += 0.0;
+              gy_sum += 0.0;
+            }
+          }
+          grad_x[ui] = gx_sum;
+          grad_y[ui] = gy_sum;
+        }
+      });
+
+  double total = 0.0;
+  for (double t : chunk_total_) total += t;
+  // Same init + ascending-partial fold as the parallel_reduce in hpwl().
+  double hp = 0.0;
+  for (double t : chunk_hpwl_) hp += t;
+  hpwl_last_ = hp;
+  return total;
+}
+
+// --- legacy scalar kernel (bit-identity oracle, bench baseline) ---------
 
 namespace {
 
@@ -65,8 +233,7 @@ namespace {
 // is  dS+/dx_k = e^{x_k/g} * ( sum_e * (1 + x_k/g) - sum_xe/g ) / sum_e^2.
 // The min side is the same with g -> -g.
 double wa_dimension(const std::vector<double>& coords,
-                    const std::vector<std::int32_t>& ordinals,
-                    const std::vector<double>& pos_all, double gamma,
+                    const std::vector<std::int32_t>& ordinals, double gamma,
                     double weight, std::vector<double>& grad) {
   const std::size_t n = coords.size();
   double cmax = -std::numeric_limits<double>::max();
@@ -75,7 +242,6 @@ double wa_dimension(const std::vector<double>& coords,
     cmax = std::max(cmax, c);
     cmin = std::min(cmin, c);
   }
-  (void)pos_all;
   double se_p = 0.0, sxe_p = 0.0;  // max side, exp shifted by cmax
   double se_m = 0.0, sxe_m = 0.0;  // min side, exp shifted by cmin
   for (double c : coords) {
@@ -107,16 +273,49 @@ double wa_dimension(const std::vector<double>& coords,
 
 }  // namespace
 
-double WaWirelength::evaluate(const std::vector<double>& xc,
-                              const std::vector<double>& yc, double gamma,
-                              std::vector<double>& grad_x,
-                              std::vector<double>& grad_y) const {
-  grad_x.assign(movable_.size(), 0.0);
-  grad_y.assign(movable_.size(), 0.0);
-  const std::int64_t n_nets = static_cast<std::int64_t>(nets_.size());
-  if (n_nets == 0) return 0.0;
+void WaWirelength::build_legacy_nets() const {
+  const GpSoA& s = *soa_;
+  const std::size_t n_nets = s.num_nets();
+  legacy_nets_.resize(n_nets);
+  for (std::size_t un = 0; un < n_nets; ++un) {
+    LegacyNet& net = legacy_nets_[un];
+    net.weight = s.net_weight[un];
+    const std::int64_t s0 = s.net_start[un];
+    const std::int64_t s1 = s.net_start[un + 1];
+    net.pins.reserve(static_cast<std::size_t>(s1 - s0));
+    for (std::int64_t sl = s0; sl < s1; ++sl) {
+      const std::size_t us = static_cast<std::size_t>(sl);
+      LegacyNetPin p;
+      p.ordinal = s.pin_ord[us];
+      if (p.ordinal >= 0) {
+        p.ox = s.pin_ox[us];
+        p.oy = s.pin_oy[us];
+        p.fx = p.fy = 0.0;
+      } else {
+        p.ox = p.oy = 0.0;
+        p.fx = s.pin_ox[us];
+        p.fy = s.pin_oy[us];
+      }
+      net.pins.push_back(p);
+    }
+  }
+}
 
-  // Per-chunk net walk; accumulates into the given gradient buffers.
+double WaWirelength::evaluate_legacy(const std::vector<double>& xc,
+                                     const std::vector<double>& yc,
+                                     double gamma, std::vector<double>& grad_x,
+                                     std::vector<double>& grad_y) const {
+  const GpSoA& s = *soa_;
+  const std::size_t n_mov = s.num_movable();
+  grad_x.assign(n_mov, 0.0);
+  grad_y.assign(n_mov, 0.0);
+  const std::int64_t n_nets = static_cast<std::int64_t>(s.num_nets());
+  if (n_nets == 0) return 0.0;
+  if (legacy_nets_.size() != s.num_nets()) build_legacy_nets();
+
+  // Per-chunk net walk over the AoS replica (the retired kernel's data
+  // structure, pointer-chase and all); accumulates into the given
+  // gradient buffers.
   const auto eval_chunk = [&](std::int64_t nb, std::int64_t ne,
                               std::vector<double>& gx,
                               std::vector<double>& gy) {
@@ -124,13 +323,14 @@ double WaWirelength::evaluate(const std::vector<double>& xc,
     std::vector<double> px, py;
     std::vector<std::int32_t> ords;
     for (std::int64_t ni = nb; ni < ne; ++ni) {
-      const CompiledNet& net = nets_[static_cast<std::size_t>(ni)];
+      const LegacyNet& net = legacy_nets_[static_cast<std::size_t>(ni)];
       const std::size_t n = net.pins.size();
+      const double weight = net.weight;
       px.resize(n);
       py.resize(n);
       ords.resize(n);
       for (std::size_t k = 0; k < n; ++k) {
-        const NetPin& p = net.pins[k];
+        const LegacyNetPin& p = net.pins[k];
         ords[k] = p.ordinal;
         if (p.ordinal >= 0) {
           px[k] = xc[static_cast<std::size_t>(p.ordinal)] + p.ox;
@@ -140,8 +340,8 @@ double WaWirelength::evaluate(const std::vector<double>& xc,
           py[k] = p.fy;
         }
       }
-      total += net.weight * wa_dimension(px, ords, xc, gamma, net.weight, gx);
-      total += net.weight * wa_dimension(py, ords, yc, gamma, net.weight, gy);
+      total += weight * wa_dimension(px, ords, gamma, weight, gx);
+      total += weight * wa_dimension(py, ords, gamma, weight, gy);
     }
     return total;
   };
@@ -159,8 +359,8 @@ double WaWirelength::evaluate(const std::vector<double>& xc,
       [&](std::int64_t nb, std::int64_t ne, int c) {
         auto& gx = scratch_gx_[static_cast<std::size_t>(c)];
         auto& gy = scratch_gy_[static_cast<std::size_t>(c)];
-        gx.assign(movable_.size(), 0.0);
-        gy.assign(movable_.size(), 0.0);
+        gx.assign(n_mov, 0.0);
+        gy.assign(n_mov, 0.0);
         chunk_total_[static_cast<std::size_t>(c)] = eval_chunk(nb, ne, gx, gy);
       },
       kMaxNetChunks);
@@ -168,7 +368,7 @@ double WaWirelength::evaluate(const std::vector<double>& xc,
   // Ordered merge: cell i's gradient is the chunk partials summed in
   // chunk order, regardless of which workers produced them.
   par::parallel_for(
-      0, static_cast<std::int64_t>(movable_.size()), 4096,
+      0, static_cast<std::int64_t>(n_mov), 4096,
       [&](std::int64_t b, std::int64_t e, int) {
         for (std::int64_t i = b; i < e; ++i) {
           const std::size_t si = static_cast<std::size_t>(i);
@@ -187,9 +387,11 @@ double WaWirelength::evaluate(const std::vector<double>& xc,
   return total;
 }
 
+// --- HPWL ---------------------------------------------------------------
+
 double WaWirelength::hpwl(const std::vector<double>& xc,
                           const std::vector<double>& yc) const {
-  const std::int64_t n_nets = static_cast<std::int64_t>(nets_.size());
+  const std::int64_t n_nets = static_cast<std::int64_t>(soa_->num_nets());
   return par::parallel_reduce(
       0, n_nets, kNetGrain, 0.0,
       [&](std::int64_t nb, std::int64_t ne) {
@@ -201,26 +403,27 @@ double WaWirelength::hpwl(const std::vector<double>& xc,
 double WaWirelength::hpwl_chunk(const std::vector<double>& xc,
                                 const std::vector<double>& yc,
                                 std::int64_t nb, std::int64_t ne) const {
+  const GpSoA& s = *soa_;
+  const double* xp = xc.data();
+  const double* yp = yc.data();
   double total = 0.0;
   for (std::int64_t ni = nb; ni < ne; ++ni) {
-    const CompiledNet& net = nets_[static_cast<std::size_t>(ni)];
+    const std::size_t un = static_cast<std::size_t>(ni);
+    const std::int64_t s0 = s.net_start[un];
+    const std::int64_t s1 = s.net_start[un + 1];
     double xlo = std::numeric_limits<double>::max(), xhi = -xlo;
     double ylo = xlo, yhi = xhi;
-    for (const NetPin& p : net.pins) {
-      double x, y;
-      if (p.ordinal >= 0) {
-        x = xc[static_cast<std::size_t>(p.ordinal)] + p.ox;
-        y = yc[static_cast<std::size_t>(p.ordinal)] + p.oy;
-      } else {
-        x = p.fx;
-        y = p.fy;
-      }
+    for (std::int64_t sl = s0; sl < s1; ++sl) {
+      const std::size_t us = static_cast<std::size_t>(sl);
+      const std::int32_t ord = s.pin_ord[us];
+      const double x = ord >= 0 ? xp[ord] + s.pin_ox[us] : s.pin_ox[us];
+      const double y = ord >= 0 ? yp[ord] + s.pin_oy[us] : s.pin_oy[us];
       xlo = std::min(xlo, x);
       xhi = std::max(xhi, x);
       ylo = std::min(ylo, y);
       yhi = std::max(yhi, y);
     }
-    total += net.weight * ((xhi - xlo) + (yhi - ylo));
+    total += s.net_weight[un] * ((xhi - xlo) + (yhi - ylo));
   }
   return total;
 }

@@ -1,0 +1,330 @@
+// SoA global-placement core tests: mirror<->Design sync at every commit
+// point (engine commit, legalization/DP commits, snapshot restores),
+// bit-identity of the SoA WA gradient and bucketed rasterization against
+// the retired scalar kernels across PUFFER_THREADS 1/2/8 and PUFFER_SIMD
+// on/off, flow-level placement checksums across the same matrix, and
+// exact equality of the preplanned DctPlan2D transforms with the dct.h
+// free functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "core/flow.h"
+#include "fft/dct.h"
+#include "fft/dct_plan.h"
+#include "gp/engine.h"
+#include "gp/soa.h"
+#include "gp/wirelength.h"
+#include "io/checkpoint.h"
+#include "io/synthetic.h"
+
+namespace puffer {
+namespace {
+
+// Restores the global worker count and the SIMD switch after each test.
+class GpSoaTest : public ::testing::Test {
+ protected:
+  ~GpSoaTest() override {
+    par::set_num_threads(0);
+    simd::set_enabled(true);
+  }
+};
+
+SyntheticSpec small_spec(std::uint64_t seed = 17) {
+  SyntheticSpec spec;
+  spec.name = "soa";
+  spec.seed = seed;
+  spec.num_cells = 300;
+  spec.num_nets = 450;
+  spec.num_macros = 2;
+  spec.target_utilization = 0.78;
+  spec.v_capacity_factor = 0.55;
+  return spec;
+}
+
+PufferConfig small_flow_config() {
+  PufferConfig cfg;
+  cfg.gp.max_iters = 250;
+  cfg.padding.xi = 3;
+  cfg.num_threads = 0;  // tests pin the global count themselves
+  return cfg;
+}
+
+std::uint64_t placement_checksum(const Design& d) {
+  BinaryWriter w;
+  for (const Cell& c : d.cells) {
+    w.put_f64(c.x);
+    w.put_f64(c.y);
+  }
+  return fnv1a_bytes(w.buffer().data(), w.buffer().size());
+}
+
+TEST_F(GpSoaTest, BuildMirrorsDesignExactly) {
+  Design d = generate_synthetic(small_spec());
+  GpSoA soa;
+  soa.build(d);
+
+  ASSERT_GT(soa.num_movable(), 0u);
+  ASSERT_GT(soa.num_nets(), 0u);
+  EXPECT_TRUE(soa.matches(d));
+
+  // Every movable ordinal round-trips through ordinal_of_cell, and the
+  // mirrored center is the exact expression x + width*0.5.
+  for (std::size_t i = 0; i < soa.num_movable(); ++i) {
+    const CellId id = soa.cell_ids[i];
+    const Cell& c = d.cells[static_cast<std::size_t>(id)];
+    EXPECT_TRUE(c.movable());
+    EXPECT_EQ(soa.ordinal_of_cell[static_cast<std::size_t>(id)],
+              static_cast<std::int32_t>(i));
+    EXPECT_EQ(soa.cx[i], c.x + c.width * 0.5);
+    EXPECT_EQ(soa.cy[i], c.y + c.height * 0.5);
+    EXPECT_EQ(soa.cw[i], c.width);
+  }
+  // CSR sanity: slot counts agree between the net-major and the
+  // transposed cell-major views (fixed-pin slots appear only net-major).
+  EXPECT_EQ(soa.net_start.back(),
+            static_cast<std::int64_t>(soa.num_slots()));
+  std::int64_t movable_slots = 0;
+  for (std::size_t s = 0; s < soa.num_slots(); ++s) {
+    if (soa.pin_ord[s] >= 0) ++movable_slots;
+  }
+  EXPECT_EQ(soa.cell_start.back(), movable_slots);
+}
+
+TEST_F(GpSoaTest, PullPushSyncAfterExternalCommits) {
+  Design d = generate_synthetic(small_spec());
+  GpSoA soa;
+  soa.build(d);
+  EXPECT_TRUE(soa.matches(d));
+
+  // A full flow commits GP results, discretized padding, legalization,
+  // and detailed placement into the Design behind the mirror's back.
+  PufferConfig cfg = small_flow_config();
+  cfg.run_dp = true;
+  PufferFlow flow(d, cfg);
+  flow.run();
+  EXPECT_FALSE(soa.matches(d));  // mirror is stale at this commit point
+
+  soa.pull_positions(d);
+  EXPECT_TRUE(soa.matches(d));
+
+  // push_positions writes centers back as lower-left corners, bitwise.
+  const std::uint64_t before = placement_checksum(d);
+  soa.cx[0] += 3.5;
+  soa.cy[0] -= 1.25;
+  soa.push_positions(d);
+  EXPECT_TRUE(soa.matches(d));
+  EXPECT_NE(placement_checksum(d), before);
+  const Cell& moved = d.cells[static_cast<std::size_t>(soa.cell_ids[0])];
+  EXPECT_EQ(moved.x, soa.cx[0] - moved.width * 0.5);
+  EXPECT_EQ(moved.y, soa.cy[0] - moved.height * 0.5);
+}
+
+TEST_F(GpSoaTest, EngineCommitAndSnapshotRestoreKeepMirrorInSync) {
+  // Engine commit: sync_to_design() must leave the engine's own mirror
+  // matching the Design.
+  Design d = generate_synthetic(small_spec());
+  GpConfig gp;
+  gp.max_iters = 40;
+  EPlaceEngine eng(d, gp);
+  for (int i = 0; i < 10; ++i) eng.step();
+  eng.sync_to_design();
+  EXPECT_TRUE(eng.soa().matches(d));
+
+  // Snapshot restore: run_from() on a fresh Design is an external commit
+  // like any other -- a mirror built before it goes stale and re-syncs.
+  Design d2 = generate_synthetic(small_spec());
+  PufferFlow flow(d2, small_flow_config());
+  FlowSnapshot snap;
+  flow.run_prefix(0.45, RngStream(7), &snap);
+  GpSoA mirror;
+  mirror.build(d2);
+  EXPECT_TRUE(mirror.matches(d2));
+  flow.run_from(snap);
+  EXPECT_FALSE(mirror.matches(d2));
+  mirror.pull_positions(d2);
+  EXPECT_TRUE(mirror.matches(d2));
+  EXPECT_EQ(mirror.position_checksum(), [&] {
+    GpSoA fresh;
+    fresh.build(d2);
+    return fresh.position_checksum();
+  }());
+}
+
+TEST_F(GpSoaTest, GradientBitIdenticalToLegacyAcrossThreadsAndSimd) {
+  Design d = generate_synthetic(small_spec());
+  WaWirelength wl(d);
+  std::vector<double> xc, yc;
+  for (CellId c : wl.movable_cells()) {
+    const Cell& cell = d.cells[static_cast<std::size_t>(c)];
+    xc.push_back(cell.x + cell.width * 0.5);
+    yc.push_back(cell.y + cell.height * 0.5);
+  }
+
+  // Reference bits: the retired scalar kernel, serial.
+  par::set_num_threads(1);
+  wl.use_legacy_kernels(true);
+  std::vector<double> rgx, rgy;
+  const double ref_total = wl.evaluate(xc, yc, 4.0, rgx, rgy);
+  const double ref_hpwl = wl.hpwl(xc, yc);
+
+  for (const int threads : {1, 2, 8}) {
+    par::set_num_threads(threads);
+    for (const bool legacy : {true, false}) {
+      wl.use_legacy_kernels(legacy);
+      for (const bool simd_on : {true, false}) {
+        simd::set_enabled(simd_on);
+        std::vector<double> gx, gy;
+        EXPECT_EQ(wl.evaluate(xc, yc, 4.0, gx, gy), ref_total)
+            << "threads=" << threads << " legacy=" << legacy
+            << " simd=" << simd_on;
+        EXPECT_EQ(gx, rgx) << "threads=" << threads << " legacy=" << legacy
+                           << " simd=" << simd_on;
+        EXPECT_EQ(gy, rgy) << "threads=" << threads << " legacy=" << legacy
+                           << " simd=" << simd_on;
+        EXPECT_EQ(wl.hpwl(xc, yc), ref_hpwl) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(GpSoaTest, RasterizeBitIdenticalToLegacyAcrossThreads) {
+  GpConfig legacy_cfg;
+  legacy_cfg.legacy_kernels = true;
+  Design d1 = generate_synthetic(small_spec());
+  EPlaceEngine legacy_eng(d1, legacy_cfg);
+  Design d2 = generate_synthetic(small_spec());
+  EPlaceEngine soa_eng(d2, GpConfig{});
+  const std::vector<double> x = legacy_eng.solver_x();
+  const std::vector<double> y = legacy_eng.solver_y();
+  ASSERT_EQ(x, soa_eng.solver_x());  // same spec -> same elements
+
+  par::set_num_threads(1);
+  const std::vector<double> ref = legacy_eng.rasterize_probe(x, y).raw();
+  for (const int threads : {1, 2, 8}) {
+    par::set_num_threads(threads);
+    EXPECT_EQ(legacy_eng.rasterize_probe(x, y).raw(), ref)
+        << "legacy threads=" << threads;
+    EXPECT_EQ(soa_eng.rasterize_probe(x, y).raw(), ref)
+        << "soa threads=" << threads;
+  }
+}
+
+TEST_F(GpSoaTest, FlowChecksumInvariantAcrossThreadsSimdAndKernelPath) {
+  std::uint64_t ref = 0;
+  bool have_ref = false;
+  for (const int threads : {1, 2, 8}) {
+    par::set_num_threads(threads);
+    for (const bool simd_on : {true, false}) {
+      simd::set_enabled(simd_on);
+      Design d = generate_synthetic(small_spec());
+      PufferFlow flow(d, small_flow_config());
+      flow.run();
+      const std::uint64_t sum = placement_checksum(d);
+      if (!have_ref) {
+        ref = sum;
+        have_ref = true;
+      }
+      EXPECT_EQ(sum, ref) << "threads=" << threads << " simd=" << simd_on;
+    }
+  }
+  // The retired scalar path reproduces the same final placement.
+  simd::set_enabled(true);
+  par::set_num_threads(1);
+  Design d = generate_synthetic(small_spec());
+  PufferConfig cfg = small_flow_config();
+  cfg.gp.legacy_kernels = true;
+  PufferFlow flow(d, cfg);
+  flow.run();
+  EXPECT_EQ(placement_checksum(d), ref);
+}
+
+TEST_F(GpSoaTest, DctPlanMatchesFreeFunctionsBitwise) {
+  const std::size_t nx = 32, ny = 16;  // non-square on purpose
+  std::vector<double> data(nx * ny);
+  Rng rng(123);
+  for (double& v : data) v = rng.uniform(-2.0, 2.0);
+
+  DctPlan2D plan(nx, ny);
+  std::vector<double> out;
+  for (const int threads : {1, 2, 8}) {
+    par::set_num_threads(threads);
+    plan.dct2_2d(data, out);
+    EXPECT_EQ(out, dct2_2d(data, nx, ny)) << "threads=" << threads;
+    plan.dct3_raw_2d(data, out);
+    EXPECT_EQ(out, dct3_raw_2d(data, nx, ny)) << "threads=" << threads;
+    plan.idxst_dct3_2d(data, out);
+    EXPECT_EQ(out, idxst_dct3_2d(data, nx, ny)) << "threads=" << threads;
+    plan.dct3_idxst_2d(data, out);
+    EXPECT_EQ(out, dct3_idxst_2d(data, nx, ny)) << "threads=" << threads;
+  }
+
+  // Aliased in/out is allowed.
+  std::vector<double> inplace = data;
+  plan.dct2_2d(inplace, inplace);
+  EXPECT_EQ(inplace, dct2_2d(data, nx, ny));
+
+  EXPECT_THROW(DctPlan2D(24, 16), std::invalid_argument);
+}
+
+TEST_F(GpSoaTest, SimdHelpersMatchScalarBitwise) {
+  // The vector helpers must agree with their scalar fallbacks bit-for-bit
+  // on every lane, including the tail and signed zeros.
+  Rng rng(99);
+  const std::size_t n = 257;  // odd: exercises the scalar tail
+  std::vector<double> a(n), b(n), lo(n), hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-10.0, 10.0);
+    b[i] = rng.uniform(-10.0, 10.0);
+    lo[i] = -5.0;
+    hi[i] = 5.0;
+  }
+  a[0] = -0.0;
+  b[0] = 0.0;
+
+  std::vector<double> v1(n), v2(n);
+  auto expect_lanes_equal = [&](const char* op) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v1[i], v2[i]) << op << " lane " << i;
+      ASSERT_EQ(std::signbit(v1[i]), std::signbit(v2[i]))
+          << op << " lane " << i;
+    }
+  };
+
+  simd::set_enabled(true);
+  simd::sub_scaled(a.data(), b.data(), 0.37, v1.data(), n);
+  simd::set_enabled(false);
+  simd::sub_scaled(a.data(), b.data(), 0.37, v2.data(), n);
+  expect_lanes_equal("sub_scaled");
+
+  simd::set_enabled(true);
+  simd::extrapolate(a.data(), b.data(), 1.62, v1.data(), n);
+  simd::set_enabled(false);
+  simd::extrapolate(a.data(), b.data(), 1.62, v2.data(), n);
+  expect_lanes_equal("extrapolate");
+
+  simd::set_enabled(true);
+  simd::add(a.data(), b.data(), v1.data(), n);
+  simd::set_enabled(false);
+  simd::add(a.data(), b.data(), v2.data(), n);
+  expect_lanes_equal("add");
+
+  simd::set_enabled(true);
+  v1 = a;
+  simd::clamp_to(v1.data(), lo.data(), hi.data(), n);
+  simd::set_enabled(false);
+  v2 = a;
+  simd::clamp_to(v2.data(), lo.data(), hi.data(), n);
+  expect_lanes_equal("clamp_to");
+
+  simd::set_enabled(true);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -392,5 +392,50 @@ TEST_F(ParallelTest, ConcurrentLeasedSessionsMatchSerial) {
   EXPECT_EQ(concurrent, serial);
 }
 
+TEST_F(ParallelTest, KeepWarmScopeDoesNotChangeResults) {
+  // Back-to-back kernels inside a keep-warm region (the GP loop shape)
+  // fold to exactly the cold-pool result. Force the spin path with an
+  // explicit budget so the test exercises it even when the pool
+  // oversubscribes the hardware (where the auto policy disables it), and
+  // run enough kernel rounds that workers hit both the spin-hit and the
+  // spin-timeout-then-park paths. Runs under TSAN in the sanitizer lane.
+  par::set_num_threads(4);
+  const std::int64_t n = 10007;
+  const auto fold = [&] {
+    double total = 0.0;
+    for (int round = 0; round < 50; ++round) {
+      total += par::parallel_reduce(
+          0, n, 64, 0.0, [round](std::int64_t b, std::int64_t e) {
+            double s = 0.0;
+            for (std::int64_t i = b; i < e; ++i) {
+              s += std::sin(static_cast<double>(i + round)) * 1e-3;
+            }
+            return s;
+          });
+    }
+    return total;
+  };
+  const double cold = fold();
+
+  par::set_warm_spin_iters(2000);
+  {
+    par::KeepWarmScope warm;
+    EXPECT_EQ(fold(), cold);
+    {
+      par::KeepWarmScope nested;  // scopes nest (a counter)
+      EXPECT_EQ(fold(), cold);
+    }
+    EXPECT_EQ(fold(), cold);
+  }
+  // Spinning disabled entirely: still the same bits.
+  par::set_warm_spin_iters(0);
+  {
+    par::KeepWarmScope warm;
+    EXPECT_EQ(fold(), cold);
+  }
+  par::set_warm_spin_iters(-1);  // restore the auto policy
+  EXPECT_EQ(fold(), cold);
+}
+
 }  // namespace
 }  // namespace puffer
