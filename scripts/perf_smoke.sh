@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Perf-smoke gate for the SoA global-placement core.
+# Perf-smoke gate for the SoA global-placement core and the padding
+# feature pipeline.
 #
-# Runs bench_parallel_hotpaths at a small PUFFER_SCALE and checks the
-# determinism evidence it emits:
+# Runs bench_parallel_hotpaths and bench_padding_features at a small
+# PUFFER_SCALE and checks the determinism evidence they emit:
 #
-#   1. bit_identical must be "yes" -- the final placement checksum agrees
-#      across PUFFER_THREADS 1/2/8, with PUFFER_SIMD off, and with the
-#      legacy scalar kernels, all within this run (machine-independent).
+#   1. bit_identical must be "yes" in both -- the final placement (and
+#      feature) checksums agree across PUFFER_THREADS 1/2/8, with
+#      PUFFER_SIMD off, with the legacy scalar GP kernels, and across the
+#      padding extractor modes (fast-incremental, legacy oracle,
+#      non-incremental), all within this run (machine-independent).
 #   2. Every checksum_* field must equal the committed reference, so a
 #      placement-changing regression cannot land silently even if it
 #      changes all configurations consistently. The reference is tied to
@@ -15,9 +18,14 @@
 #      toolchain bump, regenerate with:
 #
 #        PUFFER_SCALE=512 PUFFER_THREADS=8 ./build/bench/bench_parallel_hotpaths
-#        grep -E '"(checksum_|bit_identical)' \
-#            bench_results/BENCH_parallel_hotpaths.json \
-#            > bench_results/REFERENCE_perf_smoke_checksums.txt
+#        PUFFER_SCALE=512 PUFFER_THREADS=8 ./build/bench/bench_padding_features
+#        { echo "== parallel_hotpaths =="
+#          grep -E '"(checksum_|bit_identical)' \
+#              bench_results/BENCH_parallel_hotpaths.json
+#          echo "== padding_features =="
+#          grep -E '"(checksum_|bit_identical)' \
+#              bench_results/BENCH_padding_features.json
+#        } > bench_results/REFERENCE_perf_smoke_checksums.txt
 #
 # Timings in the JSON are informational at smoke scale (CI machines are
 # noisy); the full-scale numbers live in the committed BENCH_*.json.
@@ -27,39 +35,50 @@ set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
 SCALE="${PUFFER_SCALE:-512}"
-BIN="$BUILD_DIR/bench/bench_parallel_hotpaths"
-OUT="bench_results/BENCH_parallel_hotpaths.json"
 REF="bench_results/REFERENCE_perf_smoke_checksums.txt"
+BENCHES=(parallel_hotpaths padding_features)
 
-if [ ! -x "$BIN" ]; then
-  echo "missing $BIN -- build the repo first" >&2
-  exit 2
-fi
+for name in "${BENCHES[@]}"; do
+  if [ ! -x "$BUILD_DIR/bench/bench_$name" ]; then
+    echo "missing $BUILD_DIR/bench/bench_$name -- build the repo first" >&2
+    exit 2
+  fi
+done
 if [ ! -f "$REF" ]; then
   echo "missing reference $REF -- see the regeneration command above" >&2
   exit 2
 fi
 
-# The bench overwrites the committed full-scale JSON; keep a copy so the
-# smoke run leaves the checkout clean.
-SAVED=""
-if [ -f "$OUT" ]; then
-  SAVED="$(mktemp)"
-  cp "$OUT" "$SAVED"
-fi
-restore() { [ -n "$SAVED" ] && mv "$SAVED" "$OUT" || true; }
-
-echo "== bench_parallel_hotpaths (PUFFER_SCALE=$SCALE, PUFFER_THREADS=8) =="
-PUFFER_SCALE="$SCALE" PUFFER_THREADS=8 "$BIN"
+# The benches overwrite the committed full-scale JSONs; keep copies so
+# the smoke run leaves the checkout clean.
+SAVED_DIR="$(mktemp -d)"
+for name in "${BENCHES[@]}"; do
+  OUT="bench_results/BENCH_$name.json"
+  [ -f "$OUT" ] && cp "$OUT" "$SAVED_DIR/"
+done
+restore() {
+  for name in "${BENCHES[@]}"; do
+    [ -f "$SAVED_DIR/BENCH_$name.json" ] &&
+      mv "$SAVED_DIR/BENCH_$name.json" "bench_results/BENCH_$name.json"
+  done
+  rmdir "$SAVED_DIR" 2>/dev/null || true
+}
 
 GOT="$(mktemp)"
-grep -E '"(checksum_|bit_identical)' "$OUT" > "$GOT"
+for name in "${BENCHES[@]}"; do
+  echo "== bench_$name (PUFFER_SCALE=$SCALE, PUFFER_THREADS=8) =="
+  PUFFER_SCALE="$SCALE" PUFFER_THREADS=8 "$BUILD_DIR/bench/bench_$name"
+  echo "== $name ==" >> "$GOT"
+  grep -E '"(checksum_|bit_identical)' "bench_results/BENCH_$name.json" \
+    >> "$GOT"
+done
+
 mkdir -p bench_results
 cp "$GOT" bench_results/perf_smoke_checksums.txt  # CI artifact
 restore
 
-if ! grep -q '"bit_identical": "yes"' "$GOT"; then
-  echo "FAIL: run is not bit-identical across threads/SIMD/kernel paths:"
+if [ "$(grep -c '"bit_identical": "yes"' "$GOT")" -ne "${#BENCHES[@]}" ]; then
+  echo "FAIL: a run is not bit-identical across threads/SIMD/extractor paths:"
   cat "$GOT"
   exit 1
 fi
@@ -69,4 +88,4 @@ if ! diff -u "$REF" "$GOT"; then
   echo "(command in the header of this script) and commit it."
   exit 1
 fi
-echo "PASS: bit-identical run, checksums match the committed reference"
+echo "PASS: bit-identical runs, checksums match the committed reference"

@@ -46,6 +46,7 @@ void DemandLedger::reset(std::size_t num_nets, std::size_t num_pins,
   dirty_ = Map2D<std::uint32_t>(grid.nx(), grid.ny());
   row_dirty_.assign(static_cast<std::size_t>(grid.ny()), 0);
   col_dirty_.assign(static_cast<std::size_t>(grid.nx()), 0);
+  round_cells_.clear();
   epoch_ = 0;
   initialized_ = true;
 }
@@ -231,6 +232,7 @@ void DemandLedger::load(BinaryReader& r, const GcellGrid& grid) {
   dirty_ = Map2D<std::uint32_t>(grid.nx(), grid.ny());
   row_dirty_.assign(static_cast<std::size_t>(grid.ny()), 0);
   col_dirty_.assign(static_cast<std::size_t>(grid.nx()), 0);
+  round_cells_.clear();
   epoch_ = 0;
   initialized_ = true;
 }

@@ -118,12 +118,24 @@ class DemandLedger {
   std::vector<double>& cell_y() { return cell_y_; }
 
   // --- dirty-cell tracking (epoch-stamped, no clearing) ------------------
-  void begin_round() { ++epoch_; }
+  void begin_round() {
+    ++epoch_;
+    round_cells_.clear();
+  }
   void mark(int gx, int gy) {
+    if (dirty_.at(gx, gy) != epoch_) {
+      round_cells_.push_back(
+          static_cast<std::int32_t>(gy) * static_cast<std::int32_t>(dirty_.nx()) +
+          static_cast<std::int32_t>(gx));
+    }
     dirty_.at(gx, gy) = epoch_;
     row_dirty_[static_cast<std::size_t>(gy)] = epoch_;
     col_dirty_[static_cast<std::size_t>(gx)] = epoch_;
   }
+  // Flat (gy * nx + gx) indices of every Gcell marked since begin_round(),
+  // deduplicated in first-mark order. Downstream per-Gcell consumers (the
+  // padding feature extractor) use this as the round's change set.
+  const std::vector<std::int32_t>& round_cells() const { return round_cells_; }
   void mark_span_cells(const LedgerSpan& s) {
     for (int gy = s.y0; gy <= s.y1; ++gy) {
       for (int gx = s.x0; gx <= s.x1; ++gx) mark(gx, gy);
@@ -165,6 +177,7 @@ class DemandLedger {
   std::vector<double> cell_x_, cell_y_;
   Map2D<std::uint32_t> dirty_;
   std::vector<std::uint32_t> row_dirty_, col_dirty_;
+  std::vector<std::int32_t> round_cells_;
   std::uint32_t epoch_ = 0;
 };
 

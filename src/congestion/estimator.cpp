@@ -1,6 +1,7 @@
 #include "congestion/estimator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logger.h"
@@ -12,6 +13,10 @@ namespace puffer {
 
 namespace {
 constexpr const char* kTag = "congestion";
+
+// Process-unique estimator identities for CongestionDelta::source_uid
+// (0 is reserved for "no source").
+std::atomic<std::uint64_t> g_estimator_uid{0};
 }
 
 CongestionEstimator::CongestionEstimator(const Design& design,
@@ -22,7 +27,8 @@ CongestionEstimator::CongestionEstimator(const Design& design,
                                       config.rows_per_gcell)),
       capacity_(build_capacity_maps(design, grid_)),
       cache_(design.nets.size(), config.cache_quantum,
-             config.enable_rsmt_cache) {}
+             config.enable_rsmt_cache),
+      uid_(g_estimator_uid.fetch_add(1, std::memory_order_relaxed) + 1) {}
 
 namespace {
 
@@ -313,6 +319,11 @@ CongestionResult CongestionEstimator::estimate() const {
                 nullptr);
   result.trees = std::move(b.trees);
   result.expanded_segments = expand_all(result.trees, result.maps, nullptr);
+  result.delta.source_uid = uid_;
+  result.delta.revision = ++revision_;
+  // A const estimate() does not touch the ledger, so the next incremental
+  // round's marks are relative to the ledger state, not to this result.
+  last_from_ledger_ = false;
   return result;
 }
 
@@ -356,9 +367,9 @@ CongestionResult CongestionEstimator::rebuild_full() {
 // pin layer on Gcells whose pin count changed, then re-run detour
 // expansion only where the demand state differs from the previous round
 // (recorded decisions are replayed verbatim elsewhere).
-CongestionResult CongestionEstimator::incremental_pass(int& dirty_nets,
-                                                       int& replayed,
-                                                       int& redecided) {
+CongestionResult CongestionEstimator::incremental_pass(
+    int& dirty_nets, int& replayed, int& redecided,
+    std::vector<std::int32_t>* dirty_net_ids) {
   const std::size_t n_nets = design_.nets.size();
   ledger_.begin_round();
 
@@ -418,6 +429,7 @@ CongestionResult CongestionEstimator::incremental_pass(int& dirty_nets,
   for (std::size_t n = 0; n < n_nets; ++n) {
     if (!dirty[n]) continue;
     ++dirty_nets;
+    if (dirty_net_ids) dirty_net_ids->push_back(static_cast<std::int32_t>(n));
     DemandLedger::NetEntry& e = ledger_.entry(n);
     for (const LedgerSpan& s : e.spans) {
       DemandLedger::apply_span(s, base_h, base_v, -1.0);
@@ -622,21 +634,33 @@ CongestionResult CongestionEstimator::estimate_incremental() {
       !ledger_ok || (config_.full_rebuild_interval > 0 &&
                      calls_since_rebuild_ >= config_.full_rebuild_interval);
 
+  // Delta continuity: this round's ledger marks cover the changes vs the
+  // previous result only if that result itself came from the ledger.
+  const bool prev_from_ledger = last_from_ledger_;
+
   CongestionResult result;
   int dirty = 0, replayed = 0, redecided = 0;
   if (!full) {
-    result = incremental_pass(dirty, replayed, redecided);
+    std::vector<std::int32_t> dirty_ids;
+    result = incremental_pass(dirty, replayed, redecided, &dirty_ids);
     ++calls_since_rebuild_;
     // Clean nets are logical topology-cache hits served by the ledger.
     cache_.add_hits(static_cast<std::uint64_t>(n_nets) -
                     static_cast<std::uint64_t>(dirty));
+    result.delta.valid = prev_from_ledger;
+    result.delta.dirty_gcells = ledger_.round_cells();
+    result.delta.dirty_nets = std::move(dirty_ids);
+    result.delta.source_uid = uid_;
+    result.delta.revision = ++revision_;
+    last_from_ledger_ = true;
   } else if (!can_use_ledger) {
-    result = estimate();
+    result = estimate();  // stamps the delta identity itself
   } else if (ledger_ok && config_.verify_rebuild) {
     // Exact-fallback rebuild: run the ledger path first, then rebuild from
     // scratch and check the two are bit-identical (the ledger must never
     // drift). The fresh result is what callers get either way.
-    const CongestionResult inc = incremental_pass(dirty, replayed, redecided);
+    const CongestionResult inc =
+        incremental_pass(dirty, replayed, redecided, nullptr);
     result = rebuild_full();
     const bool same = inc.maps.dmd_h.raw() == result.maps.dmd_h.raw() &&
                       inc.maps.dmd_v.raw() == result.maps.dmd_v.raw() &&
@@ -651,8 +675,14 @@ CongestionResult CongestionEstimator::estimate_incremental() {
                        static_cast<unsigned long long>(
                            demand_checksum(result.maps)));
     }
+    result.delta.source_uid = uid_;
+    result.delta.revision = ++revision_;
+    last_from_ledger_ = true;
   } else {
     result = rebuild_full();
+    result.delta.source_uid = uid_;
+    result.delta.revision = ++revision_;
+    last_from_ledger_ = true;
   }
 
   const double dt = timer.elapsed_seconds();

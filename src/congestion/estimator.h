@@ -72,6 +72,29 @@ struct CongestionConfig {
   bool verify_rebuild = true;
 };
 
+// Dirty-Gcell delta of one estimate relative to the estimator's previous
+// result. Consumers that maintain per-Gcell derived state (the padding
+// feature extractor) re-derive only these cells when the delta is valid
+// AND continuous -- same source_uid as the last result they consumed and
+// revision exactly one ahead -- and fall back to a full self-diff
+// otherwise (e.g. after a rebuild round, a copied/mutated result, or an
+// interleaved estimate() call).
+struct CongestionDelta {
+  // True only on pure incremental rounds whose predecessor result was
+  // also ledger-consistent: dirty_gcells then covers every Gcell whose
+  // demand (and thus congestion) differs from the previous revision.
+  bool valid = false;
+  std::uint64_t source_uid = 0;  // process-unique estimator identity
+  std::uint64_t revision = 0;    // bumped on every estimate of this source
+  std::vector<std::int32_t> dirty_gcells;  // flat (gy * nx + gx) indices
+  // Nets whose RSMT tree / span demand was re-derived this round. Under
+  // the same continuity rules, a consumer that saw revision-1 may treat
+  // any net NOT listed here as having a tree bit-identical to the one in
+  // the previous result (the ledger re-hashes exactly the nets incident
+  // to a moved cell and re-derives those whose quantized key changed).
+  std::vector<std::int32_t> dirty_nets;
+};
+
 struct CongestionResult {
   RoutingMaps maps;
   // Tree for every net, index-aligned with Design::nets. Degree-0/1 nets
@@ -79,6 +102,7 @@ struct CongestionResult {
   std::vector<RsmtTree> trees;
   // Number of I-shaped segments whose demand was moved by the expansion.
   int expanded_segments = 0;
+  CongestionDelta delta;
 };
 
 // Observability for the incremental path (ledger/cache effectiveness).
@@ -166,7 +190,8 @@ class CongestionEstimator {
 
   CongestionResult rebuild_full();
   CongestionResult incremental_pass(int& dirty_nets, int& replayed,
-                                    int& redecided);
+                                    int& redecided,
+                                    std::vector<std::int32_t>* dirty_net_ids);
 
   const Design& design_;
   CongestionConfig config_;
@@ -178,6 +203,16 @@ class CongestionEstimator {
   DemandLedger ledger_;
   IncrementalStats incr_stats_;
   int calls_since_rebuild_ = 0;
+  // Delta identity: uid_ is process-unique (consumers detect "different
+  // estimator object"), revision_ counts estimates (consumers detect
+  // skipped results). estimate() is logically const; the revision is
+  // delta bookkeeping, not estimation state.
+  const std::uint64_t uid_;
+  mutable std::uint64_t revision_ = 0;
+  // True when the previous estimate's maps equal the ledger's applied
+  // state (incremental or rebuild round, not a const estimate()), i.e.
+  // the next round's ledger marks cover all changes vs that result.
+  mutable bool last_from_ledger_ = false;
 };
 
 }  // namespace puffer

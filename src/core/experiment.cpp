@@ -83,6 +83,18 @@ void log_flow_stage_metrics(const std::string& benchmark,
                       100.0 * lg.dirty_row_frac());
     }
   }
+  const PaddingStageMetrics& pf = flow.padding_stage;
+  if (pf.extracts > 0) {
+    PUFFER_LOG_INFO("experiment",
+                    "%s / %s: padding features %.3fs over %d extracts "
+                    "(%d full), %.1f%% gcells dirty, incidence hit %.0f%%, "
+                    "drift %llu",
+                    benchmark.c_str(), placer_label, pf.feature_time_s,
+                    pf.extracts, pf.full_rebuilds,
+                    100.0 * pf.dirty_gcell_frac(),
+                    100.0 * pf.incidence_hit_rate(),
+                    static_cast<unsigned long long>(pf.drift_count));
+  }
   const OrchestratorStageMetrics& orch = flow.orchestrator;
   if (orch.trials_run > 0 || orch.trials_resumed > 0 ||
       orch.trials_pruned > 0) {

@@ -195,6 +195,7 @@ FlowMetrics PufferFlow::run_internal(const FlowSnapshot* snapshot,
     metrics.runtime_s = total.elapsed_seconds();
     metrics.estimation = estimator_->incremental_stats();
     metrics.rsmt_cache_hit_rate = estimator_->tree_cache().hit_rate();
+    metrics.padding_stage = padder.stage_metrics();
     PUFFER_LOG_INFO(kTag, "flow aborted by round callback after round %d",
                     round);
     return metrics;
@@ -237,6 +238,7 @@ FlowMetrics PufferFlow::run_internal(const FlowSnapshot* snapshot,
   metrics.runtime_s = total.elapsed_seconds();
   metrics.estimation = estimator_->incremental_stats();
   metrics.rsmt_cache_hit_rate = estimator_->tree_cache().hit_rate();
+  metrics.padding_stage = padder.stage_metrics();
   PUFFER_LOG_INFO(kTag, "flow done in %.1fs: hpwl %.4g -> %.4g, %s",
                   metrics.runtime_s, metrics.hpwl_gp, metrics.hpwl_legal,
                   metrics.legality.summary().c_str());
@@ -267,6 +269,19 @@ FlowMetrics PufferFlow::run_internal(const FlowSnapshot* snapshot,
         metrics.estimation.incremental_time_s, metrics.estimation.full_time_s,
         100.0 * metrics.rsmt_cache_hit_rate,
         static_cast<unsigned long long>(metrics.estimation.drift_count));
+  }
+  if (metrics.padding_stage.extracts > 0) {
+    const PaddingStageMetrics& fs = metrics.padding_stage;
+    PUFFER_LOG_INFO(
+        kTag,
+        "padding features: %d extracts (%d full) in %.3fs, %.1f%% gcells "
+        "dirty on incr rounds, incidence hit %.0f%%, nets %lld reused / "
+        "%lld recomputed, drift %llu",
+        fs.extracts, fs.full_rebuilds, fs.feature_time_s,
+        100.0 * fs.dirty_gcell_frac(), 100.0 * fs.incidence_hit_rate(),
+        static_cast<long long>(fs.nets_reused),
+        static_cast<long long>(fs.nets_recomputed),
+        static_cast<unsigned long long>(fs.drift_count));
   }
   return metrics;
 }

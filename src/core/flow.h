@@ -95,6 +95,10 @@ struct FlowMetrics {
   // the padding rounds plus the RSMT topology-cache hit rate.
   IncrementalStats estimation;
   double rsmt_cache_hit_rate = 0.0;
+  // Padding feature-pipeline observability: extraction wall time,
+  // dirty-Gcell fraction, per-net cache hit rates, verified rebuilds
+  // (see padding/features.h).
+  PaddingStageMetrics padding_stage;
   RouterStageMetrics router;
   // Legalization / detailed-placement stage observability (wall time,
   // dirty-row fraction, displacement — see LegalizeResult /

@@ -1,11 +1,19 @@
 #include "padding/features.h"
 
 #include <algorithm>
-#include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "common/logger.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
 namespace puffer {
+
+namespace {
+constexpr const char* kTag = "features";
+}
 
 double FeatureVector::operator[](int i) const {
   switch (i) {
@@ -23,184 +31,968 @@ FeatureExtractor::FeatureExtractor(const Design& design, FeatureConfig config)
 
 namespace {
 
-// Max Cg along a horizontal Gcell span (y fixed) or vertical span.
-double max_cg_h_span(const RoutingMaps& maps, int x0, int x1, int y) {
-  double m = -std::numeric_limits<double>::max();
-  for (int gx = std::min(x0, x1); gx <= std::max(x0, x1); ++gx) {
-    m = std::max(m, maps.cg(gx, y));
-  }
-  return m;
-}
+// Sentinel for "no candidate path" (a pin with no incident segments).
+constexpr std::int64_t kNoPath = std::numeric_limits<std::int64_t>::max();
 
-double max_cg_v_span(const RoutingMaps& maps, int x, int y0, int y1) {
-  double m = -std::numeric_limits<double>::max();
-  for (int gy = std::min(y0, y1); gy <= std::max(y0, y1); ++gy) {
-    m = std::max(m, maps.cg(x, gy));
-  }
-  return m;
-}
+// --- shared integer primitives and final formulas ----------------------
+// Both extractor paths compute identical int64 primitives (span maxima,
+// window sums, per-pin path minima) and feed them through these helpers,
+// so legacy-vs-fast bit-identity follows from integer equality alone.
 
 // Minimum over candidate L and Z paths between Gcells a and b of the
-// maximum Cg along the path (Eq. 13 inner terms).
-double best_path_cg(const RoutingMaps& maps, GcellIndex a, GcellIndex b,
-                    int z_candidates) {
-  if (a.gx == b.gx && a.gy == b.gy) return maps.cg(a.gx, a.gy);
-  if (a.gy == b.gy) return max_cg_h_span(maps, a.gx, b.gx, a.gy);
-  if (a.gx == b.gx) return max_cg_v_span(maps, a.gx, a.gy, b.gy);
+// maximum quantized Cg along the path (Eq. 13 inner terms). h(x0, x1, y)
+// and v(x, y0, y1) are span-maximum functors accepting unordered
+// endpoints.
+template <typename HSpan, typename VSpan>
+std::int64_t best_path_q(int agx, int agy, int bgx, int bgy, int z_candidates,
+                         const HSpan& h, const VSpan& v) {
+  if (agx == bgx && agy == bgy) return h(agx, agx, agy);
+  if (agy == bgy) return h(agx, bgx, agy);
+  if (agx == bgx) return v(agx, agy, bgy);
 
-  double best = std::numeric_limits<double>::max();
   // Two L-shaped paths.
-  best = std::min(best, std::max(max_cg_h_span(maps, a.gx, b.gx, a.gy),
-                                 max_cg_v_span(maps, b.gx, a.gy, b.gy)));
-  best = std::min(best, std::max(max_cg_v_span(maps, a.gx, a.gy, b.gy),
-                                 max_cg_h_span(maps, a.gx, b.gx, b.gy)));
+  std::int64_t best = std::max(h(agx, bgx, agy), v(bgx, agy, bgy));
+  best = std::min(best, std::max(v(agx, agy, bgy), h(agx, bgx, bgy)));
 
   // Z-shaped paths: HVH with an intermediate column, VHV with an
   // intermediate row; sample at most z_candidates interior positions.
-  const int x0 = std::min(a.gx, b.gx), x1 = std::max(a.gx, b.gx);
-  const int y0 = std::min(a.gy, b.gy), y1 = std::max(a.gy, b.gy);
+  const int x0 = std::min(agx, bgx), x1 = std::max(agx, bgx);
+  const int y0 = std::min(agy, bgy), y1 = std::max(agy, bgy);
   const int span_x = x1 - x0, span_y = y1 - y0;
   const int nx = std::min(z_candidates, std::max(0, span_x - 1));
   for (int k = 1; k <= nx; ++k) {
     const int mid = x0 + k * span_x / (nx + 1);
     if (mid <= x0 || mid >= x1) continue;
-    const double cg = std::max({max_cg_h_span(maps, a.gx, mid, a.gy),
-                                max_cg_v_span(maps, mid, a.gy, b.gy),
-                                max_cg_h_span(maps, mid, b.gx, b.gy)});
+    const std::int64_t cg =
+        std::max({h(agx, mid, agy), v(mid, agy, bgy), h(mid, bgx, bgy)});
     best = std::min(best, cg);
   }
   const int ny = std::min(z_candidates, std::max(0, span_y - 1));
   for (int k = 1; k <= ny; ++k) {
     const int mid = y0 + k * span_y / (ny + 1);
     if (mid <= y0 || mid >= y1) continue;
-    const double cg = std::max({max_cg_v_span(maps, a.gx, a.gy, mid),
-                                max_cg_h_span(maps, a.gx, b.gx, mid),
-                                max_cg_v_span(maps, b.gx, mid, b.gy)});
+    const std::int64_t cg =
+        std::max({v(agx, agy, mid), h(agx, bgx, mid), v(bgx, mid, bgy)});
     best = std::min(best, cg);
   }
   return best;
 }
 
+// Same value as best_path_q, evaluated with candidate pruning: a
+// candidate path is abandoned as soon as one of its legs reaches the
+// running best, because its max then cannot lower the minimum -- the
+// returned int64 is bit-identical to the exhaustive evaluation. Used by
+// the fast path, where each leg is an O(1) RMQ lookup and skipping the
+// remaining legs is the dominant saving; the oracle keeps the
+// exhaustive order.
+template <typename Pt, typename HSpan, typename VSpan>
+std::int64_t best_path_q_pruned(int agx, int agy, int bgx, int bgy,
+                                int z_candidates, const Pt& p, const HSpan& h,
+                                const VSpan& v) {
+  if (agx == bgx && agy == bgy) return p(agx, agy);
+  if (agy == bgy) return h(agx, bgx, agy);
+  if (agx == bgx) return v(agx, agy, bgy);
+
+  // Every candidate path passes through both endpoint Gcells, so the
+  // minimum over paths can never drop below the larger endpoint value.
+  // Once the running best reaches that floor, the remaining candidates
+  // cannot improve it and the search stops -- same returned bits. The
+  // point lookups read the quantized map directly (L2-resident) rather
+  // than paying the sparse table's scattered loads.
+  const std::int64_t floor_q = std::max(p(agx, agy), p(bgx, bgy));
+
+  std::int64_t best = std::max(h(agx, bgx, agy), v(bgx, agy, bgy));
+  if (best <= floor_q) return best;
+  const std::int64_t l1 = v(agx, agy, bgy);
+  if (l1 < best) best = std::min(best, std::max(l1, h(agx, bgx, bgy)));
+  if (best <= floor_q) return best;
+
+  const int x0 = std::min(agx, bgx), x1 = std::max(agx, bgx);
+  const int y0 = std::min(agy, bgy), y1 = std::max(agy, bgy);
+  const int span_x = x1 - x0, span_y = y1 - y0;
+  const int nx = std::min(z_candidates, std::max(0, span_x - 1));
+  for (int k = 1; k <= nx; ++k) {
+    const int mid = x0 + k * span_x / (nx + 1);
+    if (mid <= x0 || mid >= x1) continue;
+    const std::int64_t a = h(agx, mid, agy);
+    if (a >= best) continue;
+    const std::int64_t b = v(mid, agy, bgy);
+    if (b >= best) continue;
+    best = std::min(best, std::max({a, b, h(mid, bgx, bgy)}));
+    if (best <= floor_q) return best;
+  }
+  const int ny = std::min(z_candidates, std::max(0, span_y - 1));
+  for (int k = 1; k <= ny; ++k) {
+    const int mid = y0 + k * span_y / (ny + 1);
+    if (mid <= y0 || mid >= y1) continue;
+    const std::int64_t a = v(agx, agy, mid);
+    if (a >= best) continue;
+    const std::int64_t b = h(agx, bgx, mid);
+    if (b >= best) continue;
+    best = std::min(best, std::max({a, b, v(bgx, mid, bgy)}));
+    if (best <= floor_q) return best;
+  }
+  return best;
+}
+
+// Per-pin Eq. 13 minima of one net: for each pin, the minimum over its
+// incident tree segments of best_path_q over the segment's endpoint
+// Gcells. segs(pt, fn) invokes fn(segment_index) for each incident
+// segment of tree point pt.
+template <typename HSpan, typename VSpan, typename SegsOfPoint>
+void pin_best_of_net(const Net& net, const RsmtTree& tree, int z_candidates,
+                     const HSpan& h, const VSpan& v, const SegsOfPoint& segs,
+                     const std::int32_t* pt_gx, const std::int32_t* pt_gy,
+                     std::vector<std::int64_t>& out) {
+  out.assign(net.pins.size(), kNoPath);
+  for (std::size_t k = 0; k < net.pins.size(); ++k) {
+    const int pt = tree.pin_point[k];
+    if (pt < 0) continue;
+    std::int64_t best = kNoPath;
+    segs(pt, [&](int si) {
+      const RsmtSegment& seg = tree.segments[static_cast<std::size_t>(si)];
+      best = std::min(
+          best, best_path_q(pt_gx[seg.a], pt_gy[seg.a], pt_gx[seg.b],
+                            pt_gy[seg.b], z_candidates, h, v));
+    });
+    out[k] = best;
+  }
+}
+
+// Signed deviation of a quantized pin density from the design-wide mean
+// (in quantum units); raw value when the mean is zero (empty design).
+double pd_norm_value(std::int64_t q, double mean_q) {
+  return mean_q > 0.0 ? static_cast<double>(q) / mean_q - 1.0
+                      : dequantize_feature(q);
+}
+
+double window_mean_cg(std::int64_t sum, int count) {
+  return dequantize_feature(sum) / static_cast<double>(count);
+}
+
+double window_mean_pd(std::int64_t sum, int count, double mean_q) {
+  return mean_q > 0.0 ? static_cast<double>(sum) / static_cast<double>(count) /
+                            mean_q -
+                            1.0
+                      : dequantize_feature(sum) / static_cast<double>(count);
+}
+
+// Free sites per Gcell: Gcell area minus overlapped macro area, in site
+// units, floored at one site. Accumulation order (cell index, then
+// row-major Gcells) is fixed so both extractor paths produce the same
+// bits.
+std::vector<double> build_sites(const Design& design, const GcellGrid& grid) {
+  const int nx = grid.nx(), ny = grid.ny();
+  const std::size_t n =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  std::vector<double> macro_area(n, 0.0);
+  for (const Cell& c : design.cells) {
+    if (!c.is_macro()) continue;
+    const Rect r = c.rect().clamped(grid.area());
+    if (r.empty()) continue;
+    GcellIndex lo, hi;
+    grid.range_of(r, lo, hi);
+    for (int gy = lo.gy; gy <= hi.gy; ++gy) {
+      for (int gx = lo.gx; gx <= hi.gx; ++gx) {
+        macro_area[static_cast<std::size_t>(gy) * nx + gx] +=
+            grid.gcell_rect(gx, gy).overlap_area(r);
+      }
+    }
+  }
+  const double site_area = design.tech.site_width * design.tech.row_height;
+  const double gcell_area = grid.gcell_w() * grid.gcell_h();
+  std::vector<double> sites(n);
+  for (std::size_t flat = 0; flat < n; ++flat) {
+    sites[flat] = std::max(1.0, (gcell_area - macro_area[flat]) / site_area);
+  }
+  return sites;
+}
+
+// One cell's feature vector from the quantized maps. lo/hi is the cell's
+// inclusive overlapped-Gcell range (callers compute it -- the fast path
+// caches it per cell across rounds, the oracle derives it inline).
+// cg_win/pd_win are inclusive int64 window-sum functors (SAT on the fast
+// path, brute-force scans on the oracle); the integer max loops are
+// shared outright.
+template <typename CgWin, typename PdWin>
+FeatureVector assemble_cell(const GcellGrid& grid, GcellIndex lo,
+                            GcellIndex hi, int kernel,
+                            const std::vector<std::int64_t>& qcg,
+                            const std::vector<std::int64_t>& pdq,
+                            double mean_q, std::int64_t pin_q,
+                            const CgWin& cg_win, const PdWin& pd_win) {
+  const int nx = grid.nx();
+  FeatureVector f;
+
+  // Local: max over overlapped Gcells (Eq. 9); signed values preserved.
+  // The pin-density max is additionally floored at the mean (the seed
+  // semantics: a zero initial accumulator under the normalized map).
+  std::int64_t lcg = std::numeric_limits<std::int64_t>::min();
+  std::int64_t lpin = std::numeric_limits<std::int64_t>::min();
+  for (int gy = lo.gy; gy <= hi.gy; ++gy) {
+    const std::size_t row = static_cast<std::size_t>(gy) * nx;
+    for (int gx = lo.gx; gx <= hi.gx; ++gx) {
+      lcg = std::max(lcg, qcg[row + gx]);
+      lpin = std::max(lpin, pdq[row + gx]);
+    }
+  }
+  f.local_cg = dequantize_feature(lcg);
+  f.local_pin = std::max(0.0, pd_norm_value(lpin, mean_q));
+
+  // CNN-inspired: mean over the kernel-expanded bounding box.
+  const int sx0 = std::max(0, lo.gx - kernel);
+  const int sx1 = std::min(grid.nx() - 1, hi.gx + kernel);
+  const int sy0 = std::max(0, lo.gy - kernel);
+  const int sy1 = std::min(grid.ny() - 1, hi.gy + kernel);
+  const int count = (sx1 - sx0 + 1) * (sy1 - sy0 + 1);
+  f.sur_cg = window_mean_cg(cg_win(sx0, sx1, sy0, sy1), count);
+  f.sur_pin = window_mean_pd(pd_win(sx0, sx1, sy0, sy1), count, mean_q);
+
+  // GNN-inspired.
+  f.pin_cg = dequantize_feature(pin_q);
+  return f;
+}
+
+std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over the running state: one word per step
+  // instead of a byte loop. These fingerprints are only ever compared
+  // against each other within one process, so the mixer can favour
+  // speed over any standardized byte-stream hash.
+  std::uint64_t z = (h ^ v) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fp_bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// Content hash of one RSMT tree (points, segments, pin mapping). The
+// per-net cache keys on this -- never on the estimator's topology-cache
+// keys, whose quantized collisions would alias distinct trees.
+std::uint64_t tree_fingerprint(const RsmtTree& t) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fp_mix(h, t.points.size());
+  h = fp_mix(h, t.segments.size());
+  for (const RsmtPoint& p : t.points) {
+    h = fp_mix(h, fp_bits(p.pos.x));
+    h = fp_mix(h, fp_bits(p.pos.y));
+    h = fp_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(p.pin)));
+  }
+  for (const RsmtSegment& s : t.segments) {
+    h = fp_mix(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.a))
+                   << 32) |
+                      static_cast<std::uint32_t>(s.b));
+  }
+  for (int pp : t.pin_point) {
+    h = fp_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(pp)));
+  }
+  return h;
+}
+
 }  // namespace
 
 std::vector<FeatureVector> FeatureExtractor::extract(
+    const CongestionResult& congestion, const std::vector<CellId>& cells) {
+  Timer timer;
+  ++metrics_.extracts;
+  std::vector<FeatureVector> out = config_.use_legacy_extractor
+                                       ? extract_legacy(congestion, cells)
+                                       : extract_fast(congestion, cells);
+  metrics_.feature_time_s += timer.elapsed_seconds();
+  return out;
+}
+
+// --- scalar from-scratch oracle ----------------------------------------
+// The pre-pipeline extractor on quantized integers: serial, stateless,
+// O(span) path scans, per-round incidence rebuilds, brute-force window
+// sums. Shares every integer primitive and final formula with the fast
+// path, so the two are bit-identical by construction.
+std::vector<FeatureVector> FeatureExtractor::extract_legacy(
     const CongestionResult& congestion, const std::vector<CellId>& cells) const {
   const RoutingMaps& maps = congestion.maps;
   const GcellGrid& grid = maps.grid;
+  const int nx = grid.nx(), ny = grid.ny();
+  const std::size_t n_gcells =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
 
-  // Pin-density map: pins per Gcell over available sites per Gcell.
-  Map2D<double> pin_density(grid.nx(), grid.ny());
+  // Quantized combined congestion.
+  std::vector<std::int64_t> qcg(n_gcells);
   {
-    Map2D<double> pin_count(grid.nx(), grid.ny());
-    for (const Pin& pin : design_.pins) {
-      const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
-      const GcellIndex g = grid.index_of(c.x + pin.dx, c.y + pin.dy);
-      pin_count.at(g.gx, g.gy) += 1.0;
-    }
-    // Available sites: free Gcell area in site units (macros excluded).
-    Map2D<double> macro_area(grid.nx(), grid.ny());
-    for (const Cell& c : design_.cells) {
-      if (!c.is_macro()) continue;
-      const Rect r = c.rect().clamped(grid.area());
-      if (r.empty()) continue;
-      GcellIndex lo, hi;
-      grid.range_of(r, lo, hi);
-      for (int gy = lo.gy; gy <= hi.gy; ++gy) {
-        for (int gx = lo.gx; gx <= hi.gx; ++gx) {
-          macro_area.at(gx, gy) += grid.gcell_rect(gx, gy).overlap_area(r);
-        }
-      }
-    }
-    const double site_area = design_.tech.site_width * design_.tech.row_height;
-    const double gcell_area = grid.gcell_w() * grid.gcell_h();
-    for (int gy = 0; gy < grid.ny(); ++gy) {
-      for (int gx = 0; gx < grid.nx(); ++gx) {
-        const double sites =
-            std::max(1.0, (gcell_area - macro_area.at(gx, gy)) / site_area);
-        pin_density.at(gx, gy) = pin_count.at(gx, gy) / sites;
-      }
-    }
-    // Normalize to the signed deviation from the design-wide mean so the
-    // feature discriminates (raw pins-per-site is dominated by the
-    // design's average pin density, a constant offset for every cell).
-    double mean = 0.0;
-    for (double v : pin_density.raw()) mean += v;
-    mean /= static_cast<double>(pin_density.size());
-    if (mean > 0.0) {
-      for (double& v : pin_density.raw()) v = v / mean - 1.0;
+    std::size_t flat = 0;
+    for (int gy = 0; gy < ny; ++gy) {
+      for (int gx = 0; gx < nx; ++gx) qcg[flat++] = quantize_feature(maps.cg(gx, gy));
     }
   }
 
-  const Map2D<double> cg = maps.cg_map();
+  // Quantized pin density: pins per Gcell over available sites.
+  std::vector<std::int32_t> count(n_gcells, 0);
+  for (const Pin& pin : design_.pins) {
+    const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
+    const GcellIndex g = grid.index_of(c.x + pin.dx, c.y + pin.dy);
+    ++count[static_cast<std::size_t>(g.gy) * nx + g.gx];
+  }
+  const std::vector<double> sites = build_sites(design_, grid);
+  std::vector<std::int64_t> pdq(n_gcells);
+  std::int64_t total = 0;
+  for (std::size_t flat = 0; flat < n_gcells; ++flat) {
+    pdq[flat] =
+        quantize_feature(static_cast<double>(count[flat]) / sites[flat]);
+    total += pdq[flat];
+  }
+  const double mean_q =
+      static_cast<double>(total) / static_cast<double>(n_gcells);
 
   // Per-pin congestion (GNN feature), accumulated per cell (Eq. 12).
-  std::vector<double> cell_pin_cg(design_.cells.size(), 0.0);
+  const auto h = [&](int x0, int x1, int y) {
+    std::int64_t m = std::numeric_limits<std::int64_t>::min();
+    const std::size_t row = static_cast<std::size_t>(y) * nx;
+    for (int gx = std::min(x0, x1); gx <= std::max(x0, x1); ++gx) {
+      m = std::max(m, qcg[row + gx]);
+    }
+    return m;
+  };
+  const auto v = [&](int x, int y0, int y1) {
+    std::int64_t m = std::numeric_limits<std::int64_t>::min();
+    for (int gy = std::min(y0, y1); gy <= std::max(y0, y1); ++gy) {
+      m = std::max(m, qcg[static_cast<std::size_t>(gy) * nx + x]);
+    }
+    return m;
+  };
+  std::vector<std::int64_t> cell_pin_q(design_.cells.size(), 0);
+  std::vector<std::int32_t> pt_gx, pt_gy;
+  std::vector<std::int64_t> pin_best;
   for (std::size_t n = 0; n < design_.nets.size(); ++n) {
     const Net& net = design_.nets[n];
     const RsmtTree& tree = congestion.trees[n];
     if (tree.segments.empty()) continue;
     const auto incidence = tree.build_incidence();
+    pt_gx.resize(tree.points.size());
+    pt_gy.resize(tree.points.size());
+    for (std::size_t pi = 0; pi < tree.points.size(); ++pi) {
+      const GcellIndex g =
+          grid.index_of(tree.points[pi].pos.x, tree.points[pi].pos.y);
+      pt_gx[pi] = g.gx;
+      pt_gy[pi] = g.gy;
+    }
+    const auto segs = [&](int pt, auto&& fn) {
+      for (int si : incidence[static_cast<std::size_t>(pt)]) fn(si);
+    };
+    pin_best_of_net(net, tree, config_.z_candidates, h, v, segs, pt_gx.data(),
+                    pt_gy.data(), pin_best);
     for (std::size_t k = 0; k < net.pins.size(); ++k) {
-      const int pt = tree.pin_point[k];
-      if (pt < 0) continue;
-      // Eq. 13: minimum over all candidate paths of all two-point nets
-      // touching this pin.
-      double best = std::numeric_limits<double>::max();
-      for (int seg_idx : incidence[static_cast<std::size_t>(pt)]) {
-        const RsmtSegment& seg = tree.segments[static_cast<std::size_t>(seg_idx)];
-        const Point pa = tree.points[static_cast<std::size_t>(seg.a)].pos;
-        const Point pb = tree.points[static_cast<std::size_t>(seg.b)].pos;
-        const GcellIndex ga = grid.index_of(pa.x, pa.y);
-        const GcellIndex gb = grid.index_of(pb.x, pb.y);
-        best = std::min(best, best_path_cg(maps, ga, gb, config_.z_candidates));
-      }
-      if (best == std::numeric_limits<double>::max()) continue;
+      if (pin_best[k] == kNoPath) continue;
       const Pin& pin = design_.pins[static_cast<std::size_t>(net.pins[k])];
-      cell_pin_cg[static_cast<std::size_t>(pin.cell)] += best;
+      cell_pin_q[static_cast<std::size_t>(pin.cell)] += pin_best[k];
     }
   }
 
-  // Assemble per-cell features.
+  // Assemble per-cell features with brute-force window sums.
+  const auto cg_win = [&](int x0, int x1, int y0, int y1) {
+    std::int64_t s = 0;
+    for (int gy = y0; gy <= y1; ++gy) {
+      const std::size_t row = static_cast<std::size_t>(gy) * nx;
+      for (int gx = x0; gx <= x1; ++gx) s += qcg[row + gx];
+    }
+    return s;
+  };
+  const auto pd_win = [&](int x0, int x1, int y0, int y1) {
+    std::int64_t s = 0;
+    for (int gy = y0; gy <= y1; ++gy) {
+      const std::size_t row = static_cast<std::size_t>(gy) * nx;
+      for (int gx = x0; gx <= x1; ++gx) s += pdq[row + gx];
+    }
+    return s;
+  };
   std::vector<FeatureVector> out;
   out.reserve(cells.size());
   for (CellId cid : cells) {
     const Cell& cell = design_.cells[static_cast<std::size_t>(cid)];
-    FeatureVector f;
     GcellIndex lo, hi;
     grid.range_of(cell.rect(), lo, hi);
-
-    // Local: max over overlapped Gcells (Eq. 9); signed values preserved.
-    double lcg = -std::numeric_limits<double>::max();
-    double lpin = 0.0;
-    for (int gy = lo.gy; gy <= hi.gy; ++gy) {
-      for (int gx = lo.gx; gx <= hi.gx; ++gx) {
-        lcg = std::max(lcg, cg.at(gx, gy));
-        lpin = std::max(lpin, pin_density.at(gx, gy));
-      }
-    }
-    f.local_cg = lcg;
-    f.local_pin = lpin;
-
-    // CNN-inspired: mean over the kernel-expanded bounding box.
-    const int m = config_.kernel_gcells;
-    const int sx0 = std::max(0, lo.gx - m), sx1 = std::min(grid.nx() - 1, hi.gx + m);
-    const int sy0 = std::max(0, lo.gy - m), sy1 = std::min(grid.ny() - 1, hi.gy + m);
-    double scg = 0.0, spin = 0.0;
-    int count = 0;
-    for (int gy = sy0; gy <= sy1; ++gy) {
-      for (int gx = sx0; gx <= sx1; ++gx) {
-        scg += cg.at(gx, gy);
-        spin += pin_density.at(gx, gy);
-        ++count;
-      }
-    }
-    f.sur_cg = scg / count;
-    f.sur_pin = spin / count;
-
-    // GNN-inspired.
-    f.pin_cg = cell_pin_cg[static_cast<std::size_t>(cid)];
-    out.push_back(f);
+    out.push_back(assemble_cell(grid, lo, hi, config_.kernel_gcells, qcg, pdq,
+                                mean_q,
+                                cell_pin_q[static_cast<std::size_t>(cid)],
+                                cg_win, pd_win));
   }
+  return out;
+}
+
+// --- fast-path state management ----------------------------------------
+
+void FeatureExtractor::allocate_state(const GcellGrid& grid) {
+  grid_ = grid;
+  nx_ = grid.nx();
+  ny_ = grid.ny();
+  const std::size_t n =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  qcg_.assign(n, 0);
+  pdq_.assign(n, 0);
+  pdq_total_ = 0;
+  sites_.assign(n, 1.0);
+  pin_count_.assign(n, 0);
+  pin_gcell_.assign(design_.pins.size(), 0);
+  cell_x_.assign(design_.cells.size(), 0.0);
+  cell_y_.assign(design_.cells.size(), 0.0);
+  epoch_ = 0;
+  cell_epoch_.assign(n, 0);
+  row_epoch_.assign(static_cast<std::size_t>(ny_), 0);
+  col_epoch_.assign(static_cast<std::size_t>(nx_), 0);
+  dirty_rows_.clear();
+  dirty_cols_.clear();
+  nets_.assign(design_.nets.size(), NetEntry{});
+  net_round_epoch_.assign(design_.nets.size(), 0);
+  pin_off_.assign(design_.nets.size() + 1, 0);
+  for (std::size_t n = 0; n < design_.nets.size(); ++n) {
+    pin_off_[n + 1] =
+        pin_off_[n] + static_cast<std::int32_t>(design_.nets[n].pins.size());
+  }
+  pin_slot_cell_.resize(static_cast<std::size_t>(pin_off_.back()));
+  for (std::size_t n = 0; n < design_.nets.size(); ++n) {
+    std::int32_t s = pin_off_[n];
+    for (PinId pid : design_.nets[n].pins) {
+      pin_slot_cell_[static_cast<std::size_t>(s++)] = static_cast<std::int32_t>(
+          design_.pins[static_cast<std::size_t>(pid)].cell);
+    }
+  }
+  pin_best_flat_.assign(static_cast<std::size_t>(pin_off_.back()), kNoPath);
+  cell_pin_q_.assign(design_.cells.size(), 0);
+  pt_base_.assign(design_.nets.size() + 1, 0);
+  inc_off_base_.assign(design_.nets.size() + 1, 0);
+  inc_seg_base_.assign(design_.nets.size() + 1, 0);
+  for (std::size_t n = 0; n < design_.nets.size(); ++n) {
+    const std::int32_t p =
+        static_cast<std::int32_t>(design_.nets[n].pins.size());
+    const std::int32_t cap = p <= 1 ? p : 2 * p - 2;
+    pt_base_[n + 1] = pt_base_[n] + cap;
+    inc_off_base_[n + 1] = inc_off_base_[n] + cap + 1;
+    inc_seg_base_[n + 1] =
+        inc_seg_base_[n] + (cap > 0 ? 2 * (cap - 1) : 0);
+  }
+  pt_gx_.assign(static_cast<std::size_t>(pt_base_.back()), 0);
+  pt_gy_.assign(static_cast<std::size_t>(pt_base_.back()), 0);
+  inc_off_.assign(static_cast<std::size_t>(inc_off_base_.back()), 0);
+  inc_seg_.assign(static_cast<std::size_t>(inc_seg_base_.back()), 0);
+  cell_glo_.assign(design_.cells.size(), GcellIndex{});
+  cell_ghi_.assign(design_.cells.size(), GcellIndex{});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  asm_x_.assign(design_.cells.size(), nan);
+  asm_y_.assign(design_.cells.size(), nan);
+  last_uid_ = 0;
+  last_revision_ = 0;
+  extracts_since_rebuild_ = 0;
+  have_ = true;
+}
+
+void FeatureExtractor::mark_gcell(int flat, int gx, int gy) {
+  cell_epoch_[static_cast<std::size_t>(flat)] = epoch_;
+  if (row_epoch_[static_cast<std::size_t>(gy)] != epoch_) {
+    row_epoch_[static_cast<std::size_t>(gy)] = epoch_;
+    dirty_rows_.push_back(gy);
+  }
+  if (col_epoch_[static_cast<std::size_t>(gx)] != epoch_) {
+    col_epoch_[static_cast<std::size_t>(gx)] = epoch_;
+    dirty_cols_.push_back(gx);
+  }
+}
+
+void FeatureExtractor::mark_all_dirty() {
+  std::fill(cell_epoch_.begin(), cell_epoch_.end(), epoch_);
+  std::fill(row_epoch_.begin(), row_epoch_.end(), epoch_);
+  std::fill(col_epoch_.begin(), col_epoch_.end(), epoch_);
+  // A full RMQ build supersedes the per-row/column rebuild lists.
+  dirty_rows_.clear();
+  dirty_cols_.clear();
+}
+
+// True when no Gcell inside the entry's tree bbox changed after the epoch
+// its pin_best was computed at. Row/column summaries reject clean boxes
+// in O(extent); only mixed boxes fall back to the cell scan.
+bool FeatureExtractor::box_clean(const NetEntry& e) const {
+  bool clean = true;
+  for (int gy = e.by0; gy <= e.by1; ++gy) {
+    if (row_epoch_[static_cast<std::size_t>(gy)] > e.epoch) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) return true;
+  clean = true;
+  for (int gx = e.bx0; gx <= e.bx1; ++gx) {
+    if (col_epoch_[static_cast<std::size_t>(gx)] > e.epoch) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) return true;
+  for (int gy = e.by0; gy <= e.by1; ++gy) {
+    const std::size_t row = static_cast<std::size_t>(gy) * nx_;
+    for (int gx = e.bx0; gx <= e.bx1; ++gx) {
+      if (cell_epoch_[row + gx] > e.epoch) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t FeatureExtractor::sync_incremental(
+    const CongestionResult& congestion) {
+  const RoutingMaps& maps = congestion.maps;
+  std::int64_t changed = 0;
+
+  // Quantized congestion: delta-guided when the estimator's dirty list is
+  // valid and continuous with the last consumed result, else a full
+  // self-diff (exact either way -- the diff is what marks).
+  const CongestionDelta& d = congestion.delta;
+  const bool continuous = d.valid && last_uid_ != 0 &&
+                          d.source_uid == last_uid_ &&
+                          d.revision == last_revision_ + 1;
+  if (continuous) {
+    for (std::int32_t flat : d.dirty_gcells) {
+      const int gx = flat % nx_, gy = flat / nx_;
+      const std::int64_t q = quantize_feature(maps.cg(gx, gy));
+      if (q != qcg_[static_cast<std::size_t>(flat)]) {
+        qcg_[static_cast<std::size_t>(flat)] = q;
+        mark_gcell(flat, gx, gy);
+        ++changed;
+      }
+    }
+  } else {
+    std::size_t flat = 0;
+    for (int gy = 0; gy < ny_; ++gy) {
+      for (int gx = 0; gx < nx_; ++gx, ++flat) {
+        const std::int64_t q = quantize_feature(maps.cg(gx, gy));
+        if (q != qcg_[flat]) {
+          qcg_[flat] = q;
+          mark_gcell(static_cast<int>(flat), gx, gy);
+          ++changed;
+        }
+      }
+    }
+  }
+
+  // Pin layer: moved cells re-bin their pins (exact +/-1 count updates);
+  // a macro move invalidates the site map and with it every density.
+  moved_cells_.clear();
+  changed_pd_.clear();
+  bool macro_moved = false;
+  for (std::size_t ci = 0; ci < design_.cells.size(); ++ci) {
+    const Cell& c = design_.cells[ci];
+    if (c.x == cell_x_[ci] && c.y == cell_y_[ci]) continue;
+    cell_x_[ci] = c.x;
+    cell_y_[ci] = c.y;
+    if (c.is_macro()) macro_moved = true;
+    moved_cells_.push_back(ci);
+  }
+  for (std::size_t ci : moved_cells_) {
+    const Cell& c = design_.cells[ci];
+    for (PinId pid : c.pins) {
+      const Pin& pin = design_.pins[static_cast<std::size_t>(pid)];
+      const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
+      const std::int32_t flat =
+          static_cast<std::int32_t>(g.gy) * nx_ + static_cast<std::int32_t>(g.gx);
+      const std::int32_t old = pin_gcell_[static_cast<std::size_t>(pid)];
+      if (flat == old) continue;
+      --pin_count_[static_cast<std::size_t>(old)];
+      ++pin_count_[static_cast<std::size_t>(flat)];
+      pin_gcell_[static_cast<std::size_t>(pid)] = flat;
+      changed_pd_.push_back(old);
+      changed_pd_.push_back(flat);
+    }
+  }
+  if (macro_moved) {
+    sites_ = build_sites(design_, grid_);
+    std::int64_t total = 0;
+    for (std::size_t flat = 0; flat < pdq_.size(); ++flat) {
+      pdq_[flat] = quantize_feature(static_cast<double>(pin_count_[flat]) /
+                                    sites_[flat]);
+      total += pdq_[flat];
+    }
+    pdq_total_ = total;
+  } else if (!changed_pd_.empty()) {
+    std::sort(changed_pd_.begin(), changed_pd_.end());
+    changed_pd_.erase(std::unique(changed_pd_.begin(), changed_pd_.end()),
+                      changed_pd_.end());
+    for (std::int32_t flat : changed_pd_) {
+      const std::int64_t q = quantize_feature(
+          static_cast<double>(pin_count_[static_cast<std::size_t>(flat)]) /
+          sites_[static_cast<std::size_t>(flat)]);
+      pdq_total_ += q - pdq_[static_cast<std::size_t>(flat)];
+      pdq_[static_cast<std::size_t>(flat)] = q;
+    }
+  }
+  return changed;
+}
+
+bool FeatureExtractor::sync_full(const CongestionResult& congestion,
+                                 bool verify) {
+  const RoutingMaps& maps = congestion.maps;
+  const std::size_t n_gcells = qcg_.size();
+
+  std::vector<std::int64_t> fresh_qcg(n_gcells);
+  {
+    std::size_t flat = 0;
+    for (int gy = 0; gy < ny_; ++gy) {
+      for (int gx = 0; gx < nx_; ++gx) {
+        fresh_qcg[flat++] = quantize_feature(maps.cg(gx, gy));
+      }
+    }
+  }
+  std::vector<std::int32_t> fresh_gcell(design_.pins.size());
+  std::vector<std::int32_t> fresh_count(n_gcells, 0);
+  for (std::size_t p = 0; p < design_.pins.size(); ++p) {
+    const Pin& pin = design_.pins[p];
+    const Cell& c = design_.cells[static_cast<std::size_t>(pin.cell)];
+    const GcellIndex g = grid_.index_of(c.x + pin.dx, c.y + pin.dy);
+    const std::int32_t flat =
+        static_cast<std::int32_t>(g.gy) * nx_ + static_cast<std::int32_t>(g.gx);
+    fresh_gcell[p] = flat;
+    ++fresh_count[static_cast<std::size_t>(flat)];
+  }
+  std::vector<double> fresh_sites = build_sites(design_, grid_);
+  std::vector<std::int64_t> fresh_pdq(n_gcells);
+  std::int64_t fresh_total = 0;
+  for (std::size_t flat = 0; flat < n_gcells; ++flat) {
+    fresh_pdq[flat] = quantize_feature(
+        static_cast<double>(fresh_count[flat]) / fresh_sites[flat]);
+    fresh_total += fresh_pdq[flat];
+  }
+
+  bool adopt = true;
+  if (verify) {
+    // The incrementally maintained state was advanced first (the
+    // IncrementalLegalizer / estimator verify-rebuild ordering); a
+    // mismatch here is drift and the fresh maps win.
+    const bool same = fresh_qcg == qcg_ && fresh_pdq == pdq_ &&
+                      fresh_count == pin_count_ && fresh_gcell == pin_gcell_ &&
+                      fresh_sites == sites_ && fresh_total == pdq_total_;
+    if (same) {
+      adopt = false;
+    } else {
+      ++metrics_.drift_count;
+      PUFFER_LOG_ERROR(kTag,
+                       "feature maps drifted from full rebuild; adopting "
+                       "the from-scratch maps");
+    }
+  }
+  if (adopt) {
+    qcg_.swap(fresh_qcg);
+    pdq_.swap(fresh_pdq);
+    pin_count_.swap(fresh_count);
+    pin_gcell_.swap(fresh_gcell);
+    sites_.swap(fresh_sites);
+    pdq_total_ = fresh_total;
+    for (std::size_t ci = 0; ci < design_.cells.size(); ++ci) {
+      cell_x_[ci] = design_.cells[ci].x;
+      cell_y_[ci] = design_.cells[ci].y;
+    }
+  }
+  return adopt;
+}
+
+void FeatureExtractor::refresh_net_topology(std::size_t n,
+                                            const RsmtTree& tree,
+                                            NetEntry& e) {
+  const std::size_t npts = tree.points.size();
+  const std::size_t cap =
+      static_cast<std::size_t>(pt_base_[n + 1] - pt_base_[n]);
+  const std::size_t max_segs = npts > 0 ? npts - 1 : 0;
+  if (npts > cap || tree.segments.size() > max_segs) {
+    // A tree violating the 2p-2 Steiner bound (or with more than npts-1
+    // segments) cannot fit its design-static arena slots.
+    throw std::logic_error("FeatureExtractor: RSMT tree exceeds arena bound");
+  }
+  std::int32_t* pgx = pt_gx_.data() + static_cast<std::size_t>(pt_base_[n]);
+  std::int32_t* pgy = pt_gy_.data() + static_cast<std::size_t>(pt_base_[n]);
+  int bx0 = nx_ - 1, bx1 = 0, by0 = ny_ - 1, by1 = 0;
+  for (std::size_t pi = 0; pi < npts; ++pi) {
+    const GcellIndex g =
+        grid_.index_of(tree.points[pi].pos.x, tree.points[pi].pos.y);
+    pgx[pi] = g.gx;
+    pgy[pi] = g.gy;
+    bx0 = std::min(bx0, g.gx);
+    bx1 = std::max(bx1, g.gx);
+    by0 = std::min(by0, g.gy);
+    by1 = std::max(by1, g.gy);
+  }
+  e.bx0 = bx0;
+  e.bx1 = bx1;
+  e.by0 = by0;
+  e.by1 = by1;
+  // CSR point -> incident segments (the cached build_incidence()). The
+  // offsets double as fill cursors, then shift back into place -- no
+  // per-call cursor allocation.
+  std::int32_t* off =
+      inc_off_.data() + static_cast<std::size_t>(inc_off_base_[n]);
+  std::int32_t* seg =
+      inc_seg_.data() + static_cast<std::size_t>(inc_seg_base_[n]);
+  std::fill(off, off + npts + 1, 0);
+  for (const RsmtSegment& s : tree.segments) {
+    ++off[static_cast<std::size_t>(s.a) + 1];
+    ++off[static_cast<std::size_t>(s.b) + 1];
+  }
+  for (std::size_t i = 1; i <= npts; ++i) off[i] += off[i - 1];
+  for (std::size_t si = 0; si < tree.segments.size(); ++si) {
+    const RsmtSegment& s = tree.segments[si];
+    seg[static_cast<std::size_t>(off[static_cast<std::size_t>(s.a)]++)] =
+        static_cast<std::int32_t>(si);
+    seg[static_cast<std::size_t>(off[static_cast<std::size_t>(s.b)]++)] =
+        static_cast<std::int32_t>(si);
+  }
+  // off[i] now holds end(i) == start(i+1); shift down to restore offsets.
+  for (std::size_t i = npts; i >= 1; --i) off[i] = off[i - 1];
+  off[0] = 0;
+  e.has_tree = true;
+  e.valid = false;
+}
+
+void FeatureExtractor::compute_pin_best(std::size_t n, const RsmtTree& tree,
+                                        std::vector<std::int64_t>& seg_q) {
+  const Net& net = design_.nets[n];
+  const std::int64_t* qmap = qcg_.data();
+  const int snx = nx_;
+  const auto p = [qmap, snx](int gx, int gy) {
+    return qmap[static_cast<std::size_t>(gy) * static_cast<std::size_t>(snx) +
+                static_cast<std::size_t>(gx)];
+  };
+  const auto h = [this](int x0, int x1, int y) {
+    return rmq_.row_max(y, std::min(x0, x1), std::max(x0, x1));
+  };
+  const auto v = [this](int x, int y0, int y1) {
+    return rmq_.col_max(x, std::min(y0, y1), std::max(y0, y1));
+  };
+  std::int64_t* pb =
+      pin_best_flat_.data() + static_cast<std::size_t>(pin_off_[n]);
+  const std::int32_t* pgx =
+      pt_gx_.data() + static_cast<std::size_t>(pt_base_[n]);
+  const std::int32_t* pgy =
+      pt_gy_.data() + static_cast<std::size_t>(pt_base_[n]);
+  // Two-pin nets (the bulk of any netlist) have exactly one segment and
+  // both tree points are its endpoints: every mapped pin takes the same
+  // value, no incidence walk or memo scratch needed.
+  if (tree.segments.size() == 1) {
+    const RsmtSegment& seg = tree.segments[0];
+    const std::int64_t q = best_path_q_pruned(
+        pgx[static_cast<std::size_t>(seg.a)],
+        pgy[static_cast<std::size_t>(seg.a)],
+        pgx[static_cast<std::size_t>(seg.b)],
+        pgy[static_cast<std::size_t>(seg.b)], config_.z_candidates, p, h, v);
+    for (std::size_t k = 0; k < net.pins.size(); ++k) {
+      pb[k] = tree.pin_point[k] < 0 ? kNoPath : q;
+    }
+    return;
+  }
+  // Memoized per-segment evaluation: best_path_q is symmetric in its
+  // endpoints (the L candidates map onto each other under a<->b and the
+  // Z interior positions come from the sorted span), so a segment shared
+  // by several pins -- or by several net pins quantized onto the same
+  // tree point -- is evaluated once. Quantized Cg is >= 0, so -1 is a
+  // free "not yet evaluated" sentinel. The oracle evaluates per
+  // (pin, segment) pair; the minima are identical by symmetry.
+  seg_q.assign(tree.segments.size(), -1);
+  const std::int32_t* ioff =
+      inc_off_.data() + static_cast<std::size_t>(inc_off_base_[n]);
+  const std::int32_t* iseg =
+      inc_seg_.data() + static_cast<std::size_t>(inc_seg_base_[n]);
+  for (std::size_t k = 0; k < net.pins.size(); ++k) {
+    pb[k] = kNoPath;
+    const int pt = tree.pin_point[k];
+    if (pt < 0) continue;
+    std::int64_t best = kNoPath;
+    const std::int32_t b = ioff[static_cast<std::size_t>(pt)];
+    const std::int32_t en = ioff[static_cast<std::size_t>(pt) + 1];
+    for (std::int32_t i = b; i < en; ++i) {
+      const std::size_t si =
+          static_cast<std::size_t>(iseg[static_cast<std::size_t>(i)]);
+      std::int64_t q = seg_q[si];
+      if (q < 0) {
+        const RsmtSegment& seg = tree.segments[si];
+        q = best_path_q_pruned(pgx[static_cast<std::size_t>(seg.a)],
+                               pgy[static_cast<std::size_t>(seg.a)],
+                               pgx[static_cast<std::size_t>(seg.b)],
+                               pgy[static_cast<std::size_t>(seg.b)],
+                               config_.z_candidates, p, h, v);
+        seg_q[si] = q;
+      }
+      best = std::min(best, q);
+    }
+    pb[k] = best;
+  }
+}
+
+std::vector<FeatureVector> FeatureExtractor::extract_fast(
+    const CongestionResult& congestion, const std::vector<CellId>& cells) {
+  const RoutingMaps& maps = congestion.maps;
+  const GcellGrid& grid = maps.grid;
+  const int nx = grid.nx(), ny = grid.ny();
+  const std::size_t n_gcells =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+
+  const bool state_ok = have_ && nx_ == nx && ny_ == ny &&
+                        cell_x_.size() == design_.cells.size() &&
+                        pin_gcell_.size() == design_.pins.size() &&
+                        nets_.size() == design_.nets.size();
+  if (!state_ok) allocate_state(grid);
+  const bool cadence = config_.full_rebuild_interval > 0 &&
+                       extracts_since_rebuild_ >= config_.full_rebuild_interval;
+  const bool full = !state_ok || !config_.incremental || cadence;
+
+  ++epoch_;
+  dirty_rows_.clear();
+  dirty_cols_.clear();
+
+  // Net-level delta: when the estimator's delta chain is continuous
+  // (same source, revision exactly one ahead of the last one consumed),
+  // any net not listed in dirty_nets has a tree bit-identical to the one
+  // this extractor already summarized, so its fingerprint check can be
+  // skipped outright. Computed before last_uid_/last_revision_ advance;
+  // stamped serially so the parallel loop only reads the epochs.
+  const CongestionDelta& net_delta = congestion.delta;
+  const bool net_skip = state_ok && net_delta.valid && last_uid_ != 0 &&
+                        net_delta.source_uid == last_uid_ &&
+                        net_delta.revision == last_revision_ + 1;
+  if (net_skip) {
+    for (std::int32_t dn : net_delta.dirty_nets) {
+      net_round_epoch_[static_cast<std::size_t>(dn)] = epoch_;
+    }
+  }
+
+  bool adopted = false;
+  if (!full) {
+    const std::int64_t changed = sync_incremental(congestion);
+    metrics_.dirty_gcells_total += changed;
+    metrics_.gcells_total += static_cast<std::int64_t>(n_gcells);
+    ++extracts_since_rebuild_;
+  } else {
+    const bool verify =
+        state_ok && config_.incremental && config_.verify_rebuild;
+    if (verify) sync_incremental(congestion);
+    adopted = sync_full(congestion, verify);
+    ++metrics_.full_rebuilds;
+    extracts_since_rebuild_ = 0;
+  }
+  last_uid_ = congestion.delta.source_uid;
+  last_revision_ = congestion.delta.revision;
+
+  // Query structures: re-tabulate only the rows/columns this round
+  // dirtied (all of them after an adopted rebuild); the summed-area
+  // tables are O(grid) and rebuilt every round.
+  if (adopted) {
+    mark_all_dirty();
+    rmq_.build(qcg_, nx, ny);
+  } else {
+    for (int gy : dirty_rows_) rmq_.rebuild_row(qcg_, gy);
+    for (int gx : dirty_cols_) rmq_.rebuild_col(qcg_, gx);
+  }
+  sat_cg_.build(qcg_, nx, ny);
+  sat_pd_.build(pdq_, nx, ny);
+
+  // Per-net fan-out: each net owns its cache slot; chunk-local counters
+  // are folded serially below so the metrics are thread-count
+  // independent too.
+  const std::size_t n_nets = design_.nets.size();
+  struct ChunkCounters {
+    std::uint64_t hits = 0, misses = 0;
+    std::int64_t reused = 0, recomputed = 0;
+  };
+  const int n_chunks =
+      par::chunk_count(static_cast<std::int64_t>(n_nets), 16, 256);
+  std::vector<ChunkCounters> counters(static_cast<std::size_t>(n_chunks));
+  par::parallel_for(
+      0, static_cast<std::int64_t>(n_nets), 16,
+      [&](std::int64_t b, std::int64_t en, int chunk) {
+        ChunkCounters& cc = counters[static_cast<std::size_t>(chunk)];
+        std::vector<std::int64_t> seg_q;  // chunk-owned memo scratch
+        for (std::int64_t i = b; i < en; ++i) {
+          const std::size_t n = static_cast<std::size_t>(i);
+          const RsmtTree& tree = congestion.trees[n];
+          NetEntry& entry = nets_[n];
+          if (tree.segments.empty()) {
+            std::fill(pin_best_flat_.begin() + pin_off_[n],
+                      pin_best_flat_.begin() + pin_off_[n + 1], kNoPath);
+            entry.valid = true;
+            continue;
+          }
+          if (net_skip && entry.has_tree &&
+              net_round_epoch_[static_cast<std::size_t>(n)] != epoch_) {
+            // Not in the round's dirty-net list under a continuous delta
+            // chain: the tree is bit-identical to the one already
+            // summarized, no hash needed.
+            ++cc.hits;
+          } else {
+            const std::uint64_t fp = tree_fingerprint(tree);
+            if (entry.has_tree && entry.tree_fp == fp) {
+              ++cc.hits;
+            } else {
+              refresh_net_topology(static_cast<std::size_t>(n), tree, entry);
+              entry.tree_fp = fp;
+              ++cc.misses;
+            }
+          }
+          if (entry.valid && box_clean(entry)) {
+            ++cc.reused;
+            continue;
+          }
+          compute_pin_best(static_cast<std::size_t>(n), tree, seg_q);
+          entry.epoch = epoch_;
+          entry.valid = true;
+          ++cc.recomputed;
+        }
+      },
+      256);
+  for (const ChunkCounters& cc : counters) {
+    metrics_.incidence_hits += cc.hits;
+    metrics_.incidence_misses += cc.misses;
+    metrics_.nets_reused += cc.reused;
+    metrics_.nets_recomputed += cc.recomputed;
+  }
+
+  // Serial in-order fold of the per-pin minima into per-cell sums: one
+  // linear scan of the slot CSR (integer adds; any order would give the
+  // same bits, the fixed order keeps the idiom auditable).
+  std::fill(cell_pin_q_.begin(), cell_pin_q_.end(), 0);
+  const std::size_t n_slots = pin_best_flat_.size();
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    const std::int64_t q = pin_best_flat_[s];
+    if (q == kNoPath) continue;
+    cell_pin_q_[static_cast<std::size_t>(pin_slot_cell_[s])] += q;
+  }
+
+  // Per-cell assembly fan-out: disjoint chunk-owned output slots, all
+  // inputs read-only.
+  const double mean_q =
+      static_cast<double>(pdq_total_) / static_cast<double>(n_gcells);
+  const auto cg_win = [this](int x0, int x1, int y0, int y1) {
+    return sat_cg_.window_sum(x0, x1, y0, y1);
+  };
+  const auto pd_win = [this](int x0, int x1, int y0, int y1) {
+    return sat_pd_.window_sum(x0, x1, y0, y1);
+  };
+  std::vector<FeatureVector> out(cells.size());
+  par::parallel_for(
+      0, static_cast<std::int64_t>(cells.size()), 64,
+      [&](std::int64_t b, std::int64_t en, int /*chunk*/) {
+        for (std::int64_t i = b; i < en; ++i) {
+          const CellId cid = cells[static_cast<std::size_t>(i)];
+          const std::size_t ci = static_cast<std::size_t>(cid);
+          const Cell& cell = design_.cells[ci];
+          // Per-cell Gcell-range cache: range_of costs four FP divides,
+          // and in the near-converged regime most cells have not moved
+          // since the previous round. Keyed on the exact corner; chunks
+          // own disjoint cells, so the per-cell write is race-free.
+          if (cell.x != asm_x_[ci] || cell.y != asm_y_[ci]) {
+            grid.range_of(cell.rect(), cell_glo_[ci], cell_ghi_[ci]);
+            asm_x_[ci] = cell.x;
+            asm_y_[ci] = cell.y;
+          }
+          out[static_cast<std::size_t>(i)] = assemble_cell(
+              grid, cell_glo_[ci], cell_ghi_[ci], config_.kernel_gcells, qcg_,
+              pdq_, mean_q, cell_pin_q_[ci], cg_win, pd_win);
+        }
+      },
+      256);
   return out;
 }
 

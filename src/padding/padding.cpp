@@ -49,8 +49,11 @@ const std::vector<double>& PaddingEngine::update(
       extractor_.extract(congestion, movable_);
 
   // Eq. 14 padding per cell, applied incrementally; Eq. 15 recycling for
-  // cells that received no positive padding this round.
-  double positive = 0;
+  // cells that received no positive padding this round. The pad area of
+  // the utilization control (Algorithm 1, lines 5-9) folds into the same
+  // pass: pad_[i] is final once its iteration ends.
+  int positive = 0;
+  double pad_area = 0.0;
   for (std::size_t i = 0; i < movable_.size(); ++i) {
     double lin = params_.beta;
     for (int k = 0; k < FeatureVector::kCount; ++k) {
@@ -68,14 +71,11 @@ const std::vector<double>& PaddingEngine::update(
           1.0);
       pad_[i] *= (1.0 - r);
     }
+    pad_area +=
+        pad_[i] * design_.cells[static_cast<std::size_t>(movable_[i])].height;
   }
 
-  // Utilization control (Algorithm 1, lines 5-9).
   const double target = target_utilization(round_);
-  double pad_area = 0.0;
-  for (std::size_t i = 0; i < movable_.size(); ++i) {
-    pad_area += pad_[i] * design_.cells[static_cast<std::size_t>(movable_[i])].height;
-  }
   const double budget = target * avail_area_;
   if (pad_area > budget && pad_area > 0.0) {
     const double sr = budget / pad_area;
@@ -88,10 +88,10 @@ const std::vector<double>& PaddingEngine::update(
   last_util_ = pad_area / avail_area_;
   last_area_ = pad_area;
   peak_area_ = std::max(peak_area_, pad_area);
-  if (positive > 0.0) ++applied_rounds_;
+  if (positive > 0) ++applied_rounds_;
 
   PUFFER_LOG_DEBUG(kTag,
-                   "round %d: %.0f cells padded, pad area %.3g (%.2f%% of "
+                   "round %d: %d cells padded, pad area %.3g (%.2f%% of "
                    "whitespace, target %.2f%%)",
                    round_, positive, pad_area, 100.0 * last_util_,
                    100.0 * target);
