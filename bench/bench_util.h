@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/str_util.h"
+
 namespace puffer::bench {
 
 inline int scale_divisor() {
@@ -39,10 +41,10 @@ class BenchRecord {
  public:
   explicit BenchRecord(std::string name) : name_(std::move(name)) {}
 
+  // Shortest representation that round-trips the exact bits: "0.15"
+  // rather than "0.14999999999999999".
   void add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    fields_.emplace_back(key, buf);
+    fields_.emplace_back(key, format_double_roundtrip(value));
   }
   void add(const std::string& key, int value) {
     fields_.emplace_back(key, std::to_string(value));

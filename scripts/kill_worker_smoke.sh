@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Worker-death smoke test for distributed trial orchestration.
+#
+# Runs a single-process reference exploration to completion, then the
+# same exploration distributed across a coordinator and two puffer_worker
+# processes -- one of which is SIGKILLed as soon as the journal records
+# the first trial start. The coordinator must detect the death, reassign
+# the in-flight trial to the surviving worker, and finish with a
+# best_checksum identical to the single-process reference: worker death
+# costs only the lost evaluation, never the result.
+#
+# Usage: scripts/kill_worker_smoke.sh  [BUILD_DIR=build]
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/tools/puffer_explore"
+WORKER="$BUILD_DIR/tools/puffer_worker"
+for b in "$BIN" "$WORKER"; do
+  if [ ! -x "$b" ]; then
+    echo "missing $b -- build the repo first" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+cleanup() {
+  [ -n "${W1:-}" ] && kill -9 "$W1" 2>/dev/null || true
+  [ -n "${W2:-}" ] && kill -9 "$W2" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+BENCH=(--bench OR1200 --scale 256)
+ARGS=("${BENCH[@]}" --trials 4 --batch 2 --concurrency 2 --seed 77 --quiet)
+SOCK="$WORK/coord.sock"
+
+echo "== single-process reference run =="
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$WORK/ref_ck" \
+    --journal "$WORK/ref.jsonl" | tee "$WORK/ref.out"
+REF=$(awk '/^best_checksum:/ {print $2}' "$WORK/ref.out")
+[ -n "$REF" ] || { echo "FAIL: reference run printed no checksum"; exit 1; }
+
+echo "== distributed run: coordinator + 2 workers, one SIGKILLed =="
+"$WORKER" --connect "$SOCK" "${BENCH[@]}" --name victim \
+    --connect-timeout 120 --quiet > "$WORK/w1.out" 2>&1 &
+W1=$!
+"$WORKER" --connect "$SOCK" "${BENCH[@]}" --name survivor \
+    --connect-timeout 120 --quiet > "$WORK/w2.out" 2>&1 &
+W2=$!
+
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$WORK/ck" \
+    --journal "$WORK/trials.jsonl" \
+    --listen "$SOCK" --min-workers 2 > "$WORK/dist.out" 2>&1 &
+COORD=$!
+
+# SIGKILL one worker as soon as a trial is in flight.
+KILLED=0
+for _ in $(seq 1 600); do
+  kill -0 "$COORD" 2>/dev/null || break
+  if grep -q trial_start "$WORK/trials.jsonl" 2>/dev/null; then
+    kill -9 "$W1" 2>/dev/null || true
+    KILLED=1
+    echo "SIGKILLed worker 'victim' mid-trial"
+    break
+  fi
+  sleep 0.1
+done
+[ "$KILLED" -eq 1 ] || { echo "FAIL: no trial started before timeout"; exit 1; }
+
+wait "$COORD"
+wait "$W2" 2>/dev/null || true
+cat "$WORK/dist.out"
+
+DIST=$(awk '/^best_checksum:/ {print $2}' "$WORK/dist.out")
+if [ -z "$DIST" ]; then
+  echo "FAIL: distributed run printed no checksum"
+  exit 1
+fi
+if [ "$REF" != "$DIST" ]; then
+  echo "FAIL: distributed best_checksum $DIST != reference $REF"
+  exit 1
+fi
+echo "PASS: worker killed mid-trial; best_checksum matches reference ($REF)"

@@ -1,6 +1,10 @@
 #include "common/str_util.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace puffer {
 
@@ -38,6 +42,19 @@ bool iequals(std::string_view a, std::string_view b) {
     }
   }
   return true;
+}
+
+std::string format_double_roundtrip(double value) {
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    const double parsed = std::strtod(buf, nullptr);
+    // Bit equality, not ==: distinguishes -0.0 from 0.0 and makes NaN
+    // (formatted as "nan", parsed back as a NaN) terminate at 15.
+    if (std::memcmp(&parsed, &value, sizeof value) == 0) break;
+    if (std::isnan(parsed) && std::isnan(value)) break;
+  }
+  return buf;
 }
 
 }  // namespace puffer

@@ -19,4 +19,10 @@ bool starts_with(std::string_view s, std::string_view prefix);
 // Case-insensitive equality (ASCII).
 bool iequals(std::string_view a, std::string_view b);
 
+// Shortest decimal representation that parses back to the exact same
+// double: tries %.15g, %.16g, %.17g and keeps the first whose strtod
+// result is bit-equal. 15 digits suffice for most values (and avoid
+// noise like 0.1 -> "0.10000000000000001"); 17 always round-trips.
+std::string format_double_roundtrip(double value);
+
 }  // namespace puffer

@@ -1,7 +1,6 @@
 #include "io/bookshelf.h"
 
 #include <cstdio>
-#include <iomanip>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -292,10 +291,12 @@ Design read_bookshelf(const std::string& aux_path) {
 void write_pl(const Design& design, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw BookshelfError("cannot write " + path);
-  out << std::setprecision(15);
   out << "UCLA pl 1.0\n\n";
   for (const Cell& c : design.cells) {
-    out << c.name << ' ' << c.x << ' ' << c.y << " : N";
+    // Round-trip formatting: write -> read -> write is byte-stable and
+    // the parsed coordinates are bit-equal to the placed ones.
+    out << c.name << ' ' << format_double_roundtrip(c.x) << ' '
+        << format_double_roundtrip(c.y) << " : N";
     if (!c.movable()) out << " /FIXED";
     out << '\n';
   }
@@ -333,12 +334,12 @@ void write_bookshelf(const Design& design, const std::string& prefix) {
   }
   {
     std::ofstream out(prefix + ".nodes");
-    out << std::setprecision(15);
     out << "UCLA nodes 1.0\n\n";
     out << "NumNodes : " << design.cells.size() << '\n';
     out << "NumTerminals : " << num_terminals << '\n';
     for (const Cell& c : design.cells) {
-      out << '\t' << c.name << '\t' << c.width << '\t' << c.height;
+      out << '\t' << c.name << '\t' << format_double_roundtrip(c.width)
+          << '\t' << format_double_roundtrip(c.height);
       if (c.kind == CellKind::kMacro) out << "\tterminal";
       if (c.kind == CellKind::kTerminal) out << "\tterminal_NI";
       out << '\n';
@@ -346,7 +347,6 @@ void write_bookshelf(const Design& design, const std::string& prefix) {
   }
   {
     std::ofstream out(prefix + ".nets");
-    out << std::setprecision(15);
     out << "UCLA nets 1.0\n\n";
     out << "NumNets : " << design.nets.size() << '\n';
     out << "NumPins : " << design.pins.size() << '\n';
@@ -355,8 +355,9 @@ void write_bookshelf(const Design& design, const std::string& prefix) {
       for (PinId pid : net.pins) {
         const Pin& p = design.pins[static_cast<std::size_t>(pid)];
         const Cell& c = design.cells[static_cast<std::size_t>(p.cell)];
-        out << '\t' << c.name << "\tB : " << (p.dx - c.width * 0.5) << ' '
-            << (p.dy - c.height * 0.5) << '\n';
+        out << '\t' << c.name << "\tB : "
+            << format_double_roundtrip(p.dx - c.width * 0.5) << ' '
+            << format_double_roundtrip(p.dy - c.height * 0.5) << '\n';
       }
     }
   }
@@ -367,14 +368,16 @@ void write_bookshelf(const Design& design, const std::string& prefix) {
     out << "NumRows : " << design.rows.size() << '\n';
     for (const Row& row : design.rows) {
       out << "CoreRow Horizontal\n";
-      out << "  Coordinate : " << row.y << '\n';
-      out << "  Height : " << row.height << '\n';
-      out << "  Sitewidth : " << row.site_width << '\n';
-      out << "  Sitespacing : " << row.site_width << '\n';
+      out << "  Coordinate : " << format_double_roundtrip(row.y) << '\n';
+      out << "  Height : " << format_double_roundtrip(row.height) << '\n';
+      out << "  Sitewidth : " << format_double_roundtrip(row.site_width)
+          << '\n';
+      out << "  Sitespacing : " << format_double_roundtrip(row.site_width)
+          << '\n';
       out << "  Siteorient : N\n";
       out << "  Sitesymmetry : Y\n";
-      out << "  SubrowOrigin : " << row.x_lo << "  NumSites : " << row.num_sites
-          << '\n';
+      out << "  SubrowOrigin : " << format_double_roundtrip(row.x_lo)
+          << "  NumSites : " << row.num_sites << '\n';
       out << "End\n";
     }
   }

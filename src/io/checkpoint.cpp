@@ -210,6 +210,128 @@ std::string read_file(const std::string& path) {
   return data;
 }
 
+// --- stream-backed frame I/O ---------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x5055464d;  // "PUFM"
+constexpr std::uint32_t kWireVersion = 1;
+
+// Reads exactly n bytes. Returns the number read: n on success, 0 on EOF
+// before the first byte, anything else means the stream died mid-read.
+std::size_t read_exact(int fd, char* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, dst + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw CheckpointError(std::string("frame: read failed: ") +
+                            std::strerror(errno));
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_all(int fd, const char* src, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, src + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw CheckpointError(std::string("frame: write failed: ") +
+                            std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(std::uint32_t type, const std::string& body) {
+  BinaryWriter w;
+  w.put_u32(kFrameMagic);
+  w.put_u32(kWireVersion);
+  w.put_u32(type);
+  w.put_u64(body.size());
+  w.put_bytes(body.data(), body.size());
+  w.put_u64(fnv1a_bytes(body.data(), body.size()));
+  return w.take();
+}
+
+void write_frame_fd(int fd, std::uint32_t type, const std::string& body) {
+  const std::string bytes = encode_frame(type, body);
+  write_all(fd, bytes.data(), bytes.size());
+}
+
+bool read_frame_fd(int fd, WireFrame* out) {
+  // Header: magic, version, type, body size.
+  char header[20];
+  const std::size_t got = read_exact(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(header)) {
+    throw CheckpointError("frame: truncated header (" + std::to_string(got) +
+                          " of " + std::to_string(sizeof(header)) + " bytes)");
+  }
+  // BinaryReader wants an owning std::string; decode the fixed-size
+  // header in place instead.
+  const auto u32_at = [&](int off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(header[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const auto u64_at = [&](int off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(header[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  if (u32_at(0) != kFrameMagic) {
+    throw CheckpointError("frame: bad magic (stream out of sync)");
+  }
+  const std::uint32_t version = u32_at(4);
+  if (version != kWireVersion) {
+    throw CheckpointError("frame: unsupported wire version " +
+                          std::to_string(version));
+  }
+  const std::uint32_t type = u32_at(8);
+  const std::uint64_t body_size = u64_at(12);
+  if (body_size > kMaxFrameBody) {
+    throw CheckpointError("frame: body size " + std::to_string(body_size) +
+                          " exceeds limit (corrupt length prefix?)");
+  }
+
+  std::string body(static_cast<std::size_t>(body_size), '\0');
+  if (body_size > 0 &&
+      read_exact(fd, body.data(), body.size()) != body.size()) {
+    throw CheckpointError("frame: truncated body");
+  }
+  char trailer[8];
+  if (read_exact(fd, trailer, sizeof(trailer)) != sizeof(trailer)) {
+    throw CheckpointError("frame: truncated checksum trailer");
+  }
+  std::uint64_t want = 0;
+  for (int i = 0; i < 8; ++i) {
+    want |= static_cast<std::uint64_t>(static_cast<unsigned char>(trailer[i]))
+            << (8 * i);
+  }
+  const std::uint64_t got_sum = fnv1a_bytes(body.data(), body.size());
+  if (want != got_sum) {
+    throw CheckpointError("frame: body checksum mismatch");
+  }
+  out->type = type;
+  out->body = std::move(body);
+  return true;
+}
+
 // --- design structure key ------------------------------------------------
 
 std::uint64_t design_structure_key(const Design& design) {

@@ -93,6 +93,40 @@ void atomic_write_file(const std::string& path, const std::string& data);
 // Reads a whole file; throws CheckpointError when unreadable.
 std::string read_file(const std::string& path);
 
+// --- stream-backed frame I/O ---------------------------------------------
+// Length-prefixed binary frames over an arbitrary byte stream (socket,
+// pipe, ...): the same codec + FNV-1a integrity story as the checkpoint
+// files, but framed so many messages share one connection. Layout:
+//
+//   u32 magic "PUFM" | u32 wire version | u32 frame type |
+//   u64 body size | body bytes | u64 fnv1a(body)
+//
+// All integers little-endian (BinaryWriter/Reader). Readers reject bad
+// magic, unknown versions, oversized bodies and checksum mismatches with
+// CheckpointError; a stream that ends mid-frame is "truncated", a stream
+// that ends exactly at a frame boundary is a clean EOF.
+struct WireFrame {
+  std::uint32_t type = 0;
+  std::string body;
+};
+
+// Frame bodies larger than this are rejected as corruption (a garbled
+// length prefix must not trigger a multi-GiB allocation).
+constexpr std::uint64_t kMaxFrameBody = 1ull << 30;
+
+// Serializes one frame to bytes (exposed so tests can corrupt it).
+std::string encode_frame(std::uint32_t type, const std::string& body);
+
+// Blocking write of one frame to `fd`; retries short writes and EINTR.
+// Throws CheckpointError on any I/O failure (including EPIPE -- callers
+// treat that as peer death, so SIGPIPE should be ignored process-wide).
+void write_frame_fd(int fd, std::uint32_t type, const std::string& body);
+
+// Blocking read of one frame. Returns false on a clean EOF at a frame
+// boundary; throws CheckpointError on truncation mid-frame, bad magic,
+// version mismatch, oversized body, or checksum failure.
+bool read_frame_fd(int fd, WireFrame* out);
+
 // --- flow snapshot -------------------------------------------------------
 struct FlowSnapshot {
   // Structure key of the design the snapshot was taken from; restoring

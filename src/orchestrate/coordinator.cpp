@@ -1,0 +1,333 @@
+#include "orchestrate/coordinator.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logger.h"
+#include "common/timer.h"
+#include "core/config_io.h"
+#include "orchestrate/protocol.h"
+#include "orchestrate/pruner.h"
+#include "orchestrate/session.h"
+
+namespace puffer {
+
+namespace {
+
+constexpr const char* kTag = "coordinator";
+constexpr int kPollMs = 200;
+
+}  // namespace
+
+CoordinatorConfig validate_coordinator_config(CoordinatorConfig config) {
+  if (config.listen.empty()) {
+    throw std::invalid_argument("CoordinatorConfig.listen must be set");
+  }
+  if (config.min_workers < 1) {
+    throw std::invalid_argument(
+        "CoordinatorConfig.min_workers must be positive");
+  }
+  if (!(config.attach_timeout_s > 0.0)) {
+    throw std::invalid_argument(
+        "CoordinatorConfig.attach_timeout_s must be positive");
+  }
+  return config;
+}
+
+struct CoordinatorExecutor::Worker {
+  int fd = -1;
+  std::string name;
+  int task = -1;  // index into the current batch's tasks, -1 = idle
+};
+
+CoordinatorExecutor::CoordinatorExecutor(CoordinatorConfig config)
+    : config_(validate_coordinator_config(std::move(config))) {
+  ignore_sigpipe();
+  listen_fd_ = listen_socket(config_.listen);
+  PUFFER_LOG_INFO(kTag, "listening on %s", config_.listen.c_str());
+}
+
+CoordinatorExecutor::~CoordinatorExecutor() {
+  shutdown_workers();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (is_unix_address(config_.listen)) ::unlink(config_.listen.c_str());
+}
+
+int CoordinatorExecutor::slots() const { return std::max(1, peak_workers_); }
+
+int CoordinatorExecutor::workers_attached() const {
+  return static_cast<int>(workers_.size());
+}
+
+void CoordinatorExecutor::shutdown_workers() {
+  for (Worker& w : workers_) {
+    try {
+      send_msg(w.fd, MsgType::kShutdown, std::string());
+    } catch (const CheckpointError&) {
+      // Worker already gone.
+    }
+    ::close(w.fd);
+  }
+  workers_.clear();
+}
+
+void CoordinatorExecutor::accept_and_handshake() {
+  const int fd = accept_socket(listen_fd_);
+  try {
+    WireFrame frame;
+    if (!read_frame_fd(fd, &frame) ||
+        frame.type != static_cast<std::uint32_t>(MsgType::kHello)) {
+      throw CheckpointError("expected hello");
+    }
+    const HelloMsg hello = decode_hello(frame.body);
+    if (hello.protocol_version != kOrchProtocolVersion) {
+      ErrorMsg err;
+      err.message = "protocol version mismatch";
+      send_msg(fd, MsgType::kError, encode_error(err));
+      ::close(fd);
+      return;
+    }
+    if (hello.design_key != ctx_.design_key) {
+      // A worker holding a different benchmark must never evaluate
+      // trials: its results would fold garbage into the TPE state.
+      ErrorMsg err;
+      err.message = "design mismatch: worker loaded a different benchmark";
+      send_msg(fd, MsgType::kError, encode_error(err));
+      ::close(fd);
+      PUFFER_LOG_WARN(kTag, "refused worker %s: design key mismatch",
+                      hello.worker_name.c_str());
+      return;
+    }
+    const bool cached =
+        std::find(hello.cached.begin(), hello.cached.end(),
+                  std::make_pair(ctx_.design_key, ctx_.prefix_key)) !=
+        hello.cached.end();
+    HelloAckMsg ack;
+    ack.design_key = ctx_.design_key;
+    ack.prefix_key = ctx_.prefix_key;
+    ack.space_key = ctx_.space_key;
+    ack.seed = ctx_.seed;
+    ack.base_config_text = base_config_text_;
+    ack.snapshot_follows = cached ? 0 : 1;
+    send_msg(fd, MsgType::kHelloAck, encode_hello_ack(ack));
+    if (!cached) {
+      send_msg(fd, MsgType::kSnapshot, snapshot_bytes_);
+    }
+    Worker w;
+    w.fd = fd;
+    w.name = hello.worker_name;
+    workers_.push_back(std::move(w));
+    peak_workers_ =
+        std::max(peak_workers_, static_cast<int>(workers_.size()));
+    PUFFER_LOG_INFO(kTag, "worker %s attached (%zu connected, snapshot %s)",
+                    hello.worker_name.c_str(), workers_.size(),
+                    cached ? "cached" : "shipped");
+  } catch (const CheckpointError& e) {
+    PUFFER_LOG_WARN(kTag, "handshake failed: %s", e.what());
+    ::close(fd);
+  }
+}
+
+void CoordinatorExecutor::drop_worker(std::size_t w, const char* why) {
+  PUFFER_LOG_WARN(kTag, "worker %s lost (%s)%s", workers_[w].name.c_str(),
+                  why,
+                  workers_[w].task >= 0 ? ", reassigning its trial" : "");
+  ::close(workers_[w].fd);
+  workers_.erase(workers_.begin() + static_cast<std::ptrdiff_t>(w));
+}
+
+void CoordinatorExecutor::prepare(const TrialRunContext& ctx) {
+  ctx_ = ctx;
+  snapshot_bytes_ = encode_snapshot(*ctx.snapshot);
+  base_config_text_ = config_to_text(ctx.base->puffer);
+
+  Timer timer;
+  while (workers_attached() < config_.min_workers) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, kPollMs);
+    if (rc > 0 && (p.revents & POLLIN)) accept_and_handshake();
+    if (timer.elapsed_seconds() > config_.attach_timeout_s) {
+      if (config_.local_fallback) {
+        PUFFER_LOG_WARN(kTag,
+                        "only %d/%d workers attached in %.0f s; remaining "
+                        "trials may run in-process",
+                        workers_attached(), config_.min_workers,
+                        config_.attach_timeout_s);
+        return;
+      }
+      throw CheckpointError("coordinator: only " +
+                            std::to_string(workers_attached()) + "/" +
+                            std::to_string(config_.min_workers) +
+                            " workers attached before timeout");
+    }
+  }
+}
+
+void CoordinatorExecutor::run_batch(const std::vector<TrialTask>& tasks,
+                                    const std::vector<int>& to_run,
+                                    std::vector<TrialResult>* results) {
+  std::deque<int> pending(to_run.begin(), to_run.end());
+  std::size_t remaining = to_run.size();
+  Timer starve_timer;  // time since the last worker disappeared
+
+  const auto assign_to = [&](Worker& w, int i) {
+    const TrialTask& task = tasks[static_cast<std::size_t>(i)];
+    TrialAssignMsg msg;
+    msg.trial_id = task.trial_id;
+    msg.assignment = task.assignment;
+    msg.akey = assignment_key(task.assignment);
+    if (task.pruner) msg.pruner_blob = encode_prune_thresholds(*task.pruner);
+    send_msg(w.fd, MsgType::kTrialAssign, encode_trial_assign(msg));
+    w.task = i;
+  };
+
+  while (remaining > 0) {
+    // Hand pending trials to idle workers. A send failure means the
+    // worker died between polls: requeue and drop.
+    for (std::size_t w = 0; w < workers_.size() && !pending.empty();) {
+      if (workers_[w].task >= 0) {
+        ++w;
+        continue;
+      }
+      const int i = pending.front();
+      try {
+        assign_to(workers_[w], i);
+        pending.pop_front();
+        ++w;
+      } catch (const CheckpointError&) {
+        drop_worker(w, "send failed");
+        starve_timer = Timer();
+      }
+    }
+
+    if (workers_.empty()) {
+      // Every worker is gone. Give replacements a chance to attach, then
+      // fall back to evaluating in-process so the exploration finishes.
+      if (starve_timer.elapsed_seconds() > config_.attach_timeout_s) {
+        if (!config_.local_fallback) {
+          throw CheckpointError(
+              "coordinator: all workers lost and none re-attached");
+        }
+        PUFFER_LOG_WARN(kTag,
+                        "no workers for %.0f s; evaluating %zu remaining "
+                        "trial(s) in-process",
+                        config_.attach_timeout_s, remaining);
+        while (!pending.empty()) {
+          const int i = pending.front();
+          pending.pop_front();
+          (*results)[static_cast<std::size_t>(i)] = run_trial_session(
+              *tasks[static_cast<std::size_t>(i)].design,
+              tasks[static_cast<std::size_t>(i)]);
+          ++trials_local_fallback_;
+          --remaining;
+        }
+        continue;
+      }
+    }
+
+    // Wait for results, worker deaths, or new attaches.
+    std::vector<pollfd> fds;
+    fds.reserve(workers_.size() + 1);
+    pollfd lp{};
+    lp.fd = listen_fd_;
+    lp.events = POLLIN;
+    fds.push_back(lp);
+    for (const Worker& w : workers_) {
+      pollfd p{};
+      p.fd = w.fd;
+      p.events = POLLIN;
+      fds.push_back(p);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), kPollMs);
+    if (rc <= 0) continue;
+
+    if (fds[0].revents & POLLIN) accept_and_handshake();
+
+    // Process at most one worker event per poll round; a drop mutates
+    // workers_, so indices past it would be stale.
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const short revents = fds[w + 1].revents;
+      if (revents == 0) continue;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        const int orphan = workers_[w].task;
+        drop_worker(w, "socket error");
+        if (orphan >= 0) {
+          pending.push_back(orphan);
+          ++trials_reassigned_;
+        }
+        starve_timer = Timer();
+        break;
+      }
+      // POLLIN and POLLHUP both mean "read": a hangup with a complete
+      // result still buffered must count the result.
+      try {
+        WireFrame frame;
+        if (!read_frame_fd(workers_[w].fd, &frame)) {
+          throw CheckpointError("eof");
+        }
+        if (frame.type == static_cast<std::uint32_t>(MsgType::kTrialResult)) {
+          const TrialResultMsg msg = decode_trial_result(frame.body);
+          const int i = workers_[w].task;
+          if (i < 0 ||
+              tasks[static_cast<std::size_t>(i)].trial_id != msg.trial_id ||
+              assignment_key(tasks[static_cast<std::size_t>(i)].assignment) !=
+                  msg.akey) {
+            throw CheckpointError("result does not match the assignment");
+          }
+          TrialResult& r = (*results)[static_cast<std::size_t>(i)];
+          r.trial_id = msg.trial_id;
+          r.loss = msg.loss;
+          r.pruned = msg.pruned != 0;
+          r.prune_round = msg.prune_round;
+          r.checksum = msg.checksum;
+          r.rounds = msg.rounds;
+          r.wall_s = msg.wall_s;
+          r.metrics_valid = false;  // FlowMetrics never cross the wire
+          workers_[w].task = -1;
+          --remaining;
+        } else if (frame.type == static_cast<std::uint32_t>(MsgType::kError)) {
+          throw CheckpointError("worker error: " +
+                                decode_error(frame.body).message);
+        } else {
+          throw CheckpointError("unexpected message type " +
+                                std::to_string(frame.type));
+        }
+      } catch (const CheckpointError& e) {
+        const int orphan = workers_[w].task;
+        drop_worker(w, e.what());
+        if (orphan >= 0) {
+          pending.push_back(orphan);
+          ++trials_reassigned_;
+        }
+        starve_timer = Timer();
+      }
+      break;
+    }
+  }
+}
+
+OrchestrationResult run_distributed_orchestration(
+    Design& design, std::vector<ParamSpec> specs, ExperimentConfig base,
+    OrchestratorConfig orch, CoordinatorConfig coord) {
+  TrialOrchestrator orchestrator(design, std::move(specs), std::move(base),
+                                 std::move(orch));
+  CoordinatorExecutor executor(std::move(coord));
+  OrchestrationResult result = orchestrator.run(executor);
+  if (executor.trials_reassigned() > 0 ||
+      executor.trials_local_fallback() > 0) {
+    PUFFER_LOG_INFO(kTag, "%d trial(s) reassigned, %d ran in-process",
+                    executor.trials_reassigned(),
+                    executor.trials_local_fallback());
+  }
+  executor.shutdown_workers();
+  return result;
+}
+
+}  // namespace puffer

@@ -106,7 +106,57 @@ std::uint64_t TrialOrchestrator::space_key() const {
   return fnv1a_bytes(w.buffer().data(), w.buffer().size());
 }
 
+LocalTrialExecutor::LocalTrialExecutor(int concurrency)
+    : concurrency_(concurrency) {}
+
+void LocalTrialExecutor::run_batch(const std::vector<TrialTask>& tasks,
+                                   const std::vector<int>& to_run,
+                                   std::vector<TrialResult>* results) {
+  if (to_run.empty()) return;
+  const auto run_one = [&](int i) {
+    (*results)[static_cast<std::size_t>(i)] =
+        run_trial_session(*tasks[static_cast<std::size_t>(i)].design,
+                          tasks[static_cast<std::size_t>(i)]);
+  };
+  if (to_run.size() == 1 || concurrency_ == 1) {
+    for (const int i : to_run) run_one(i);
+    return;
+  }
+  // K runner threads pull candidate indices from a shared counter; the
+  // schedule is timing-dependent but only moves *where* a session runs,
+  // never what it computes.
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr err;
+  const int workers =
+      std::min(concurrency_, static_cast<int>(to_run.size()));
+  std::vector<std::thread> runners;
+  runners.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    runners.emplace_back([&] {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1);
+        if (k >= to_run.size()) return;
+        try {
+          run_one(to_run[k]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mutex);
+          if (!err) err = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
 OrchestrationResult TrialOrchestrator::run() {
+  LocalTrialExecutor executor(config_.concurrency);
+  return run(executor);
+}
+
+OrchestrationResult TrialOrchestrator::run(TrialExecutor& executor) {
   OrchestrationResult result;
   result.best_loss = std::numeric_limits<double>::max();
 
@@ -204,10 +254,21 @@ OrchestrationResult TrialOrchestrator::run() {
   }
   result.stats.prefix_s = prefix_timer.elapsed_seconds();
 
+  TrialRunContext ctx;
+  ctx.design = &design_;
+  ctx.base = &base_;
+  ctx.snapshot = &snap;
+  ctx.design_key = dkey;
+  ctx.prefix_key = pkey;
+  ctx.space_key = skey;
+  ctx.seed = config_.seed;
+  executor.prepare(ctx);
+
   // --- concurrent TPE loop ------------------------------------------------
-  // Each session leases an equal share of the worker budget; the owning
-  // runner thread always counts as one worker, so K sessions on an
-  // N-thread budget never exceed N workers in total.
+  // Each local session leases an equal share of the worker budget; the
+  // owning runner thread always counts as one worker, so K sessions on an
+  // N-thread budget never exceed N workers in total. (Remote workers
+  // size their own leases.)
   const int lease_want =
       std::max(1, par::num_threads() / config_.concurrency);
 
@@ -234,12 +295,20 @@ OrchestrationResult TrialOrchestrator::run() {
     const PruneThresholds* pruner =
         frozen.config().enabled ? &frozen : nullptr;
 
+    std::vector<TrialTask> tasks(static_cast<std::size_t>(want));
     std::vector<TrialResult> results(static_cast<std::size_t>(want));
-    std::vector<char> executed(static_cast<std::size_t>(want), 0);
     std::vector<int> to_run;
     for (int i = 0; i < want; ++i) {
       const int tid = tc + i;
       const std::uint64_t akey = assignment_key(xs[static_cast<std::size_t>(i)]);
+      TrialTask& task = tasks[static_cast<std::size_t>(i)];
+      task.trial_id = tid;
+      task.assignment = xs[static_cast<std::size_t>(i)];
+      task.design = &design_;
+      task.base = &base_;
+      task.snapshot = &snap;
+      task.pruner = pruner;
+      task.lease_want = lease_want;
       const auto it = completed.find(tid);
       if (it != completed.end() && it->second.akey == akey) {
         TrialResult& r = results[static_cast<std::size_t>(i)];
@@ -265,51 +334,7 @@ OrchestrationResult TrialOrchestrator::run() {
       }
     }
 
-    if (!to_run.empty()) {
-      const auto run_one = [&](int i) {
-        TrialTask task;
-        task.trial_id = tc + i;
-        task.assignment = xs[static_cast<std::size_t>(i)];
-        task.base = &base_;
-        task.snapshot = &snap;
-        task.pruner = pruner;
-        task.lease_want = lease_want;
-        results[static_cast<std::size_t>(i)] =
-            run_trial_session(design_, task);
-        executed[static_cast<std::size_t>(i)] = 1;
-      };
-      if (to_run.size() == 1 || config_.concurrency == 1) {
-        for (const int i : to_run) run_one(i);
-      } else {
-        // K runner threads pull candidate indices from a shared counter;
-        // the schedule is timing-dependent but only moves *where* a
-        // session runs, never what it computes.
-        std::atomic<std::size_t> next{0};
-        std::mutex err_mutex;
-        std::exception_ptr err;
-        const int workers = std::min(config_.concurrency,
-                                     static_cast<int>(to_run.size()));
-        std::vector<std::thread> runners;
-        runners.reserve(static_cast<std::size_t>(workers));
-        for (int w = 0; w < workers; ++w) {
-          runners.emplace_back([&] {
-            for (;;) {
-              const std::size_t k = next.fetch_add(1);
-              if (k >= to_run.size()) return;
-              try {
-                run_one(to_run[k]);
-              } catch (...) {
-                const std::lock_guard<std::mutex> lock(err_mutex);
-                if (!err) err = std::current_exception();
-                return;
-              }
-            }
-          });
-        }
-        for (std::thread& t : runners) t.join();
-        if (err) std::rethrow_exception(err);
-      }
-    }
+    if (!to_run.empty()) executor.run_batch(tasks, to_run, &results);
 
     if (journal) {
       // Completion records in candidate order, so the journal content is
@@ -350,7 +375,7 @@ OrchestrationResult TrialOrchestrator::run() {
         result.best = xs[static_cast<std::size_t>(i)];
         result.best_trial = r.trial_id;
         result.best_checksum = r.checksum;
-        if (executed[static_cast<std::size_t>(i)]) {
+        if (r.metrics_valid) {
           result.best_metrics_valid = true;
           result.best_flow = r.flow;
           result.best_route = r.route;
@@ -372,8 +397,8 @@ OrchestrationResult TrialOrchestrator::run() {
   result.trials_evaluated = tc;
   result.early_stopped = npc >= config_.early_stop;
   result.stats.trials_s = trials_timer.elapsed_seconds();
-  const double denom =
-      result.stats.trials_s * static_cast<double>(config_.concurrency);
+  const double denom = result.stats.trials_s *
+                       static_cast<double>(std::max(1, executor.slots()));
   result.stats.scheduler_utilization =
       denom > 0.0 ? std::min(1.0, busy_s / denom) : 0.0;
 

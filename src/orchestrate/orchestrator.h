@@ -77,6 +77,59 @@ struct OrchestrationResult {
   RouteResult best_route;
 };
 
+// Everything a batch executor needs once per exploration, published
+// after the shared prefix is ready and before the first batch.
+struct TrialRunContext {
+  const Design* design = nullptr;
+  const ExperimentConfig* base = nullptr;
+  const FlowSnapshot* snapshot = nullptr;
+  std::uint64_t design_key = 0;
+  std::uint64_t prefix_key = 0;
+  std::uint64_t space_key = 0;
+  std::uint64_t seed = 0;
+};
+
+// Where a batch of trials executes. The orchestrator owns *what* is
+// evaluated (candidate sequence, journal, fold order); an executor owns
+// only *where* -- runner threads in this process (LocalTrialExecutor) or
+// worker processes over sockets (CoordinatorExecutor). Every executor
+// must fill results[i] for each i in to_run with values following the
+// session contract (bit-identical to run_trial_session on the same
+// task), so exploration output never depends on the executor.
+class TrialExecutor {
+ public:
+  virtual ~TrialExecutor() = default;
+
+  // Called once, after the shared prefix snapshot exists.
+  virtual void prepare(const TrialRunContext& ctx) { (void)ctx; }
+
+  // Evaluates tasks[i] for every i in to_run into (*results)[i]. May
+  // throw; the orchestrator does not catch (a lost executor aborts the
+  // exploration -- the journal already holds the completed trials).
+  virtual void run_batch(const std::vector<TrialTask>& tasks,
+                         const std::vector<int>& to_run,
+                         std::vector<TrialResult>* results) = 0;
+
+  // Concurrent evaluation slots (sessions or workers): the denominator
+  // of scheduler_utilization.
+  virtual int slots() const = 0;
+};
+
+// The in-process executor: up to `concurrency` runner threads pull
+// candidate indices from a shared counter, each evaluating under a
+// worker lease so the process thread budget is never oversubscribed.
+class LocalTrialExecutor : public TrialExecutor {
+ public:
+  explicit LocalTrialExecutor(int concurrency);
+  void run_batch(const std::vector<TrialTask>& tasks,
+                 const std::vector<int>& to_run,
+                 std::vector<TrialResult>* results) override;
+  int slots() const override { return concurrency_; }
+
+ private:
+  int concurrency_;
+};
+
 class TrialOrchestrator {
  public:
   // `design` is the exploration benchmark. The orchestrator runs the
@@ -86,7 +139,13 @@ class TrialOrchestrator {
   TrialOrchestrator(Design& design, std::vector<ParamSpec> specs,
                     ExperimentConfig base, OrchestratorConfig config);
 
+  // Runs with the in-process LocalTrialExecutor (config.concurrency).
   OrchestrationResult run();
+  // Runs with a caller-provided executor (e.g. the socket coordinator).
+  // The candidate sequence, journal and fold are identical to run() --
+  // results depend only on (trials, batch_size, seed, space), never on
+  // the executor.
+  OrchestrationResult run(TrialExecutor& executor);
 
   // Stable identity of the explored problem (specs + seed + batch/trial
   // budget + prune + TPE + fork point): a journal written under a

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace puffer {
@@ -59,9 +60,19 @@ class PruneThresholds {
   const PruneConfig& config() const { return config_; }
 
  private:
+  friend std::string encode_prune_thresholds(const PruneThresholds& t);
+  friend PruneThresholds decode_prune_thresholds(const std::string& blob);
+
   PruneConfig config_;
   std::vector<std::vector<double>> rungs_;  // per round: folded values
   int trails_ = 0;
 };
+
+// Wire codec for a frozen thresholds instance (config + rung history +
+// trail count, doubles bit-exact), so a remote worker prunes against
+// exactly the batch-frozen state the coordinator froze. decode throws
+// CheckpointError on malformed input.
+std::string encode_prune_thresholds(const PruneThresholds& t);
+PruneThresholds decode_prune_thresholds(const std::string& blob);
 
 }  // namespace puffer

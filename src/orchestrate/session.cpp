@@ -82,6 +82,7 @@ TrialResult run_trial_session(const Design& base_design,
     result.checksum = position_checksum(design);
   }
   result.wall_s = timer.elapsed_seconds();
+  result.metrics_valid = true;
   return result;
 }
 

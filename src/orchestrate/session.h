@@ -20,6 +20,8 @@ namespace puffer {
 struct TrialTask {
   int trial_id = -1;
   Assignment assignment;
+  // The exploration benchmark (sessions copy it; never mutated).
+  const Design* design = nullptr;
   // Base experiment config the assignment is applied onto.
   const ExperimentConfig* base = nullptr;
   // Shared fork checkpoint (never mutated by sessions).
@@ -41,6 +43,10 @@ struct TrialResult {
   // Per-padding-round estimated overflow (the pruner's rung metrics).
   std::vector<double> rounds;
   double wall_s = 0.0;
+  // True when flow/route below were filled by an evaluation in this
+  // process; false for results replayed from the journal or reported by
+  // a remote worker (only the deterministic fields above cross the wire).
+  bool metrics_valid = false;
   FlowMetrics flow;
   RouteResult route;
 };

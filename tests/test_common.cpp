@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 #include <thread>
 #include <vector>
@@ -44,6 +46,34 @@ TEST(StrUtil, CaseInsensitiveEquals) {
   EXPECT_TRUE(iequals("Coordinate", "coordinate"));
   EXPECT_TRUE(iequals("TERMINAL", "terminal"));
   EXPECT_FALSE(iequals("terminal", "terminal_NI"));
+}
+
+TEST(StrUtil, FormatDoubleRoundTripIsShortest) {
+  // Human-friendly where 15 digits suffice...
+  EXPECT_EQ(format_double_roundtrip(0.1), "0.1");
+  EXPECT_EQ(format_double_roundtrip(0.15), "0.15");
+  EXPECT_EQ(format_double_roundtrip(1.0), "1");
+  EXPECT_EQ(format_double_roundtrip(-2.5), "-2.5");
+  EXPECT_EQ(format_double_roundtrip(0.0), "0");
+  // ...17 where they do not (0.1 + 0.2 != 0.3 in binary).
+  EXPECT_EQ(format_double_roundtrip(0.1 + 0.2), "0.30000000000000004");
+}
+
+TEST(StrUtil, FormatDoubleRoundTripIsBitExact) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           -0.0,
+                           1e308,
+                           5e-324,  // smallest subnormal
+                           2.0111091837465,
+                           123456789.123456789};
+  for (const double v : values) {
+    const std::string s = format_double_roundtrip(v);
+    const double parsed = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&parsed, &v, sizeof v), 0) << s;
+  }
+  // -0.0 keeps its sign (plain == would accept "+0").
+  EXPECT_EQ(format_double_roundtrip(-0.0), "-0");
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

@@ -1,0 +1,422 @@
+// Distributed-orchestration wire tests: stream-backed checkpoint frames
+// (round-trip over socketpair/pipe, truncation and corrupted-FNV
+// rejection), message codecs, the prune-thresholds wire codec, the
+// worker's snapshot-key mismatch rejection, and coordinator/worker
+// end-to-end runs (bit-identity with the in-process scheduler, trial
+// reassignment after a worker dies mid-trial).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "io/checkpoint.h"
+#include "io/synthetic.h"
+#include "orchestrate/coordinator.h"
+#include "orchestrate/orchestrator.h"
+#include "orchestrate/protocol.h"
+#include "orchestrate/pruner.h"
+#include "orchestrate/worker.h"
+
+namespace puffer {
+namespace {
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ~ProtocolTest() override { par::set_num_threads(0); }
+};
+
+// Paired fds whose lifetime is scoped to the test body.
+struct FdPair {
+  int a = -1, b = -1;
+  FdPair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = sv[0];
+    b = sv[1];
+  }
+  ~FdPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec spec;
+  spec.name = "proto";
+  spec.seed = 91;
+  spec.num_cells = 300;
+  spec.num_nets = 450;
+  spec.num_macros = 2;
+  spec.target_utilization = 0.78;
+  spec.v_capacity_factor = 0.55;
+  return spec;
+}
+
+ExperimentConfig tiny_experiment_config() {
+  ExperimentConfig cfg;
+  cfg.puffer.gp.max_iters = 250;
+  cfg.puffer.padding.xi = 3;
+  cfg.puffer.num_threads = 0;
+  return cfg;
+}
+
+OrchestratorConfig tiny_orch_config() {
+  OrchestratorConfig cfg;
+  cfg.trials = 4;
+  cfg.batch_size = 2;
+  cfg.concurrency = 2;
+  cfg.fork_overflow = 0.45;
+  cfg.seed = 4242;
+  cfg.tpe.n_startup = 3;
+  return cfg;
+}
+
+std::string temp_socket(const char* leaf) {
+  const auto path = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+// --- stream frames --------------------------------------------------------
+
+TEST_F(ProtocolTest, FrameRoundTripOverSocketpair) {
+  FdPair fds;
+  const std::string small = "hello";
+  std::string big(100000, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 2654435761u >> 13);
+  }
+  // Writer thread: socket buffers are smaller than `big`, so the write
+  // must interleave with the read side.
+  std::thread writer([&] {
+    write_frame_fd(fds.a, 1, small);
+    write_frame_fd(fds.a, 2, big);
+    write_frame_fd(fds.a, 3, std::string());  // empty body
+    fds.close_a();                            // clean EOF
+  });
+  WireFrame f;
+  ASSERT_TRUE(read_frame_fd(fds.b, &f));
+  EXPECT_EQ(f.type, 1u);
+  EXPECT_EQ(f.body, small);
+  ASSERT_TRUE(read_frame_fd(fds.b, &f));
+  EXPECT_EQ(f.type, 2u);
+  EXPECT_EQ(f.body, big);
+  ASSERT_TRUE(read_frame_fd(fds.b, &f));
+  EXPECT_EQ(f.type, 3u);
+  EXPECT_TRUE(f.body.empty());
+  EXPECT_FALSE(read_frame_fd(fds.b, &f));  // EOF at a frame boundary
+  writer.join();
+}
+
+TEST_F(ProtocolTest, FrameRoundTripOverPipe) {
+  int pfd[2];
+  ASSERT_EQ(::pipe(pfd), 0);
+  write_frame_fd(pfd[1], 7, "pipe payload");
+  ::close(pfd[1]);
+  WireFrame f;
+  ASSERT_TRUE(read_frame_fd(pfd[0], &f));
+  EXPECT_EQ(f.type, 7u);
+  EXPECT_EQ(f.body, "pipe payload");
+  EXPECT_FALSE(read_frame_fd(pfd[0], &f));
+  ::close(pfd[0]);
+}
+
+TEST_F(ProtocolTest, TruncatedFrameRejected) {
+  // EOF inside the header (after the first byte) and EOF inside the body
+  // are both corruption, not clean shutdown.
+  const std::string bytes = encode_frame(4, "truncated body victim");
+  for (const std::size_t keep : {1ul, 10ul, bytes.size() - 1}) {
+    FdPair fds;
+    ASSERT_EQ(::write(fds.a, bytes.data(), keep),
+              static_cast<ssize_t>(keep));
+    fds.close_a();
+    WireFrame f;
+    EXPECT_THROW(read_frame_fd(fds.b, &f), CheckpointError) << keep;
+  }
+}
+
+TEST_F(ProtocolTest, CorruptedChecksumRejected) {
+  std::string bytes = encode_frame(4, "checksummed payload");
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a body bit
+  FdPair fds;
+  ASSERT_EQ(::write(fds.a, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  fds.close_a();
+  WireFrame f;
+  EXPECT_THROW(read_frame_fd(fds.b, &f), CheckpointError);
+}
+
+TEST_F(ProtocolTest, BadMagicRejected) {
+  std::string bytes = encode_frame(4, "payload");
+  bytes[0] ^= 0xff;
+  FdPair fds;
+  ASSERT_EQ(::write(fds.a, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  fds.close_a();
+  WireFrame f;
+  EXPECT_THROW(read_frame_fd(fds.b, &f), CheckpointError);
+}
+
+// --- message codecs -------------------------------------------------------
+
+TEST_F(ProtocolTest, HelloRoundTrip) {
+  HelloMsg m;
+  m.design_key = 0xdeadbeefcafef00dull;
+  m.cached = {{1, 2}, {0xffffffffffffffffull, 3}};
+  m.worker_name = "w-7";
+  const HelloMsg d = decode_hello(encode_hello(m));
+  EXPECT_EQ(d.protocol_version, kOrchProtocolVersion);
+  EXPECT_EQ(d.design_key, m.design_key);
+  EXPECT_EQ(d.cached, m.cached);
+  EXPECT_EQ(d.worker_name, m.worker_name);
+}
+
+TEST_F(ProtocolTest, HelloAckRoundTrip) {
+  HelloAckMsg m;
+  m.design_key = 11;
+  m.prefix_key = 22;
+  m.space_key = 33;
+  m.seed = 44;
+  m.base_config_text = "gp.max_iters = 250\n";
+  m.snapshot_follows = 0;
+  const HelloAckMsg d = decode_hello_ack(encode_hello_ack(m));
+  EXPECT_EQ(d.design_key, 11u);
+  EXPECT_EQ(d.prefix_key, 22u);
+  EXPECT_EQ(d.space_key, 33u);
+  EXPECT_EQ(d.seed, 44u);
+  EXPECT_EQ(d.base_config_text, m.base_config_text);
+  EXPECT_EQ(d.snapshot_follows, 0);
+}
+
+TEST_F(ProtocolTest, TrialMessagesRoundTripBitExact) {
+  TrialAssignMsg a;
+  a.trial_id = 17;
+  a.assignment = {0.1, -0.0, 3.5e-320, 1.0 / 3.0};  // subnormal included
+  a.akey = 0x1234;
+  a.pruner_blob = std::string("\x00\x01\xff", 3);
+  const TrialAssignMsg da = decode_trial_assign(encode_trial_assign(a));
+  EXPECT_EQ(da.trial_id, 17);
+  EXPECT_EQ(da.akey, 0x1234u);
+  ASSERT_EQ(da.assignment.size(), a.assignment.size());
+  for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&da.assignment[i], &a.assignment[i], 8), 0) << i;
+  }
+  EXPECT_EQ(da.pruner_blob, a.pruner_blob);
+
+  TrialResultMsg r;
+  r.trial_id = 17;
+  r.akey = 0x1234;
+  r.loss = 2.0111091837465;
+  r.pruned = 1;
+  r.prune_round = 3;
+  r.checksum = 0x8d5b9e7465871f06ull;
+  r.rounds = {0.9, 0.5, 0.30000000000000004};
+  r.wall_s = 1.25;
+  const TrialResultMsg dr = decode_trial_result(encode_trial_result(r));
+  EXPECT_EQ(std::memcmp(&dr.loss, &r.loss, 8), 0);
+  EXPECT_EQ(dr.pruned, 1);
+  EXPECT_EQ(dr.prune_round, 3);
+  EXPECT_EQ(dr.checksum, r.checksum);
+  ASSERT_EQ(dr.rounds.size(), 3u);
+  EXPECT_EQ(std::memcmp(&dr.rounds[2], &r.rounds[2], 8), 0);
+  EXPECT_EQ(dr.wall_s, r.wall_s);
+}
+
+TEST_F(ProtocolTest, TrailingBytesRejected) {
+  ErrorMsg e;
+  e.message = "boom";
+  EXPECT_EQ(decode_error(encode_error(e)).message, "boom");
+  EXPECT_THROW(decode_error(encode_error(e) + "x"), CheckpointError);
+  HelloMsg h;
+  EXPECT_THROW(decode_hello(encode_hello(h) + "junk"), CheckpointError);
+  EXPECT_THROW(decode_trial_assign(std::string("short")), CheckpointError);
+}
+
+TEST_F(ProtocolTest, PruneThresholdsRoundTrip) {
+  PruneConfig cfg;
+  cfg.enabled = true;
+  cfg.grace_rounds = 1;
+  cfg.min_history = 3;
+  cfg.quantile = 0.5;
+  PruneThresholds t(validate_prune_config(cfg));
+  t.observe({0.9, 0.5, 0.3});
+  t.observe({0.8, 0.6, 0.4});
+  t.observe({0.7, 0.4, 0.2});
+  const PruneThresholds d = decode_prune_thresholds(encode_prune_thresholds(t));
+  EXPECT_EQ(d.trails_observed(), 3);
+  EXPECT_EQ(d.config().min_history, 3);
+  // Decisions agree with the original on both sides of the threshold.
+  for (int round = 0; round < 4; ++round) {
+    for (double v : {0.1, 0.35, 0.45, 0.55, 0.9, 2.0}) {
+      EXPECT_EQ(d.should_prune(round, v), t.should_prune(round, v))
+          << round << " " << v;
+    }
+  }
+  EXPECT_EQ(d.penalty_loss(0.5), t.penalty_loss(0.5));
+  EXPECT_THROW(decode_prune_thresholds(std::string("garbage")),
+               CheckpointError);
+}
+
+// --- worker handshake -----------------------------------------------------
+
+TEST_F(ProtocolTest, WorkerRejectsSnapshotKeyMismatch) {
+  const Design design = generate_synthetic(tiny_spec());
+  const std::uint64_t dkey = design_structure_key(design);
+  const ExperimentConfig base = tiny_experiment_config();
+
+  FdPair fds;
+  SnapshotCache cache;
+  bool served = true;
+  std::thread worker([&] {
+    served = serve_coordinator(fds.b, design, base, &cache, "t");
+  });
+
+  WireFrame f;
+  ASSERT_TRUE(read_frame_fd(fds.a, &f));
+  const HelloMsg hello = decode_hello(f.body);
+  EXPECT_EQ(hello.design_key, dkey);
+
+  HelloAckMsg ack;
+  ack.design_key = dkey;
+  ack.prefix_key = 777;
+  ack.snapshot_follows = 1;
+  send_msg(fds.a, MsgType::kHelloAck, encode_hello_ack(ack));
+  // The snapshot's own keys disagree with the announced prefix: the
+  // worker must refuse to fork trials from it.
+  FlowSnapshot snap;
+  snap.design_key = dkey;
+  snap.prefix_key = 778;
+  snap.x.assign(design.cells.size(), 0.0);
+  snap.y.assign(design.cells.size(), 0.0);
+  send_msg(fds.a, MsgType::kSnapshot, encode_snapshot(snap));
+
+  ASSERT_TRUE(read_frame_fd(fds.a, &f));
+  EXPECT_EQ(f.type, static_cast<std::uint32_t>(MsgType::kError));
+  EXPECT_NE(decode_error(f.body).message.find("snapshot key mismatch"),
+            std::string::npos);
+  worker.join();
+  EXPECT_FALSE(served);
+  EXPECT_EQ(cache.keys().size(), 0u);  // nothing poisoned the cache
+}
+
+// --- end-to-end -----------------------------------------------------------
+
+TEST_F(ProtocolTest, DistributedMatchesInProcessBitExactly) {
+  // In-process reference.
+  OrchestrationResult ref;
+  {
+    Design d = generate_synthetic(tiny_spec());
+    TrialOrchestrator orch(d, puffer_param_specs(), tiny_experiment_config(),
+                           tiny_orch_config());
+    ref = orch.run();
+  }
+
+  // Same exploration, trials evaluated by two worker "processes"
+  // (threads here; the binary is exercised by scripts/kill_worker_smoke).
+  const std::string address = temp_socket("puffer_proto_e2e.sock");
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&address, w] {
+      Design d = generate_synthetic(tiny_spec());
+      WorkerConfig cfg;
+      cfg.connect = address;
+      cfg.name = "t-worker-" + std::to_string(w);
+      cfg.connect_timeout_s = 60.0;
+      EXPECT_EQ(run_worker(d, tiny_experiment_config(), cfg), 0);
+    });
+  }
+
+  Design d = generate_synthetic(tiny_spec());
+  CoordinatorConfig coord;
+  coord.listen = address;
+  coord.min_workers = 2;
+  coord.attach_timeout_s = 60.0;
+  const OrchestrationResult dist = run_distributed_orchestration(
+      d, puffer_param_specs(), tiny_experiment_config(), tiny_orch_config(),
+      coord);
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(dist.best_trial, ref.best_trial);
+  EXPECT_EQ(std::memcmp(&dist.best_loss, &ref.best_loss, 8), 0);
+  EXPECT_EQ(dist.best, ref.best);
+  EXPECT_EQ(dist.best_checksum, ref.best_checksum);
+  ASSERT_EQ(dist.observations.size(), ref.observations.size());
+  for (std::size_t i = 0; i < ref.observations.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&dist.observations[i].loss,
+                          &ref.observations[i].loss, 8), 0)
+        << i;
+  }
+}
+
+TEST_F(ProtocolTest, WorkerDeathMidTrialReassigned) {
+  // In-process reference.
+  OrchestrationResult ref;
+  {
+    Design d = generate_synthetic(tiny_spec());
+    TrialOrchestrator orch(d, puffer_param_specs(), tiny_experiment_config(),
+                           tiny_orch_config());
+    ref = orch.run();
+  }
+
+  const std::string address = temp_socket("puffer_proto_death.sock");
+
+  // A faulty worker: handshakes, accepts ONE assignment, then vanishes
+  // without reporting -- the mid-trial death the coordinator must absorb.
+  std::thread faulty([&address] {
+    Design d = generate_synthetic(tiny_spec());
+    const int fd = connect_socket_retry(address, 60.0);
+    HelloMsg hello;
+    hello.design_key = design_structure_key(d);
+    hello.worker_name = "faulty";
+    send_msg(fd, MsgType::kHello, encode_hello(hello));
+    WireFrame f;
+    ASSERT_TRUE(read_frame_fd(fd, &f));  // HelloAck
+    const HelloAckMsg ack = decode_hello_ack(f.body);
+    if (ack.snapshot_follows) ASSERT_TRUE(read_frame_fd(fd, &f));
+    ASSERT_TRUE(read_frame_fd(fd, &f));  // first TrialAssign
+    EXPECT_EQ(f.type, static_cast<std::uint32_t>(MsgType::kTrialAssign));
+    ::close(fd);  // die mid-trial
+  });
+  // A healthy worker that finishes the run.
+  std::thread healthy([&address] {
+    Design d = generate_synthetic(tiny_spec());
+    WorkerConfig cfg;
+    cfg.connect = address;
+    cfg.name = "healthy";
+    cfg.connect_timeout_s = 60.0;
+    EXPECT_EQ(run_worker(d, tiny_experiment_config(), cfg), 0);
+  });
+
+  Design d = generate_synthetic(tiny_spec());
+  TrialOrchestrator orchestrator(d, puffer_param_specs(),
+                                 tiny_experiment_config(), tiny_orch_config());
+  CoordinatorConfig coord;
+  coord.listen = address;
+  coord.min_workers = 2;
+  coord.attach_timeout_s = 60.0;
+  CoordinatorExecutor executor(coord);
+  const OrchestrationResult dist = orchestrator.run(executor);
+  EXPECT_GE(executor.trials_reassigned(), 1);
+  executor.shutdown_workers();
+  faulty.join();
+  healthy.join();
+
+  // Identical exploration despite the death.
+  EXPECT_EQ(dist.best_trial, ref.best_trial);
+  EXPECT_EQ(std::memcmp(&dist.best_loss, &ref.best_loss, 8), 0);
+  EXPECT_EQ(dist.best_checksum, ref.best_checksum);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -27,15 +27,35 @@
 //   --save-config FILE   write the best strategy as a config file
 //   --csv FILE           write per-trial observations as CSV
 //   --quiet              warnings and errors only
+//
+// Distributed mode (coordinator/worker over the binary wire protocol;
+// bit-identical to the in-process scheduler for any worker count):
+//   --listen ADDR        run as coordinator; ADDR is a Unix-socket path
+//                        (contains '/') or host:port / :port for TCP
+//   --min-workers N      wait for N workers before the first batch (1)
+//   --attach-timeout S   worker-attach window before the in-process
+//                        fallback kicks in (120)
+//   --workers N          convenience: spawn N local puffer_worker
+//                        children on a private Unix socket
+//   --connect ADDR       run as a worker attached to ADDR (same as the
+//                        puffer_worker binary)
+#include <libgen.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logger.h"
 #include "core/config_io.h"
 #include "io/bookshelf.h"
+#include "orchestrate/coordinator.h"
 #include "orchestrate/orchestrator.h"
+#include "orchestrate/worker.h"
 
 namespace {
 
@@ -46,8 +66,49 @@ void usage(const char* argv0) {
       "       [--trials N] [--concurrency K] [--batch B] [--early-stop N]\n"
       "       [--fork-overflow F] [--prune] [--checkpoint-dir DIR]\n"
       "       [--journal FILE] [--resume] [--seed N]\n"
-      "       [--save-config FILE] [--csv FILE] [--quiet]\n",
+      "       [--save-config FILE] [--csv FILE] [--quiet]\n"
+      "       [--listen ADDR [--min-workers N] [--attach-timeout S]]\n"
+      "       [--workers N] [--connect ADDR]\n",
       argv0);
+}
+
+// Path of the puffer_worker binary, assumed to sit next to this one.
+std::string sibling_worker_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "puffer_worker";
+  buf[n] = '\0';
+  return std::string(::dirname(buf)) + "/puffer_worker";
+}
+
+// Spawn a local puffer_worker child attached to `address`, loading the
+// same benchmark. Returns the child pid (or -1 on fork failure).
+pid_t spawn_worker(const std::string& address, const std::string& aux,
+                   const std::string& bench, int scale,
+                   std::uint64_t gen_seed, int index) {
+  const std::string exe = sibling_worker_path();
+  const std::string scale_s = std::to_string(scale);
+  const std::string seed_s = std::to_string(gen_seed);
+  const std::string name = "local-worker-" + std::to_string(index);
+  std::vector<const char*> args = {exe.c_str(), "--connect", address.c_str(),
+                                   "--name", name.c_str()};
+  if (!aux.empty()) {
+    args.insert(args.end(), {"--aux", aux.c_str()});
+  } else {
+    args.insert(args.end(), {"--bench", bench.c_str(), "--scale",
+                             scale_s.c_str()});
+    if (gen_seed != 0) args.insert(args.end(), {"--gen-seed", seed_s.c_str()});
+  }
+  args.push_back("--quiet");
+  args.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(exe.c_str(), const_cast<char* const*>(args.data()));
+    std::fprintf(stderr, "exec %s failed: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
 }
 
 }  // namespace
@@ -59,6 +120,9 @@ int main(int argc, char** argv) {
   int scale = 64;
   std::uint64_t gen_seed = 0;
   OrchestratorConfig orch;
+  CoordinatorConfig coord;
+  std::string connect_addr;
+  int spawn_workers = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -84,6 +148,11 @@ int main(int argc, char** argv) {
     else if (arg == "--gen-seed") gen_seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--save-config") save_config_path = next();
     else if (arg == "--csv") csv_path = next();
+    else if (arg == "--listen") coord.listen = next();
+    else if (arg == "--min-workers") coord.min_workers = std::atoi(next());
+    else if (arg == "--attach-timeout") coord.attach_timeout_s = std::atof(next());
+    else if (arg == "--workers") spawn_workers = std::atoi(next());
+    else if (arg == "--connect") connect_addr = next();
     else if (arg == "--quiet") Logger::instance().set_level(LogLevel::kWarn);
     else {
       usage(argv[0]);
@@ -112,10 +181,57 @@ int main(int argc, char** argv) {
               design.name.c_str(), design.num_movable(), design.nets.size(),
               design.num_macros());
 
+  if (!connect_addr.empty()) {
+    // Worker mode: same as the puffer_worker binary, for convenience.
+    WorkerConfig worker;
+    worker.connect = connect_addr;
+    try {
+      ExperimentConfig base;
+      return run_worker(design, base, worker);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "worker failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // --workers N spawns local worker children on a private Unix socket
+  // (unless an explicit --listen address was given).
+  std::vector<pid_t> children;
+  if (spawn_workers > 0) {
+    if (coord.listen.empty()) {
+      coord.listen = "/tmp/puffer_explore." + std::to_string(::getpid()) +
+                     ".sock";
+    }
+    coord.min_workers = spawn_workers;
+    for (int w = 0; w < spawn_workers; ++w) {
+      const pid_t pid =
+          spawn_worker(coord.listen, aux, bench, scale, gen_seed, w);
+      if (pid < 0) {
+        std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+        return 1;
+      }
+      children.push_back(pid);
+    }
+  }
+  const auto reap_children = [&children]() {
+    for (const pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  };
+
   try {
     ExperimentConfig base;
-    TrialOrchestrator orchestrator(design, puffer_param_specs(), base, orch);
-    const OrchestrationResult result = orchestrator.run();
+    const bool distributed = !coord.listen.empty();
+    OrchestrationResult result;
+    if (distributed) {
+      result = run_distributed_orchestration(design, puffer_param_specs(),
+                                             base, orch, coord);
+    } else {
+      TrialOrchestrator orchestrator(design, puffer_param_specs(), base, orch);
+      result = orchestrator.run();
+    }
+    reap_children();
 
     std::printf("trials        : %d evaluated (%d run, %d pruned, %d "
                 "resumed)%s\n",
@@ -177,6 +293,7 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "exploration failed: %s\n", e.what());
+    reap_children();
     return 1;
   }
   return 0;

@@ -1,0 +1,100 @@
+// puffer_worker: remote trial evaluator for distributed exploration.
+//
+// Loads the same benchmark as the coordinator (structure verified by a
+// design key in the handshake), attaches over a Unix-domain or TCP
+// socket, then evaluates trial assignments with the identical in-process
+// session code and reports the deterministic result fields back. Holds
+// no exploration state: killing a worker mid-trial only costs the
+// in-flight evaluation, which the coordinator reassigns.
+//
+// Usage:
+//   puffer_worker --connect /tmp/puffer.sock --bench OR1200 [--scale 64]
+//   puffer_worker --connect host:port --aux design.aux
+//
+// Options:
+//   --name NAME             identity in logs and the handshake
+//   --gen-seed N            synthetic benchmark generator seed override
+//   --connect-timeout S     retry window for the initial connect (60)
+//   --reconnect-timeout S   reattach window after a coordinator restart
+//                           (0 = exit on first EOF)
+//   --quiet                 warnings and errors only
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logger.h"
+#include "io/bookshelf.h"
+#include "orchestrate/worker.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --connect ADDR (--aux design.aux | --bench NAME [--scale N])\n"
+      "       [--name NAME] [--gen-seed N] [--connect-timeout S]\n"
+      "       [--reconnect-timeout S] [--quiet]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace puffer;
+
+  std::string aux, bench;
+  int scale = 64;
+  std::uint64_t gen_seed = 0;
+  WorkerConfig worker;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") worker.connect = next();
+    else if (arg == "--aux") aux = next();
+    else if (arg == "--bench") bench = next();
+    else if (arg == "--scale") scale = std::atoi(next());
+    else if (arg == "--name") worker.name = next();
+    else if (arg == "--gen-seed") gen_seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--connect-timeout")
+      worker.connect_timeout_s = std::atof(next());
+    else if (arg == "--reconnect-timeout")
+      worker.reconnect_timeout_s = std::atof(next());
+    else if (arg == "--quiet") Logger::instance().set_level(LogLevel::kWarn);
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (worker.connect.empty() || aux.empty() == bench.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  Design design;
+  try {
+    if (!aux.empty()) {
+      design = read_bookshelf(aux);
+    } else {
+      SyntheticSpec spec = table1_spec(bench, scale);
+      if (gen_seed != 0) spec.seed = gen_seed;
+      design = generate_synthetic(spec);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load design: %s\n", e.what());
+    return 1;
+  }
+
+  try {
+    ExperimentConfig base;
+    return run_worker(design, base, worker);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker failed: %s\n", e.what());
+    return 1;
+  }
+}
