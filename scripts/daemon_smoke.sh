@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the pufferd serving path.
+#
+# Boots a real pufferd on a Unix socket, submits a synthetic design with
+# puffer_client while a second client attaches mid-run, then SIGTERMs
+# the daemon and asserts:
+#
+#   1. Bit-identity: the `checksum 0x...` line printed by the daemon run
+#      (`puffer_client run`), by a fetch of the same session, and by two
+#      in-process runs (`puffer_client direct`, at PUFFER_THREADS=1 and
+#      =8) are all identical. This is the serving-path extension of the
+#      determinism contract: the wire (design codec + PUFM frames) and
+#      the session scheduler must not move a single bit.
+#   2. The mid-run subscriber sees a snapshot and reaches the same done
+#      state + checksum (telemetry stream consistency).
+#   3. Admission control is observable: a submit past max_queued gets an
+#      explicit "rejected (queue-full)" reply, not a hang.
+#   4. SIGTERM drains gracefully: the daemon finishes in-flight work,
+#      exits 0, and a restart recovers the finished session from the
+#      spool (fetch after restart returns the same checksum).
+#
+# Usage: scripts/daemon_smoke.sh  [BUILD_DIR=build]
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+PUFFERD="$BUILD_DIR/tools/pufferd"
+CLIENT="$BUILD_DIR/tools/puffer_client"
+JOB=(--bench OR1200 --scale 400 --seed 7)
+
+for bin in "$PUFFERD" "$CLIENT"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin -- build the repo first" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/pufferd.sock"
+SPOOL="$WORK/spool"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+checksum_of() {  # extracts the `checksum 0x...` line from a transcript
+  grep -Eo 'checksum 0x[0-9a-f]{16}' "$1" | head -n1
+}
+
+start_daemon() {
+  "$PUFFERD" --listen "$SOCK" --spool "$SPOOL" --max-running 1 \
+             --max-queued 1 >"$WORK/pufferd.log" 2>&1 &
+  DAEMON_PID=$!
+}
+
+echo "== boot pufferd on $SOCK =="
+start_daemon
+
+echo "== daemon run (submit + subscribe + fetch) =="
+"$CLIENT" "$SOCK" run "${JOB[@]}" | tee "$WORK/run.txt"
+grep -q '^state done' "$WORK/run.txt"
+SID="$(grep -Eo 'session [0-9]+' "$WORK/run.txt" | head -n1 | cut -d' ' -f2)"
+
+echo "== mid-run subscriber on a second session =="
+# Session 2 streams while a second client attaches to it mid-run; the
+# subscriber must observe a snapshot and ride the run to done.
+"$CLIENT" "$SOCK" submit "${JOB[@]}" --name bg-job > "$WORK/submit2.txt"
+SID2="$(grep -Eo 'session [0-9]+' "$WORK/submit2.txt" | head -n1 | cut -d' ' -f2)"
+"$CLIENT" "$SOCK" subscribe "$SID2" | tee "$WORK/sub2.txt"
+grep -q '^state done' "$WORK/sub2.txt"
+
+echo "== admission backpressure is explicit =="
+# Three rapid submits against max_running=1/max_queued=1: at least one
+# must come back "rejected (queue-full)" on stderr with exit 1.
+REJECTED=0
+for i in 1 2 3; do
+  if ! "$CLIENT" "$SOCK" submit "${JOB[@]}" --name "burst-$i" \
+      2>"$WORK/burst-$i.err" >/dev/null; then
+    grep -q 'rejected (queue-full)' "$WORK/burst-$i.err" && REJECTED=1
+  fi
+done
+if [ "$REJECTED" -ne 1 ]; then
+  echo "FAIL: no explicit queue-full rejection in a 3-submit burst" >&2
+  exit 1
+fi
+
+echo "== graceful drain on SIGTERM =="
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+DAEMON_PID=""
+if [ "$RC" -ne 0 ]; then
+  echo "FAIL: pufferd exited $RC on SIGTERM (expected graceful drain)" >&2
+  cat "$WORK/pufferd.log" >&2
+  exit 1
+fi
+
+echo "== restart: session recovery from the spool =="
+start_daemon
+"$CLIENT" "$SOCK" fetch "$SID" | tee "$WORK/fetch.txt"
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID"; DAEMON_PID=""
+
+echo "== direct in-process runs (threads 1 and 8) =="
+PUFFER_THREADS=1 "$CLIENT" direct "${JOB[@]}" | tee "$WORK/direct1.txt"
+PUFFER_THREADS=8 "$CLIENT" direct "${JOB[@]}" | tee "$WORK/direct8.txt"
+
+RUN_SUM="$(checksum_of "$WORK/run.txt")"
+SUB_SUM="$(checksum_of "$WORK/sub2.txt")"
+FETCH_SUM="$(checksum_of "$WORK/fetch.txt")"
+D1_SUM="$(checksum_of "$WORK/direct1.txt")"
+D8_SUM="$(checksum_of "$WORK/direct8.txt")"
+echo "daemon=$RUN_SUM subscriber=$SUB_SUM fetch=$FETCH_SUM" \
+     "direct1=$D1_SUM direct8=$D8_SUM"
+if [ -z "$RUN_SUM" ] || [ "$RUN_SUM" != "$D1_SUM" ] \
+    || [ "$RUN_SUM" != "$D8_SUM" ] || [ "$RUN_SUM" != "$FETCH_SUM" ] \
+    || [ "$RUN_SUM" != "$SUB_SUM" ]; then
+  echo "FAIL: daemon / fetch / subscriber / direct checksums disagree" >&2
+  exit 1
+fi
+echo "PASS: graceful drain + bit-identical daemon, recovery and direct runs"

@@ -1,0 +1,40 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace puffer {
+
+const char* puffer_version() {
+#ifdef PUFFER_VERSION
+  return PUFFER_VERSION;
+#else
+  return "0.0.0-dev";
+#endif
+}
+
+void handle_help_version(int argc, char** argv, const char* tool,
+                         const std::string& usage) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(usage.c_str(), stdout);
+      std::exit(0);
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s %s\n", tool, puffer_version());
+      std::exit(0);
+    }
+  }
+}
+
+void usage_error(const std::string& usage, const std::string& problem) {
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: %s\n", problem.c_str());
+  }
+  std::fputs(usage.c_str(), stderr);
+  std::exit(2);
+}
+
+}  // namespace puffer

@@ -1,0 +1,27 @@
+// Shared command-line conventions for the tools/ binaries.
+//
+// Every tool supports `--help` (usage to stdout, exit 0) and
+// `--version` ("<tool> <version>" to stdout, exit 0); usage errors
+// print to stderr and exit 2. Tools call handle_help_version() before
+// their own argument loop and usage_error() from it.
+#pragma once
+
+#include <string>
+
+namespace puffer {
+
+// Build version string ("0.0.0-dev" when the build does not inject
+// PUFFER_VERSION).
+const char* puffer_version();
+
+// Scans argv for --help/-h/--version; when found, prints (usage text
+// for help, "<tool> <version>" for version) and exits 0. `usage` is the
+// full help text, newline-terminated.
+void handle_help_version(int argc, char** argv, const char* tool,
+                         const std::string& usage);
+
+// Prints the usage text to stderr and exits 2 (the usage-error code).
+[[noreturn]] void usage_error(const std::string& usage,
+                              const std::string& problem = "");
+
+}  // namespace puffer

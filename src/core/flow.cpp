@@ -153,6 +153,19 @@ FlowMetrics PufferFlow::run_internal(const FlowSnapshot* snapshot,
         metrics.aborted_early = true;
         break;
       }
+      if (progress_hook_) {
+        FlowProgress progress;
+        progress.round = round;
+        progress.est = est_of;
+        progress.hpwl = design_.total_hpwl();
+        progress.maps = &congestion.maps;
+        if (!progress_hook_(progress)) {
+          metrics.aborted_early = true;
+          PUFFER_LOG_INFO(kTag, "flow cancelled by progress hook at round %d",
+                          round);
+          break;
+        }
+      }
       ++round;
       const IncrementalStats& est = estimator_->incremental_stats();
       const std::vector<double>& pad = padder.update(congestion);

@@ -126,6 +126,26 @@ struct FlowMetrics {
 using RoundCallback =
     std::function<bool(int round, const OverflowStats& est)>;
 
+// Richer per-round progress record for observers (the serve daemon's
+// streaming telemetry): the round's estimated overflow, the current
+// HPWL, and a read-only view of the round's congestion maps (valid only
+// for the duration of the hook call). Observers must not mutate the
+// design — the hook is called mid-flow and anything it changes would
+// break the determinism contract.
+struct FlowProgress {
+  int round = 0;
+  OverflowStats est;
+  double hpwl = 0.0;
+  const RoutingMaps* maps = nullptr;
+};
+
+// Returning false cancels the flow at the round boundary: the run stops
+// before final convergence and legalization with aborted_early set, the
+// same early-exit path the pruning callback uses. Cancellation is only
+// observed at padding-round boundaries (a flow that never triggers
+// padding runs to completion).
+using ProgressHook = std::function<bool(const FlowProgress&)>;
+
 class PufferFlow {
  public:
   PufferFlow(Design& design, PufferConfig config);
@@ -173,6 +193,14 @@ class PufferFlow {
   // trials re-running the flow) legalize incrementally.
   IncrementalLegalizer& legalizer() { return legalizer_; }
 
+  // Installs a per-round telemetry/cancellation observer, invoked (after
+  // the pruning callback, when both are set) at every padding-round
+  // boundary of run() and run_from(). Read-only: installing a hook never
+  // changes the flow's results.
+  void set_progress_hook(ProgressHook hook) {
+    progress_hook_ = std::move(hook);
+  }
+
  private:
   // Shared body of run() / run_from(): `snapshot` non-null restores the
   // fork state instead of running initial placement.
@@ -181,6 +209,7 @@ class PufferFlow {
 
   Design& design_;
   PufferConfig config_;
+  ProgressHook progress_hook_;
   // Owned by the flow so the demand ledger and topology cache persist
   // across padding rounds (and outlive run() for warm evaluation).
   std::unique_ptr<CongestionEstimator> estimator_;

@@ -332,6 +332,67 @@ bool read_frame_fd(int fd, WireFrame* out) {
   return true;
 }
 
+void FrameBuffer::append(const char* data, std::size_t n) {
+  // Compact the consumed prefix before it grows past the useful window.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (1u << 16))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+bool FrameBuffer::next(WireFrame* out) {
+  constexpr std::size_t kHeader = 20;  // magic, version, type, body size
+  if (buffered() < kHeader) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data()) + pos_;
+  const auto u32_at = [&](int off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  const auto u64_at = [&](int off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  if (u32_at(0) != kFrameMagic) {
+    throw CheckpointError("frame: bad magic (stream out of sync)");
+  }
+  const std::uint32_t version = u32_at(4);
+  if (version != kWireVersion) {
+    throw CheckpointError("frame: unsupported wire version " +
+                          std::to_string(version));
+  }
+  const std::uint64_t body_size = u64_at(12);
+  if (body_size > kMaxFrameBody) {
+    throw CheckpointError("frame: body size " + std::to_string(body_size) +
+                          " exceeds limit (corrupt length prefix?)");
+  }
+  const std::size_t total =
+      kHeader + static_cast<std::size_t>(body_size) + 8;
+  if (buffered() < total) return false;
+  std::string body(buf_, pos_ + kHeader, static_cast<std::size_t>(body_size));
+  std::uint64_t want = 0;
+  {
+    const unsigned char* t = p + kHeader + body_size;
+    for (int i = 0; i < 8; ++i) {
+      want |= static_cast<std::uint64_t>(t[i]) << (8 * i);
+    }
+  }
+  if (want != fnv1a_bytes(body.data(), body.size())) {
+    throw CheckpointError("frame: body checksum mismatch");
+  }
+  out->type = u32_at(8);
+  out->body = std::move(body);
+  pos_ += total;
+  return true;
+}
+
 // --- design structure key ------------------------------------------------
 
 std::uint64_t design_structure_key(const Design& design) {
@@ -366,6 +427,15 @@ std::uint64_t design_structure_key(const Design& design) {
   for (const Net& n : design.nets) {
     h = fnv1a_u64(h, n.pins.size());
     h = fnv1a_f64(h, n.weight);
+  }
+  return h;
+}
+
+std::uint64_t position_checksum(const Design& design) {
+  std::uint64_t h = fnv1a_bytes(nullptr, 0);
+  for (const Cell& c : design.cells) {
+    h = fnv1a_f64(h, c.x);
+    h = fnv1a_f64(h, c.y);
   }
   return h;
 }

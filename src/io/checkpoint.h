@@ -127,6 +127,24 @@ void write_frame_fd(int fd, std::uint32_t type, const std::string& body);
 // version mismatch, oversized body, or checksum failure.
 bool read_frame_fd(int fd, WireFrame* out);
 
+// Incremental frame decoder for non-blocking streams (the poll()-driven
+// serve daemon): append() whatever bytes arrived, next() pops complete
+// frames. Same validation as read_frame_fd -- bad magic, unsupported
+// version, oversized body and checksum mismatches throw CheckpointError
+// (after which the stream is unusable and should be closed). Bytes of a
+// not-yet-complete frame simply stay buffered.
+class FrameBuffer {
+ public:
+  void append(const char* data, std::size_t n);
+  // True (and *out filled) when a complete frame was buffered.
+  bool next(WireFrame* out);
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
 // --- flow snapshot -------------------------------------------------------
 struct FlowSnapshot {
   // Structure key of the design the snapshot was taken from; restoring
@@ -160,6 +178,10 @@ struct FlowSnapshot {
 // geometry/kind, pin offsets and net connectivity -- everything except
 // the mutable cell positions.
 std::uint64_t design_structure_key(const Design& design);
+
+// FNV-1a over all cells' (x, y) bit patterns -- the bit-identity
+// fingerprint shared by trial orchestration and the serve daemon.
+std::uint64_t position_checksum(const Design& design);
 
 // Versioned encode/decode (throws CheckpointError on malformed input,
 // version mismatch, or checksum failure).

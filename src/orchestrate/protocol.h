@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "io/checkpoint.h"
+#include "io/net.h"
 
 namespace puffer {
 
@@ -114,21 +115,9 @@ ErrorMsg decode_error(const std::string& body);
 // Typed frame send over the stream layer.
 void send_msg(int fd, MsgType type, const std::string& body);
 
-// --- socket address helpers ----------------------------------------------
-// An address containing '/' is a Unix-domain socket path; otherwise it is
-// "host:port" (":port" / "port" listen on / connect to localhost). All
-// throw CheckpointError on failure.
-bool is_unix_address(const std::string& address);
-int listen_socket(const std::string& address);       // bound + listening fd
-int accept_socket(int listen_fd);                    // blocking accept
-int connect_socket(const std::string& address);      // blocking connect
-// Retries connect_socket until it succeeds or `timeout_s` elapses
-// (covers the worker-starts-before-coordinator race and coordinator
-// restarts); throws CheckpointError on timeout.
-int connect_socket_retry(const std::string& address, double timeout_s);
-
-// Ignores SIGPIPE process-wide so a dead peer surfaces as a write error
-// (CheckpointError) instead of killing the process. Idempotent.
-void ignore_sigpipe();
+// The socket address helpers (is_unix_address, listen_socket,
+// accept_socket, connect_socket, connect_socket_retry, ignore_sigpipe)
+// moved to the shared io/net.h so serve/, coordinator and worker use one
+// implementation; included above for source compatibility.
 
 }  // namespace puffer

@@ -20,18 +20,6 @@ std::uint64_t assignment_key(const Assignment& a) {
   return h;
 }
 
-std::uint64_t position_checksum(const Design& design) {
-  std::uint64_t h = fnv1a_bytes(nullptr, 0);
-  for (const Cell& c : design.cells) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &c.x, sizeof(bits));
-    h = fnv1a_bytes(&bits, sizeof(bits), h);
-    std::memcpy(&bits, &c.y, sizeof(bits));
-    h = fnv1a_bytes(&bits, sizeof(bits), h);
-  }
-  return h;
-}
-
 TrialResult run_trial_session(const Design& base_design,
                               const TrialTask& task) {
   TrialResult result;

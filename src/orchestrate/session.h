@@ -55,8 +55,8 @@ struct TrialResult {
 // journal's candidate identity check on resume.
 std::uint64_t assignment_key(const Assignment& a);
 
-// FNV-1a over all cells' (x, y) bit patterns.
-std::uint64_t position_checksum(const Design& design);
+// position_checksum (FNV-1a over all cells' (x, y) bit patterns) moved
+// to io/checkpoint.h so the serve daemon shares the same fingerprint.
 
 // Runs one trial: copy `base_design`, fork from the snapshot with the
 // candidate strategy applied, evaluate routability (warm, sharing the

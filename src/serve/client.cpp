@@ -1,0 +1,202 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include "io/net.h"
+
+namespace puffer {
+
+ServeClient::ServeClient(const std::string& address,
+                         double connect_timeout_s,
+                         const std::string& client_name) {
+  ignore_sigpipe();
+  fd_ = connect_socket_retry(address, connect_timeout_s);
+  ClientHelloMsg hello;
+  hello.client_name = client_name;
+  send_serve_msg(fd_, ServeMsgType::kClientHello,
+                 encode_client_hello(hello));
+  const ServeEvent reply = read_until([](const ServeEvent& e) {
+    return e.type == ServeMsgType::kServerHello ||
+           e.type == ServeMsgType::kError;
+  });
+  if (reply.type == ServeMsgType::kError) {
+    throw CheckpointError("serve client: handshake rejected: " +
+                          reply.error.message);
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServeEvent ServeClient::read_event() {
+  WireFrame frame;
+  if (!read_frame_fd(fd_, &frame)) {
+    throw CheckpointError("serve client: daemon closed the connection");
+  }
+  ServeEvent ev;
+  ev.type = static_cast<ServeMsgType>(frame.type);
+  switch (ev.type) {
+    case ServeMsgType::kServerHello:
+      (void)decode_server_hello(frame.body);
+      break;
+    case ServeMsgType::kSubmitAck:
+      ev.ack = decode_submit_ack(frame.body);
+      break;
+    case ServeMsgType::kRejected:
+      ev.rejected = decode_rejected(frame.body);
+      break;
+    case ServeMsgType::kSnapshot:
+      ev.snapshot = decode_snapshot_msg(frame.body);
+      break;
+    case ServeMsgType::kTelemetry:
+      ev.telemetry = decode_telemetry(frame.body);
+      break;
+    case ServeMsgType::kDone:
+      ev.done = decode_done(frame.body);
+      break;
+    case ServeMsgType::kResult:
+      ev.result = decode_result(frame.body);
+      break;
+    case ServeMsgType::kStatus:
+      ev.status = decode_status(frame.body);
+      break;
+    case ServeMsgType::kDetachAck:
+      ev.detach_ack = decode_session_ref(frame.body);
+      break;
+    case ServeMsgType::kError:
+      ev.error = decode_serve_error(frame.body);
+      break;
+    default:
+      throw CheckpointError("serve client: unexpected frame type " +
+                            std::to_string(frame.type));
+  }
+  return ev;
+}
+
+ServeEvent ServeClient::read_until(
+    const std::function<bool(const ServeEvent&)>& pred) {
+  while (true) {
+    ServeEvent ev = read_event();
+    if (pred(ev)) return ev;
+    pending_.push_back(std::move(ev));
+  }
+}
+
+ServeEvent ServeClient::next_event() {
+  if (!pending_.empty()) {
+    ServeEvent ev = std::move(pending_.front());
+    pending_.pop_front();
+    return ev;
+  }
+  return read_event();
+}
+
+ServeEvent ServeClient::submit(const SubmitMsg& job) {
+  send_serve_msg(fd_, ServeMsgType::kSubmit, encode_submit(job));
+  return read_until([](const ServeEvent& e) {
+    return e.type == ServeMsgType::kSubmitAck ||
+           e.type == ServeMsgType::kRejected;
+  });
+}
+
+SnapshotMsg ServeClient::subscribe(std::uint64_t session_id) {
+  SessionRefMsg ref;
+  ref.session_id = session_id;
+  send_serve_msg(fd_, ServeMsgType::kSubscribe, encode_session_ref(ref));
+  const ServeEvent ev = read_until([session_id](const ServeEvent& e) {
+    return (e.type == ServeMsgType::kSnapshot &&
+            e.snapshot.session_id == session_id) ||
+           e.type == ServeMsgType::kError;
+  });
+  if (ev.type == ServeMsgType::kError) {
+    throw CheckpointError("serve client: subscribe failed: " +
+                          ev.error.message);
+  }
+  return ev.snapshot;
+}
+
+std::vector<ServeEvent> ServeClient::detach(std::uint64_t session_id) {
+  SessionRefMsg ref;
+  ref.session_id = session_id;
+  send_serve_msg(fd_, ServeMsgType::kDetach, encode_session_ref(ref));
+  std::vector<ServeEvent> before;
+  // Everything already queued locally precedes the ack by definition.
+  before.insert(before.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  while (true) {
+    ServeEvent ev = read_event();
+    if (ev.type == ServeMsgType::kDetachAck &&
+        ev.detach_ack.session_id == session_id) {
+      return before;
+    }
+    before.push_back(std::move(ev));
+  }
+}
+
+ServeEvent ServeClient::cancel(std::uint64_t session_id) {
+  SessionRefMsg ref;
+  ref.session_id = session_id;
+  send_serve_msg(fd_, ServeMsgType::kCancel, encode_session_ref(ref));
+  return read_until([](const ServeEvent& e) {
+    return e.type == ServeMsgType::kStatus || e.type == ServeMsgType::kError;
+  });
+}
+
+ServeEvent ServeClient::fetch(std::uint64_t session_id) {
+  SessionRefMsg ref;
+  ref.session_id = session_id;
+  send_serve_msg(fd_, ServeMsgType::kFetch, encode_session_ref(ref));
+  return read_until([session_id](const ServeEvent& e) {
+    return (e.type == ServeMsgType::kResult &&
+            e.result.session_id == session_id) ||
+           e.type == ServeMsgType::kError;
+  });
+}
+
+ServeEvent ServeClient::query(std::uint64_t session_id) {
+  SessionRefMsg ref;
+  ref.session_id = session_id;
+  send_serve_msg(fd_, ServeMsgType::kQuery, encode_session_ref(ref));
+  return read_until([](const ServeEvent& e) {
+    return e.type == ServeMsgType::kStatus || e.type == ServeMsgType::kError;
+  });
+}
+
+DoneMsg ServeClient::wait_done(std::uint64_t session_id,
+                               std::vector<TelemetryRound>* rounds) {
+  // Consume matching events already queued, keeping everything else.
+  std::deque<ServeEvent> keep;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    ServeEvent& ev = pending_[i];
+    if (ev.type == ServeMsgType::kTelemetry &&
+        ev.telemetry.session_id == session_id) {
+      if (rounds) rounds->push_back(ev.telemetry.round);
+      continue;
+    }
+    if (ev.type == ServeMsgType::kDone && ev.done.session_id == session_id) {
+      const DoneMsg done = ev.done;
+      for (std::size_t j = i + 1; j < pending_.size(); ++j) {
+        keep.push_back(std::move(pending_[j]));
+      }
+      pending_ = std::move(keep);
+      return done;
+    }
+    keep.push_back(std::move(ev));
+  }
+  pending_ = std::move(keep);
+  while (true) {
+    ServeEvent ev = read_event();
+    if (ev.type == ServeMsgType::kTelemetry &&
+        ev.telemetry.session_id == session_id) {
+      if (rounds) rounds->push_back(ev.telemetry.round);
+      continue;
+    }
+    if (ev.type == ServeMsgType::kDone && ev.done.session_id == session_id) {
+      return ev.done;
+    }
+    pending_.push_back(std::move(ev));
+  }
+}
+
+}  // namespace puffer

@@ -1,0 +1,79 @@
+// Blocking client for pufferd, shared by the puffer_client CLI and the
+// serve tests.
+//
+// One connection, synchronous requests. Because a subscribed session
+// streams telemetry at its own pace, a reply to a request may be
+// preceded by unrelated frames; the client parses everything it reads
+// into ServeEvents and queues what a caller was not waiting for, so no
+// frame is ever dropped or reordered.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/serve_protocol.h"
+
+namespace puffer {
+
+// One parsed daemon->client frame; `type` selects the valid member.
+struct ServeEvent {
+  ServeMsgType type = ServeMsgType::kError;
+  SubmitAckMsg ack;
+  RejectedMsg rejected;
+  SnapshotMsg snapshot;
+  TelemetryMsg telemetry;
+  DoneMsg done;
+  ResultMsg result;
+  StatusMsg status;
+  SessionRefMsg detach_ack;
+  ServeErrorMsg error;
+};
+
+class ServeClient {
+ public:
+  // Connects (with retry while the daemon boots) and runs the hello
+  // exchange. Throws CheckpointError on failure or version mismatch.
+  ServeClient(const std::string& address, double connect_timeout_s = 10.0,
+              const std::string& client_name = "puffer_client");
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Submit: the reply is kSubmitAck or kRejected.
+  ServeEvent submit(const SubmitMsg& job);
+
+  // Subscribe: returns the snapshot; telemetry then arrives as events.
+  SnapshotMsg subscribe(std::uint64_t session_id);
+
+  // Detach: drains the stream up to the ack (the barrier) and returns
+  // every event read on the way, in order.
+  std::vector<ServeEvent> detach(std::uint64_t session_id);
+
+  ServeEvent cancel(std::uint64_t session_id);  // kStatus or kError
+  ServeEvent fetch(std::uint64_t session_id);   // kResult or kError
+  ServeEvent query(std::uint64_t session_id);   // kStatus or kError
+
+  // Next event: queued first, then read from the socket (blocking).
+  // Throws CheckpointError if the daemon closes the connection.
+  ServeEvent next_event();
+
+  // Drains events until the session's kDone arrives (returned);
+  // telemetry for it is appended to *rounds when non-null.
+  DoneMsg wait_done(std::uint64_t session_id,
+                    std::vector<TelemetryRound>* rounds = nullptr);
+
+  int fd() const { return fd_; }
+
+ private:
+  ServeEvent read_event();
+  // Reads (queueing mismatches) until pred matches.
+  ServeEvent read_until(const std::function<bool(const ServeEvent&)>& pred);
+
+  int fd_ = -1;
+  std::deque<ServeEvent> pending_;
+};
+
+}  // namespace puffer

@@ -1,0 +1,88 @@
+// pufferd's connection layer: a poll()-driven, single-threaded frame
+// router in front of the ServeSessionManager.
+//
+// One thread (the caller of run()) owns every socket: it accepts
+// connections, incrementally decodes PUFM frames (io/checkpoint.h
+// FrameBuffer), dispatches requests to the session manager, and flushes
+// per-connection output buffers on POLLOUT. Runner threads never touch a
+// socket -- they queue SessionEvents and wake the poll loop through a
+// self-pipe, so there is exactly one writer per fd and no frame can
+// interleave.
+//
+// Malformed traffic policy: a corrupt *frame* (bad magic/version/
+// checksum) poisons the byte stream, so the connection is closed; a
+// well-framed but undecodable *body* gets a kError reply and the
+// connection lives on. Admission rejections are kRejected replies --
+// explicit backpressure, never a hang or a silent drop.
+//
+// Graceful drain (request_drain(), wired to SIGTERM/SIGINT by the
+// daemon): new submits are rejected with kDraining, running sessions
+// finish, their frames are delivered, buffers flush, then run()
+// returns. request_drain() is async-signal-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/session_manager.h"
+
+namespace puffer {
+
+class PufferServer {
+ public:
+  // Binds and listens on `address` ("host:port" or a UDS path -- see
+  // io/net.h) and replays any existing request log in
+  // config.spool_dir. Throws CheckpointError when the bind fails.
+  PufferServer(const std::string& address, ServeConfig config);
+  ~PufferServer();
+  PufferServer(const PufferServer&) = delete;
+  PufferServer& operator=(const PufferServer&) = delete;
+
+  // Serves until a drain completes. Call from one thread only.
+  void run();
+
+  // Starts a graceful drain; safe from signal handlers and other
+  // threads. Idempotent.
+  void request_drain();
+
+  ServeSessionManager& manager() { return *manager_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool hello_done = false;
+    bool closing = false;  // flush out, then close
+    FrameBuffer in;
+    std::string out;           // encoded frames awaiting the socket
+    std::size_t out_pos = 0;   // flushed prefix of `out`
+    std::vector<std::uint64_t> submitted;  // sessions from this conn
+  };
+
+  void accept_new();
+  void read_conn(int fd);
+  void flush_conn(Connection& conn);
+  void close_conn(int fd);
+  void queue_frame(int fd, ServeMsgType type, const std::string& body);
+  void queue_error(int fd, const std::string& message);
+  void handle_frame(int fd, const WireFrame& frame);
+  void handle_submit(int fd, const WireFrame& frame);
+  void dispatch_events();
+  int conn_inflight(const Connection& conn) const;
+  bool out_buffers_empty() const;
+
+  std::string address_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1, wake_wr_ = -1;  // self-pipe
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+  std::unique_ptr<ServeSessionManager> manager_;
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  // session id -> subscriber connection fds
+  std::map<std::uint64_t, std::vector<int>> subs_;
+};
+
+}  // namespace puffer

@@ -1,0 +1,66 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace puffer {
+
+std::uint8_t quantize_congestion(double cg) {
+  const double q = std::lround(128.0 + 64.0 * cg);
+  return static_cast<std::uint8_t>(std::clamp(q, 0.0, 255.0));
+}
+
+void congestion_tile(const RoutingMaps& maps, int max_edge, int* nx, int* ny,
+                     std::string* tile) {
+  const Map2D<double> cg = maps.cg_map();
+  const int gx = cg.nx();
+  const int gy = cg.ny();
+  if (gx <= 0 || gy <= 0 || max_edge <= 0) {
+    *nx = 0;
+    *ny = 0;
+    tile->clear();
+    return;
+  }
+  const int tnx = std::min(gx, max_edge);
+  const int tny = std::min(gy, max_edge);
+  *nx = tnx;
+  *ny = tny;
+  tile->assign(static_cast<std::size_t>(tnx) * static_cast<std::size_t>(tny),
+               '\0');
+  for (int ty = 0; ty < tny; ++ty) {
+    // Gcell rows [y0, y1) pool into tile row ty (uniform partition).
+    const int y0 = static_cast<int>(static_cast<long long>(ty) * gy / tny);
+    const int y1 = static_cast<int>(static_cast<long long>(ty + 1) * gy / tny);
+    for (int tx = 0; tx < tnx; ++tx) {
+      const int x0 = static_cast<int>(static_cast<long long>(tx) * gx / tnx);
+      const int x1 =
+          static_cast<int>(static_cast<long long>(tx + 1) * gx / tnx);
+      double best = cg.at(x0, y0);
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          best = std::max(best, cg.at(x, y));
+        }
+      }
+      (*tile)[static_cast<std::size_t>(ty) * static_cast<std::size_t>(tnx) +
+              static_cast<std::size_t>(tx)] =
+          static_cast<char>(quantize_congestion(best));
+    }
+  }
+}
+
+TelemetryRound make_round(const FlowProgress& p, const TelemetryRound* prev) {
+  TelemetryRound t;
+  t.round = p.round;
+  t.est_overflow_pct = p.est.total_pct();
+  t.hpwl = p.hpwl;
+  t.overflow_delta =
+      t.est_overflow_pct - (prev ? prev->est_overflow_pct : 0.0);
+  t.hpwl_delta = t.hpwl - (prev ? prev->hpwl : 0.0);
+  if (p.maps != nullptr) {
+    congestion_tile(*p.maps, kTelemetryTileMax, &t.tile_nx, &t.tile_ny,
+                    &t.tile);
+  }
+  return t;
+}
+
+}  // namespace puffer

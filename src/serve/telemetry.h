@@ -1,0 +1,32 @@
+// Per-round telemetry construction for the serve daemon: turns the
+// flow's FlowProgress callback payload into the wire-form TelemetryRound
+// (cumulative metrics, deltas against the previous round, and a
+// downsampled congestion-heatmap tile small enough to stream every
+// round).
+#pragma once
+
+#include "core/flow.h"
+#include "serve/serve_protocol.h"
+
+namespace puffer {
+
+// Largest tile edge streamed per round; grids bigger than this are
+// max-pooled down (a Gcell grid smaller than the cap streams 1:1).
+constexpr int kTelemetryTileMax = 32;
+
+// Quantization of the signed congestion value cg() into a tile byte:
+// byte = clamp(round(128 + 64 * cg), 0, 255), i.e. 128 = demand equals
+// capacity, 192 = 100% overflow, 64 = 100% slack.
+std::uint8_t quantize_congestion(double cg);
+
+// Max-pooled, quantized tile of the combined congestion map. Max pooling
+// (not averaging) so a single overflowed Gcell stays visible after
+// downsampling.
+void congestion_tile(const RoutingMaps& maps, int max_edge, int* nx, int* ny,
+                     std::string* tile);
+
+// Builds round `p.round`'s record; `prev` is the previous round's record
+// (nullptr for the first round, deltas measured against zero).
+TelemetryRound make_round(const FlowProgress& p, const TelemetryRound* prev);
+
+}  // namespace puffer

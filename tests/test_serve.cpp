@@ -1,0 +1,694 @@
+// Serve-subsystem tests: wire codecs (round trips + malformed-input
+// rejection), the binary design codec, congestion-tile telemetry, the
+// crash-safe request log and its replay, the session manager's state
+// machine (queued -> running -> done/cancelled/failed), admission
+// control (bounded queue, draining, bad requests -- explicit rejection,
+// never a hang), restart recovery from the spool, and the daemon
+// end-to-end over a Unix socket: concurrent clients whose results are
+// bit-identical to an in-process PufferFlow::run(), snapshot/telemetry
+// consistency across detach/re-attach, and malformed-traffic handling.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/config_io.h"
+#include "core/flow.h"
+#include "grid/capacity.h"
+#include "io/design_codec.h"
+#include "io/net.h"
+#include "io/synthetic.h"
+#include "serve/client.h"
+#include "serve/request_log.h"
+#include "serve/server.h"
+#include "serve/serve_protocol.h"
+#include "serve/session_manager.h"
+#include "serve/telemetry.h"
+
+namespace puffer {
+namespace {
+
+SyntheticSpec small_spec(std::uint64_t seed = 91) {
+  SyntheticSpec spec;
+  spec.name = "serve";
+  spec.seed = seed;
+  spec.num_cells = 300;
+  spec.num_nets = 450;
+  spec.num_macros = 2;
+  spec.target_utilization = 0.78;
+  spec.v_capacity_factor = 0.55;
+  return spec;
+}
+
+PufferConfig small_flow_config() {
+  PufferConfig cfg;
+  cfg.gp.max_iters = 250;
+  cfg.padding.xi = 3;
+  cfg.num_threads = 0;
+  return cfg;
+}
+
+std::string small_config_text() { return config_to_text(small_flow_config()); }
+
+std::filesystem::path temp_dir(const char* leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+SubmitMsg small_job(const char* name = "job") {
+  SubmitMsg msg;
+  msg.job_name = name;
+  msg.design_blob = encode_design(generate_synthetic(small_spec()));
+  msg.config_text = small_config_text();
+  return msg;
+}
+
+// The reference run: the exact flow the daemon executes, in-process.
+// Computed once; every bit-identity assertion compares against this.
+struct DirectReference {
+  std::uint64_t checksum = 0;
+  double hpwl_legal = 0.0;
+  std::vector<TelemetryRound> rounds;
+};
+
+const DirectReference& direct_reference() {
+  static const DirectReference ref = [] {
+    DirectReference r;
+    Design design = decode_design(encode_design(generate_synthetic(
+        small_spec())));
+    PufferConfig cfg =
+        config_from_text(small_config_text(), PufferConfig{});
+    PufferFlow flow(design, cfg);
+    TelemetryRound prev;
+    bool have_prev = false;
+    flow.set_progress_hook([&](const FlowProgress& p) {
+      r.rounds.push_back(make_round(p, have_prev ? &prev : nullptr));
+      prev = r.rounds.back();
+      have_prev = true;
+      return true;
+    });
+    const FlowMetrics metrics = flow.run();
+    r.checksum = position_checksum(design);
+    r.hpwl_legal = metrics.hpwl_legal;
+    return r;
+  }();
+  return ref;
+}
+
+// --- wire protocol codecs ------------------------------------------------
+
+TEST(ServeProtocol, SubmitRoundTrip) {
+  SubmitMsg m;
+  m.format = static_cast<std::uint8_t>(JobFormat::kBookshelfBundle);
+  m.job_name = "alpha";
+  m.files = {{"d.aux", "RowBasedPlacement : d.nodes"}, {"d.nodes", "..."}};
+  m.aux_name = "d.aux";
+  m.config_text = "padding.tau = 0.25\n";
+  const SubmitMsg d = decode_submit(encode_submit(m));
+  EXPECT_EQ(d.format, m.format);
+  EXPECT_EQ(d.job_name, "alpha");
+  EXPECT_EQ(d.files, m.files);
+  EXPECT_EQ(d.aux_name, "d.aux");
+  EXPECT_EQ(d.config_text, m.config_text);
+}
+
+TEST(ServeProtocol, SnapshotRoundTripBitExact) {
+  SnapshotMsg m;
+  m.session_id = 42;
+  m.state = static_cast<std::uint8_t>(SessionState::kDone);
+  TelemetryRound t;
+  t.round = 3;
+  t.est_overflow_pct = 12.75;
+  t.hpwl = -0.1;  // bit pattern must survive exactly
+  t.overflow_delta = 1e-300;
+  t.hpwl_delta = 5.5;
+  t.tile_nx = 2;
+  t.tile_ny = 1;
+  t.tile = std::string("\x80\xc0", 2);
+  m.history.push_back(t);
+  m.has_summary = 1;
+  m.summary.state = m.state;
+  m.summary.checksum = 0xdeadbeefcafef00dULL;
+  m.summary.hpwl_legal = 123.456;
+  m.summary.runtime_s = 1.5;
+  m.summary.padding_rounds = 4;
+  const SnapshotMsg d = decode_snapshot_msg(encode_snapshot_msg(m));
+  ASSERT_EQ(d.history.size(), 1u);
+  EXPECT_EQ(d.history[0].round, 3);
+  EXPECT_EQ(d.history[0].hpwl, -0.1);
+  EXPECT_EQ(d.history[0].overflow_delta, 1e-300);
+  EXPECT_EQ(d.history[0].tile, t.tile);
+  ASSERT_EQ(d.has_summary, 1);
+  EXPECT_EQ(d.summary.checksum, m.summary.checksum);
+  EXPECT_EQ(d.summary.hpwl_legal, 123.456);
+}
+
+TEST(ServeProtocol, RejectsTrailingBytes) {
+  SessionRefMsg ref;
+  ref.session_id = 7;
+  std::string body = encode_session_ref(ref);
+  body.push_back('x');
+  EXPECT_THROW(decode_session_ref(body), CheckpointError);
+}
+
+TEST(ServeProtocol, RejectsBadEnums) {
+  SubmitAckMsg ack;
+  ack.state = 200;  // not a SessionState
+  EXPECT_THROW(decode_submit_ack(encode_submit_ack(ack)), CheckpointError);
+  RejectedMsg rej;
+  rej.reason = 0;
+  EXPECT_THROW(decode_rejected(encode_rejected(rej)), CheckpointError);
+}
+
+TEST(ServeProtocol, RejectsTileSizeMismatch) {
+  TelemetryMsg m;
+  m.round.tile_nx = 4;
+  m.round.tile_ny = 4;
+  m.round.tile = "abc";  // 3 bytes != 16
+  EXPECT_THROW(decode_telemetry(encode_telemetry(m)), CheckpointError);
+}
+
+TEST(ServeProtocol, RejectsTruncatedResult) {
+  ResultMsg m;
+  m.session_id = 1;
+  m.x = {1.0, 2.0};
+  m.y = {3.0, 4.0};
+  std::string body = encode_result(m);
+  body.resize(body.size() - 5);
+  EXPECT_THROW(decode_result(body), CheckpointError);
+}
+
+// --- binary design codec -------------------------------------------------
+
+TEST(DesignCodec, RoundTripIsStructurallyAndBitwiseExact) {
+  const Design a = generate_synthetic(small_spec());
+  const std::string blob = encode_design(a);
+  const Design b = decode_design(blob);
+  EXPECT_EQ(design_structure_key(a), design_structure_key(b));
+  EXPECT_EQ(position_checksum(a), position_checksum(b));
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.tech.layers.size(), b.tech.layers.size());
+  // Re-encode is byte-identical (stable wire form).
+  EXPECT_EQ(encode_design(b), blob);
+}
+
+TEST(DesignCodec, RejectsCorruption) {
+  const Design a = generate_synthetic(small_spec());
+  std::string blob = encode_design(a);
+  EXPECT_THROW(decode_design("short"), CheckpointError);
+  std::string flipped = blob;
+  flipped[blob.size() / 2] ^= 0x20;
+  EXPECT_THROW(decode_design(flipped), CheckpointError);
+  std::string truncated = blob.substr(0, blob.size() - 3);
+  EXPECT_THROW(decode_design(truncated), CheckpointError);
+}
+
+// --- telemetry tiles -----------------------------------------------------
+
+TEST(Telemetry, QuantizeCongestion) {
+  EXPECT_EQ(quantize_congestion(0.0), 128);   // at capacity
+  EXPECT_EQ(quantize_congestion(1.0), 192);   // 100% overflow
+  EXPECT_EQ(quantize_congestion(-1.0), 64);   // 100% slack
+  EXPECT_EQ(quantize_congestion(10.0), 255);  // clamped
+  EXPECT_EQ(quantize_congestion(-10.0), 0);
+}
+
+TEST(Telemetry, TileMaxPoolingKeepsHotspotVisible) {
+  const GcellGrid grid(Rect(0, 0, 64, 64), 64, 64);
+  CapacityMaps caps;
+  caps.cap_h = Map2D<double>(64, 64, 10.0);
+  caps.cap_v = Map2D<double>(64, 64, 10.0);
+  RoutingMaps maps(grid, caps);
+  maps.dmd_h.fill(1.0);
+  maps.dmd_v.fill(1.0);
+  maps.dmd_h.at(37, 11) = 30.0;  // one overflowed Gcell
+
+  int nx = 0, ny = 0;
+  std::string tile;
+  congestion_tile(maps, 32, &nx, &ny, &tile);
+  ASSERT_EQ(nx, 32);
+  ASSERT_EQ(ny, 32);
+  ASSERT_EQ(tile.size(), 32u * 32u);
+  // The hotspot's 2x2 pool must quantize above "at capacity"; all other
+  // tiles sit below it (slack everywhere else).
+  const std::uint8_t hot = static_cast<std::uint8_t>(
+      tile[static_cast<std::size_t>(11 / 2) * 32 + 37 / 2]);
+  EXPECT_GT(hot, 128);
+  int above = 0;
+  for (char c : tile) above += static_cast<std::uint8_t>(c) > 128 ? 1 : 0;
+  EXPECT_EQ(above, 1);
+}
+
+// --- request log ---------------------------------------------------------
+
+TEST(RequestLog, RoundTripAndReplay) {
+  const auto dir = temp_dir("serve_log_test");
+  const std::string path = (dir / "requests.jsonl").string();
+  {
+    RequestLog log(path);
+    RequestLogRecord sub;
+    sub.type = RequestLogRecord::Type::kSubmit;
+    sub.session_id = 1;
+    sub.job_file = "job_1.bin";
+    sub.job_name = "alpha";
+    log.append(sub);
+    RequestLogRecord start;
+    start.type = RequestLogRecord::Type::kStart;
+    start.session_id = 1;
+    log.append(start);
+    RequestLogRecord fin;
+    fin.type = RequestLogRecord::Type::kFinish;
+    fin.session_id = 1;
+    fin.state = static_cast<std::uint8_t>(SessionState::kDone);
+    fin.checksum = 0x0123456789abcdefULL;
+    fin.hpwl_legal = -0.1;  // exact-bit replay
+    fin.runtime_s = 2.5;
+    fin.rounds = 3;
+    fin.result_file = "result_1.bin";
+    log.append(fin);
+    RequestLogRecord sub2 = sub;
+    sub2.session_id = 2;
+    sub2.job_file = "job_2.bin";
+    log.append(sub2);
+  }
+  const auto records = RequestLog::load(path);
+  ASSERT_EQ(records.size(), 5u);  // header + 4
+  EXPECT_EQ(records[0].type, RequestLogRecord::Type::kHeader);
+
+  const auto sessions = replay_request_log(records);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].session_id, 1u);
+  EXPECT_TRUE(sessions[0].finished);
+  EXPECT_EQ(sessions[0].summary.checksum, 0x0123456789abcdefULL);
+  EXPECT_EQ(sessions[0].summary.hpwl_legal, -0.1);
+  EXPECT_EQ(sessions[0].summary.padding_rounds, 3);
+  EXPECT_EQ(sessions[0].result_file, "result_1.bin");
+  EXPECT_FALSE(sessions[1].finished);
+  EXPECT_FALSE(sessions[1].started);
+}
+
+TEST(RequestLog, TornTailIsDropped) {
+  const auto dir = temp_dir("serve_log_torn");
+  const std::string path = (dir / "requests.jsonl").string();
+  {
+    RequestLog log(path);
+    RequestLogRecord sub;
+    sub.type = RequestLogRecord::Type::kSubmit;
+    sub.session_id = 1;
+    sub.job_file = "job_1.bin";
+    log.append(sub);
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"type\":\"finish\",\"sid\":1,\"sta";  // torn mid-record
+  }
+  const auto sessions = replay_request_log(RequestLog::load(path));
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_FALSE(sessions[0].finished);
+}
+
+// --- session manager -----------------------------------------------------
+
+// Drives the manager the way the poll loop does, without a server.
+class ManagerHarness {
+ public:
+  explicit ManagerHarness(ServeConfig config)
+      : mgr_(std::move(config), nullptr) {}
+
+  ServeSessionManager& mgr() { return mgr_; }
+
+  // Pumps + applies events until the session settles (or 60s pass).
+  const ServeSession* settle(std::uint64_t sid) {
+    for (int spins = 0; spins < 60000; ++spins) {
+      mgr_.pump();
+      for (const SessionEvent& ev : mgr_.drain_events()) {
+        mgr_.apply(ev);
+      }
+      const ServeSession* s = mgr_.find(sid);
+      if (s && session_terminal(s->state)) return s;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return nullptr;
+  }
+
+ private:
+  ServeSessionManager mgr_;
+};
+
+ServeConfig manager_config(const char* leaf) {
+  ServeConfig cfg;
+  cfg.spool_dir = temp_dir(leaf).string();
+  return cfg;
+}
+
+TEST(ServeSessionManager, RunsSessionToDoneBitIdenticalToDirectFlow) {
+  ManagerHarness h(manager_config("serve_mgr_done"));
+  const auto res = h.mgr().submit(encode_submit(small_job()));
+  ASSERT_TRUE(res.accepted);
+  EXPECT_EQ(res.state, SessionState::kQueued);
+
+  const ServeSession* s = h.settle(res.session_id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->state, SessionState::kDone);
+  EXPECT_EQ(s->summary.checksum, direct_reference().checksum);
+  EXPECT_EQ(s->summary.hpwl_legal, direct_reference().hpwl_legal);
+
+  // Streamed history matches the direct run's hook payloads bit-exactly.
+  const auto& want = direct_reference().rounds;
+  ASSERT_EQ(s->history.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(s->history[i].round, want[i].round);
+    EXPECT_EQ(s->history[i].est_overflow_pct, want[i].est_overflow_pct);
+    EXPECT_EQ(s->history[i].hpwl, want[i].hpwl);
+    EXPECT_EQ(s->history[i].overflow_delta, want[i].overflow_delta);
+    EXPECT_EQ(s->history[i].hpwl_delta, want[i].hpwl_delta);
+    EXPECT_EQ(s->history[i].tile, want[i].tile);
+  }
+
+  // The spooled result decodes to the same placement.
+  std::string body;
+  ASSERT_TRUE(h.mgr().result_body(res.session_id, &body));
+  const ResultMsg result = decode_result(body);
+  EXPECT_EQ(result.checksum, direct_reference().checksum);
+  EXPECT_EQ(result.x.size(), result.y.size());
+}
+
+TEST(ServeSessionManager, StateMachineAndAdmissionControl) {
+  ServeConfig cfg = manager_config("serve_mgr_admission");
+  cfg.max_running = 1;
+  cfg.max_queued = 2;
+  ManagerHarness h(cfg);
+
+  // Malformed submits are rejected at the door (and don't take a slot).
+  const auto bad = h.mgr().submit("not a submit body");
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_EQ(bad.reason, RejectReason::kBadRequest);
+  SubmitMsg garbage_design = small_job("g");
+  garbage_design.design_blob = "garbage";
+  const auto bad2 = h.mgr().submit(encode_submit(garbage_design));
+  EXPECT_FALSE(bad2.accepted);
+  EXPECT_EQ(bad2.reason, RejectReason::kBadRequest);
+
+  // Fill the queue without starting anything.
+  const auto a = h.mgr().submit(encode_submit(small_job("a")));
+  const auto b = h.mgr().submit(encode_submit(small_job("b")));
+  ASSERT_TRUE(a.accepted);
+  ASSERT_TRUE(b.accepted);
+  EXPECT_EQ(b.queue_depth, 1);
+
+  // Bounded queue: the third submit is rejected, not blocked or dropped
+  // (the capacity check precedes decoding, so even a malformed body gets
+  // the queue-full reply here -- backpressure is always explicit).
+  const auto c = h.mgr().submit(encode_submit(small_job("c")));
+  EXPECT_FALSE(c.accepted);
+  EXPECT_EQ(c.reason, RejectReason::kQueueFull);
+
+  // Cancel-while-queued settles immediately: queued -> cancelled.
+  ASSERT_TRUE(h.mgr().cancel(b.session_id));
+  const ServeSession* sb = h.mgr().find(b.session_id);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->state, SessionState::kCancelled);
+  EXPECT_FALSE(h.mgr().cancel(9999));  // unknown id
+
+  // Draining rejects new work but finishes what was admitted.
+  h.mgr().set_draining();
+  const auto d = h.mgr().submit(encode_submit(small_job("d")));
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.reason, RejectReason::kDraining);
+
+  const ServeSession* sa = h.settle(a.session_id);
+  ASSERT_NE(sa, nullptr);
+  EXPECT_EQ(sa->state, SessionState::kDone);
+  EXPECT_EQ(sa->summary.checksum, direct_reference().checksum);
+  EXPECT_TRUE(h.mgr().idle());
+
+  const StatusMsg status = h.mgr().status(a.session_id);
+  EXPECT_EQ(status.done, 1);
+  EXPECT_EQ(status.cancelled, 1);
+  EXPECT_EQ(status.draining, 1);
+  EXPECT_EQ(status.has_session, 1);
+  EXPECT_EQ(status.session_state,
+            static_cast<std::uint8_t>(SessionState::kDone));
+}
+
+TEST(ServeSessionManager, BadConfigFailsTheSession) {
+  ManagerHarness h(manager_config("serve_mgr_failed"));
+  SubmitMsg job = small_job("bad-config");
+  job.config_text = "no_such_knob = 1\n";
+  const auto res = h.mgr().submit(encode_submit(job));
+  ASSERT_TRUE(res.accepted);  // the netlist is fine; strategy fails later
+  const ServeSession* s = h.settle(res.session_id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->state, SessionState::kFailed);
+  EXPECT_NE(s->summary.message.find("no_such_knob"), std::string::npos);
+  std::string body;
+  EXPECT_FALSE(h.mgr().result_body(res.session_id, &body));
+}
+
+TEST(ServeSessionManager, RestartRecoversFinishedAndRerunsUnfinished) {
+  ServeConfig cfg = manager_config("serve_mgr_recover");
+  std::uint64_t done_sid = 0, pending_sid = 0;
+  {
+    ManagerHarness h(cfg);
+    const auto a = h.mgr().submit(encode_submit(small_job("done-before")));
+    ASSERT_TRUE(a.accepted);
+    done_sid = a.session_id;
+    ASSERT_NE(h.settle(done_sid), nullptr);
+    // Second job admitted but never pumped: still queued at "crash".
+    const auto b = h.mgr().submit(encode_submit(small_job("pending")));
+    ASSERT_TRUE(b.accepted);
+    pending_sid = b.session_id;
+  }  // manager destroyed: the daemon "crashed"/restarted
+
+  ManagerHarness h2(cfg);
+  // The finished session is restored with its exact summary + result.
+  const ServeSession* done = h2.mgr().find(done_sid);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->state, SessionState::kDone);
+  EXPECT_EQ(done->summary.checksum, direct_reference().checksum);
+  EXPECT_EQ(done->summary.hpwl_legal, direct_reference().hpwl_legal);
+  std::string body;
+  ASSERT_TRUE(h2.mgr().result_body(done_sid, &body));
+  EXPECT_EQ(decode_result(body).checksum, direct_reference().checksum);
+
+  // The unfinished session was re-admitted; the deterministic re-run
+  // reproduces the same placement bit-for-bit.
+  const ServeSession* pending = h2.mgr().find(pending_sid);
+  ASSERT_NE(pending, nullptr);
+  EXPECT_EQ(pending->state, SessionState::kQueued);
+  const ServeSession* rerun = h2.settle(pending_sid);
+  ASSERT_NE(rerun, nullptr);
+  EXPECT_EQ(rerun->state, SessionState::kDone);
+  EXPECT_EQ(rerun->summary.checksum, direct_reference().checksum);
+
+  // New ids keep counting up from the recovered ones.
+  const auto fresh = h2.mgr().submit(encode_submit(small_job("fresh")));
+  ASSERT_TRUE(fresh.accepted);
+  EXPECT_GT(fresh.session_id, pending_sid);
+  h2.mgr().cancel(fresh.session_id);
+}
+
+// --- daemon end-to-end ---------------------------------------------------
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServeConfig config, const char* sock_leaf) {
+    address_ =
+        (std::filesystem::temp_directory_path() / sock_leaf).string();
+    ::unlink(address_.c_str());
+    server_ = std::make_unique<PufferServer>(address_, std::move(config));
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~ServerFixture() {
+    server_->request_drain();
+    thread_.join();
+    server_.reset();
+  }
+
+  const std::string& address() const { return address_; }
+
+ private:
+  std::string address_;
+  std::unique_ptr<PufferServer> server_;
+  std::thread thread_;
+};
+
+TEST(PufferServer, ConcurrentClientsAreBitIdenticalToDirectRun) {
+  ServeConfig cfg;
+  cfg.spool_dir = temp_dir("serve_e2e_conc").string();
+  cfg.max_running = 2;
+  ServerFixture server(cfg, "serve_e2e_conc.sock");
+
+  // Two clients submit the same job concurrently; both sessions run
+  // under split worker leases and must reproduce the direct result.
+  auto run_client = [&](int idx, std::uint64_t* checksum,
+                        std::vector<TelemetryRound>* rounds) {
+    ServeClient client(server.address(), 10.0,
+                       "client-" + std::to_string(idx));
+    const ServeEvent ack = client.submit(small_job("conc"));
+    ASSERT_EQ(ack.type, ServeMsgType::kSubmitAck);
+    const std::uint64_t sid = ack.ack.session_id;
+    const SnapshotMsg snap = client.subscribe(sid);
+    for (const TelemetryRound& t : snap.history) rounds->push_back(t);
+    if (!snap.has_summary) {
+      const DoneMsg done = client.wait_done(sid, rounds);
+      ASSERT_EQ(done.summary.state,
+                static_cast<std::uint8_t>(SessionState::kDone));
+    }
+    const ServeEvent result = client.fetch(sid);
+    ASSERT_EQ(result.type, ServeMsgType::kResult);
+    *checksum = result.result.checksum;
+  };
+
+  std::uint64_t sum1 = 0, sum2 = 0;
+  std::vector<TelemetryRound> rounds1, rounds2;
+  std::thread t1(run_client, 1, &sum1, &rounds1);
+  std::thread t2(run_client, 2, &sum2, &rounds2);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(sum1, direct_reference().checksum);
+  EXPECT_EQ(sum2, direct_reference().checksum);
+
+  // Snapshot-on-subscribe + streamed deltas together reconstruct the
+  // full round history, bit-identical to the direct run's.
+  const auto& want = direct_reference().rounds;
+  for (const auto* rounds : {&rounds1, &rounds2}) {
+    ASSERT_EQ(rounds->size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*rounds)[i].round, want[i].round);
+      EXPECT_EQ((*rounds)[i].est_overflow_pct, want[i].est_overflow_pct);
+      EXPECT_EQ((*rounds)[i].hpwl, want[i].hpwl);
+      EXPECT_EQ((*rounds)[i].tile, want[i].tile);
+    }
+  }
+}
+
+TEST(PufferServer, PerConnectionCapAndDetachReattach) {
+  ServeConfig cfg;
+  cfg.spool_dir = temp_dir("serve_e2e_cap").string();
+  cfg.max_running = 1;
+  cfg.per_conn_inflight = 1;
+  ServerFixture server(cfg, "serve_e2e_cap.sock");
+
+  ServeClient client(server.address());
+  const ServeEvent ack = client.submit(small_job("first"));
+  ASSERT_EQ(ack.type, ServeMsgType::kSubmitAck);
+  const std::uint64_t sid = ack.ack.session_id;
+
+  // Same connection, second in-flight job: explicit per-conn rejection.
+  const ServeEvent rej = client.submit(small_job("second"));
+  ASSERT_EQ(rej.type, ServeMsgType::kRejected);
+  EXPECT_EQ(rej.rejected.reason,
+            static_cast<std::uint8_t>(RejectReason::kPerConnCap));
+
+  // Subscribe, then detach: the ack is a barrier, after which no more
+  // frames for the session arrive on this connection.
+  (void)client.subscribe(sid);
+  (void)client.detach(sid);
+
+  // Re-attach from a *new* connection (the session outlives its
+  // submitter) and ride it to completion.
+  ServeClient watcher(server.address(), 10.0, "watcher");
+  std::vector<TelemetryRound> rounds;
+  const SnapshotMsg snap = watcher.subscribe(sid);
+  for (const TelemetryRound& t : snap.history) rounds.push_back(t);
+  SessionSummary summary;
+  if (snap.has_summary) {
+    summary = snap.summary;
+  } else {
+    summary = watcher.wait_done(sid, &rounds).summary;
+  }
+  EXPECT_EQ(summary.state, static_cast<std::uint8_t>(SessionState::kDone));
+  EXPECT_EQ(summary.checksum, direct_reference().checksum);
+
+  // Snapshot + deltas reconstruct the full history exactly once each.
+  const auto& want = direct_reference().rounds;
+  ASSERT_EQ(rounds.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(rounds[i].round, want[i].round);
+    EXPECT_EQ(rounds[i].hpwl, want[i].hpwl);
+  }
+
+  // A subscribe after completion yields a terminal snapshot whose
+  // history matches what was streamed live.
+  const SnapshotMsg after = watcher.subscribe(sid);
+  EXPECT_EQ(after.state, static_cast<std::uint8_t>(SessionState::kDone));
+  ASSERT_EQ(after.has_summary, 1);
+  EXPECT_EQ(after.summary.checksum, direct_reference().checksum);
+  ASSERT_EQ(after.history.size(), rounds.size());
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    EXPECT_EQ(after.history[i].hpwl, rounds[i].hpwl);
+    EXPECT_EQ(after.history[i].tile, rounds[i].tile);
+  }
+}
+
+TEST(PufferServer, MalformedTrafficIsRejectedWithoutTakingTheDaemonDown) {
+  ServeConfig cfg;
+  cfg.spool_dir = temp_dir("serve_e2e_malformed").string();
+  ServerFixture server(cfg, "serve_e2e_malformed.sock");
+
+  // 1) Corrupt framing: the daemon closes the connection.
+  {
+    const int fd = connect_socket_retry(server.address(), 10.0);
+    const std::string garbage = "this is not a PUFM frame at all........";
+    ASSERT_EQ(::write(fd, garbage.data(), garbage.size()),
+              static_cast<ssize_t>(garbage.size()));
+    WireFrame frame;
+    EXPECT_FALSE(read_frame_fd(fd, &frame));  // clean EOF: peer closed
+    ::close(fd);
+  }
+
+  // 2) Well-framed junk body: kError reply, connection stays usable...
+  {
+    const int fd = connect_socket_retry(server.address(), 10.0);
+    ClientHelloMsg hello;
+    send_serve_msg(fd, ServeMsgType::kClientHello,
+                   encode_client_hello(hello));
+    WireFrame frame;
+    ASSERT_TRUE(read_frame_fd(fd, &frame));
+    ASSERT_EQ(frame.type,
+              static_cast<std::uint32_t>(ServeMsgType::kServerHello));
+    send_serve_msg(fd, ServeMsgType::kSubscribe, "junk body");
+    ASSERT_TRUE(read_frame_fd(fd, &frame));
+    EXPECT_EQ(frame.type, static_cast<std::uint32_t>(ServeMsgType::kError));
+    // ...including for unknown message types.
+    send_serve_msg(fd, static_cast<ServeMsgType>(999), "");
+    ASSERT_TRUE(read_frame_fd(fd, &frame));
+    EXPECT_EQ(frame.type, static_cast<std::uint32_t>(ServeMsgType::kError));
+    ::close(fd);
+  }
+
+  // 3) Requests before the hello are refused.
+  {
+    const int fd = connect_socket_retry(server.address(), 10.0);
+    SessionRefMsg ref;
+    ref.session_id = 1;
+    send_serve_msg(fd, ServeMsgType::kQuery, encode_session_ref(ref));
+    WireFrame frame;
+    ASSERT_TRUE(read_frame_fd(fd, &frame));
+    EXPECT_EQ(frame.type, static_cast<std::uint32_t>(ServeMsgType::kError));
+    ::close(fd);
+  }
+
+  // The daemon still serves a well-behaved client.
+  ServeClient client(server.address());
+  const ServeEvent status = client.query(0);
+  ASSERT_EQ(status.type, ServeMsgType::kStatus);
+  EXPECT_EQ(status.status.queued, 0);
+  const ServeEvent err = client.fetch(12345);  // unknown session
+  EXPECT_EQ(err.type, ServeMsgType::kError);
+}
+
+}  // namespace
+}  // namespace puffer

@@ -52,6 +52,7 @@
 
 #include "common/logger.h"
 #include "core/config_io.h"
+#include "common/cli.h"
 #include "io/bookshelf.h"
 #include "orchestrate/coordinator.h"
 #include "orchestrate/orchestrator.h"
@@ -59,18 +60,14 @@
 
 namespace {
 
-void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s (--aux design.aux | --bench NAME [--scale N])\n"
-      "       [--trials N] [--concurrency K] [--batch B] [--early-stop N]\n"
-      "       [--fork-overflow F] [--prune] [--checkpoint-dir DIR]\n"
-      "       [--journal FILE] [--resume] [--seed N]\n"
-      "       [--save-config FILE] [--csv FILE] [--quiet]\n"
-      "       [--listen ADDR [--min-workers N] [--attach-timeout S]]\n"
-      "       [--workers N] [--connect ADDR]\n",
-      argv0);
-}
+const std::string kUsage =
+    "usage: puffer_explore (--aux design.aux | --bench NAME [--scale N])\n"
+    "       [--trials N] [--concurrency K] [--batch B] [--early-stop N]\n"
+    "       [--fork-overflow F] [--prune] [--checkpoint-dir DIR]\n"
+    "       [--journal FILE] [--resume] [--seed N]\n"
+    "       [--save-config FILE] [--csv FILE] [--quiet]\n"
+    "       [--listen ADDR [--min-workers N] [--attach-timeout S]]\n"
+    "       [--workers N] [--connect ADDR] [--help] [--version]\n";
 
 // Path of the puffer_worker binary, assumed to sit next to this one.
 std::string sibling_worker_path() {
@@ -115,6 +112,7 @@ pid_t spawn_worker(const std::string& address, const std::string& aux,
 
 int main(int argc, char** argv) {
   using namespace puffer;
+  handle_help_version(argc, argv, "puffer_explore", kUsage);
 
   std::string aux, bench, save_config_path, csv_path;
   int scale = 64;
@@ -126,10 +124,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
+      if (i + 1 >= argc) usage_error(kUsage, arg + " needs a value");
       return argv[++i];
     };
     if (arg == "--aux") aux = next();
@@ -155,13 +150,11 @@ int main(int argc, char** argv) {
     else if (arg == "--connect") connect_addr = next();
     else if (arg == "--quiet") Logger::instance().set_level(LogLevel::kWarn);
     else {
-      usage(argv[0]);
-      return 2;
+      usage_error(kUsage, "unknown option " + arg);
     }
   }
   if (aux.empty() == bench.empty()) {  // exactly one input source
-    usage(argv[0]);
-    return 2;
+    usage_error(kUsage, "need exactly one of --aux / --bench");
   }
 
   Design design;

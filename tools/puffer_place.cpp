@@ -20,6 +20,7 @@
 #include <string>
 
 #include "analysis/quality.h"
+#include "common/cli.h"
 #include "common/logger.h"
 #include "core/config_io.h"
 #include "core/experiment.h"
@@ -29,19 +30,18 @@
 
 namespace {
 
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s (--aux design.aux | --bench NAME [--scale N])\n"
-               "       [--placer puffer|replace|commercial] [--out PREFIX]\n"
-               "       [--config FILE] [--save-config FILE] [--svg] [--dp]\n"
-               "       [--seed N] [--report] [--quality] [--quiet]\n",
-               argv0);
-}
+const std::string kUsage =
+    "usage: puffer_place (--aux design.aux | --bench NAME [--scale N])\n"
+    "       [--placer puffer|replace|commercial] [--out PREFIX]\n"
+    "       [--config FILE] [--save-config FILE] [--svg] [--dp]\n"
+    "       [--seed N] [--report] [--quality] [--quiet]\n"
+    "       [--help] [--version]\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace puffer;
+  handle_help_version(argc, argv, "puffer_place", kUsage);
 
   std::string aux, bench, out, placer = "puffer";
   std::string config_path, save_config_path;
@@ -51,10 +51,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
+      if (i + 1 >= argc) usage_error(kUsage, arg + " needs a value");
       return argv[++i];
     };
     if (arg == "--aux") aux = next();
@@ -71,13 +68,11 @@ int main(int argc, char** argv) {
     else if (arg == "--report") report = true;
     else if (arg == "--quiet") Logger::instance().set_level(LogLevel::kWarn);
     else {
-      usage(argv[0]);
-      return 2;
+      usage_error(kUsage, "unknown option " + arg);
     }
   }
   if (aux.empty() == bench.empty()) {  // exactly one input source
-    usage(argv[0]);
-    return 2;
+    usage_error(kUsage, "need exactly one of --aux / --bench");
   }
 
   PlacerKind kind;
@@ -85,8 +80,7 @@ int main(int argc, char** argv) {
   else if (placer == "replace") kind = PlacerKind::kReplaceRc;
   else if (placer == "commercial") kind = PlacerKind::kCommercialProxy;
   else {
-    std::fprintf(stderr, "unknown placer '%s'\n", placer.c_str());
-    return 2;
+    usage_error(kUsage, "unknown placer '" + placer + "'");
   }
 
   Design design;

@@ -22,25 +22,24 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.h"
 #include "common/logger.h"
 #include "io/bookshelf.h"
 #include "orchestrate/worker.h"
 
 namespace {
 
-void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --connect ADDR (--aux design.aux | --bench NAME [--scale N])\n"
-      "       [--name NAME] [--gen-seed N] [--connect-timeout S]\n"
-      "       [--reconnect-timeout S] [--quiet]\n",
-      argv0);
-}
+const std::string kUsage =
+    "usage: puffer_worker --connect ADDR\n"
+    "       (--aux design.aux | --bench NAME [--scale N])\n"
+    "       [--name NAME] [--gen-seed N] [--connect-timeout S]\n"
+    "       [--reconnect-timeout S] [--quiet] [--help] [--version]\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace puffer;
+  handle_help_version(argc, argv, "puffer_worker", kUsage);
 
   std::string aux, bench;
   int scale = 64;
@@ -49,10 +48,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
+      if (i + 1 >= argc) usage_error(kUsage, arg + " needs a value");
       return argv[++i];
     };
     if (arg == "--connect") worker.connect = next();
@@ -67,13 +63,12 @@ int main(int argc, char** argv) {
       worker.reconnect_timeout_s = std::atof(next());
     else if (arg == "--quiet") Logger::instance().set_level(LogLevel::kWarn);
     else {
-      usage(argv[0]);
-      return 2;
+      usage_error(kUsage, "unknown option " + arg);
     }
   }
   if (worker.connect.empty() || aux.empty() == bench.empty()) {
-    usage(argv[0]);
-    return 2;
+    usage_error(kUsage,
+                "need --connect and exactly one of --aux / --bench");
   }
 
   Design design;

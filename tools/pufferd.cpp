@@ -1,0 +1,92 @@
+// pufferd: the placement-as-a-service daemon.
+//
+// Serves placement jobs over a Unix-domain or TCP socket (see
+// src/serve/): sessioned flows with streaming per-round telemetry,
+// bounded admission, and an append-only request log that makes the
+// daemon restartable (spooled jobs re-run deterministically). SIGTERM /
+// SIGINT start a graceful drain: running sessions finish, their frames
+// are delivered, then the process exits.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.h"
+#include "common/logger.h"
+#include "core/config_io.h"
+#include "serve/server.h"
+
+namespace {
+
+const std::string kUsage =
+    "usage: pufferd --listen ADDR [options]\n"
+    "\n"
+    "  ADDR is host:port (TCP) or a filesystem path (Unix socket).\n"
+    "\n"
+    "options:\n"
+    "  --spool DIR       request log + job/result spool directory\n"
+    "                    (default pufferd_spool); an existing log is\n"
+    "                    replayed and unfinished sessions re-run\n"
+    "  --max-running N   concurrent running sessions (default 1)\n"
+    "  --max-queued N    bounded admission queue (default 4)\n"
+    "  --per-conn N      in-flight sessions per connection (default 2)\n"
+    "  --config FILE     base strategy config; per-job overrides apply\n"
+    "                    on top (see config_io.h)\n"
+    "  --name NAME       daemon name in the hello exchange\n"
+    "  --quiet           warnings and errors only\n"
+    "  --help, --version\n";
+
+puffer::PufferServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server) g_server->request_drain();  // async-signal-safe
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace puffer;
+  handle_help_version(argc, argv, "pufferd", kUsage);
+
+  std::string listen_addr;
+  ServeConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error(kUsage, arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--listen") listen_addr = next();
+    else if (arg == "--spool") config.spool_dir = next();
+    else if (arg == "--max-running") config.max_running = std::atoi(next());
+    else if (arg == "--max-queued") config.max_queued = std::atoi(next());
+    else if (arg == "--per-conn") config.per_conn_inflight = std::atoi(next());
+    else if (arg == "--name") config.daemon_name = next();
+    else if (arg == "--config") {
+      try {
+        config.base_config = load_config(next(), config.base_config);
+      } catch (const ConfigError& e) {
+        std::fprintf(stderr, "config error: %s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--quiet") {
+      Logger::instance().set_level(LogLevel::kWarn);
+    } else {
+      usage_error(kUsage, "unknown option " + arg);
+    }
+  }
+  if (listen_addr.empty()) usage_error(kUsage, "--listen is required");
+
+  try {
+    PufferServer server(listen_addr, config);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    server.run();
+    g_server = nullptr;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pufferd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
